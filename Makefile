@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-quick examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Every table, figure, ablation and micro-benchmark (several minutes).
+bench:
+	dune exec bench/main.exe
+
+# Table 1 on a small stand-in only.
+bench-quick:
+	dune exec bench/main.exe -- quick
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/iscas_c17.exe
+	dune exec examples/array_shape.exe
+	dune exec examples/defect_coverage.exe
+	dune exec examples/drive_selection.exe
+	dune exec examples/testability.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

@@ -1,0 +1,367 @@
+(* Command-line driver: partition a circuit for IDDQ testability and
+   report the resulting BIC sensor plan.
+
+     iddq_synth partition --circuit C1908 --method evolution
+     iddq_synth partition --bench path/to/netlist.bench --method standard
+     iddq_synth compare --circuit C3540
+     iddq_synth stats --circuit C7552
+     iddq_synth generate --gates 500 --depth 20 --out my.bench *)
+
+module Circuit = Iddq_netlist.Circuit
+module Bench_io = Iddq_netlist.Bench_io
+module Iscas = Iddq_netlist.Iscas
+module Generator = Iddq_netlist.Generator
+module Partition = Iddq_core.Partition
+module Pipeline = Iddq.Pipeline
+module Report = Iddq.Report
+
+open Cmdliner
+
+let named_circuit = function
+  | "c17" | "C17" -> Some (Iscas.c17 ())
+  | "c432" | "C432" -> Some (Iscas.c432_like ())
+  | "c1908" | "C1908" -> Some (Iscas.c1908_like ())
+  | "c2670" | "C2670" -> Some (Iscas.c2670_like ())
+  | "c3540" | "C3540" -> Some (Iscas.c3540_like ())
+  | "c5315" | "C5315" -> Some (Iscas.c5315_like ())
+  | "c6288" | "C6288" -> Some (Iscas.c6288_like ())
+  | "c7552" | "C7552" -> Some (Iscas.c7552_like ())
+  | _ -> None
+
+let load_circuit ~circuit ~bench =
+  match circuit, bench with
+  | Some name, None -> begin
+    match named_circuit name with
+    | Some c -> Ok c
+    | None -> Error (Printf.sprintf "unknown circuit %S (try C17, C432, C1908..C7552)" name)
+  end
+  | None, Some path -> Bench_io.parse_file path
+  | Some _, Some _ -> Error "give either --circuit or --bench, not both"
+  | None, None -> Error "a circuit is required: --circuit NAME or --bench FILE"
+
+let circuit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "c"; "circuit" ] ~docv:"NAME"
+        ~doc:"Built-in circuit: C17, C432, or the Table-1 suite C1908..C7552.")
+
+let bench_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "bench" ] ~docv:"FILE" ~doc:"ISCAS85 .bench netlist to load.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let module_size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "module-size" ] ~docv:"N"
+        ~doc:"Target start-module size (default: estimated from the discriminability budget).")
+
+let method_arg =
+  let parse s =
+    match Pipeline.method_of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+  in
+  let print fmt m = Format.pp_print_string fmt (Pipeline.method_to_string m) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Pipeline.Evolution
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:"Partitioning method: evolution, standard, random, annealing, refined-standard.")
+
+let library_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "library" ] ~docv:"FILE"
+        ~doc:"Cell-library file (INI format, see Library_io); default: the               built-in 1um CMOS characterization.")
+
+let load_library = function
+  | None -> Iddq_celllib.Library.default
+  | Some path -> begin
+    match Iddq_celllib.Library_io.parse_file path with
+    | Ok lib -> lib
+    | Error e ->
+      Format.eprintf "error loading library %s: %s@." path e;
+      exit 1
+  end
+
+let config ~seed ~module_size ~library =
+  {
+    Pipeline.default_config with
+    Pipeline.seed;
+    module_size;
+    library = load_library library;
+  }
+
+let exit_err msg =
+  Format.eprintf "error: %s@." msg;
+  exit 1
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:"Write the partitioned netlist as Graphviz DOT (modules as clusters).")
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-partition" ] ~docv:"FILE"
+        ~doc:"Write the resulting partition (net names per module).")
+
+let resynth_arg =
+  Arg.(
+    value & flag
+    & info [ "resynth" ]
+        ~doc:"After partitioning, run cost-aware drive selection: re-map \
+              peak-defining gates with timing slack to low-drive cells.")
+
+let partition_cmd =
+  let run circuit bench method_ seed module_size library resynth dot save =
+    match load_circuit ~circuit ~bench with
+    | Error e -> exit_err e
+    | Ok c ->
+      Format.printf "circuit %s: %a@.@." (Circuit.name c) Circuit.pp_stats
+        (Circuit.stats c);
+      let result =
+        Pipeline.run ~config:(config ~seed ~module_size ~library) method_ c
+      in
+      Format.printf "%a" Report.pp_pipeline result;
+      let final_partition =
+        if resynth then begin
+          let r = Iddq_resynth.Drive_select.optimize result.Pipeline.partition in
+          let before = r.Iddq_resynth.Drive_select.before in
+          let after = r.Iddq_resynth.Drive_select.after in
+          Format.printf
+            "@.drive selection: %d gates re-mapped to low drive;@ sensor area \
+             %.3e -> %.3e (%.1f%% saved), nominal delay unchanged@."
+            (List.length r.Iddq_resynth.Drive_select.swaps)
+            before.Iddq_core.Cost.sensor_area after.Iddq_core.Cost.sensor_area
+            (100.0
+            *. (1.0
+               -. after.Iddq_core.Cost.sensor_area
+                  /. before.Iddq_core.Cost.sensor_area));
+          r.Iddq_resynth.Drive_select.partition
+        end
+        else result.Pipeline.partition
+      in
+      Option.iter
+        (fun path ->
+          Iddq_netlist.Dot.write_file
+            ~module_of_gate:(Partition.module_of_gate final_partition)
+            path c;
+          Format.printf "wrote DOT to %s@." path)
+        dot;
+      Option.iter
+        (fun path ->
+          Iddq_core.Partition_io.write_file path final_partition;
+          Format.printf "wrote partition to %s@." path)
+        save
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc:"Partition a circuit and size its BIC sensors.")
+    Term.(
+      const run $ circuit_arg $ bench_arg $ method_arg $ seed_arg
+      $ module_size_arg $ library_arg $ resynth_arg $ dot_arg $ save_arg)
+
+let simulate_cmd =
+  let defects =
+    Arg.(value & opt int 200 & info [ "defects" ] ~docv:"N" ~doc:"Injected defect count.")
+  in
+  let vectors =
+    Arg.(value & opt int 64 & info [ "vectors" ] ~docv:"N" ~doc:"Random test vectors.")
+  in
+  let current =
+    Arg.(
+      value & opt float 2.0
+      & info [ "defect-current" ] ~docv:"UA" ~doc:"Defect current in microamperes.")
+  in
+  let run circuit bench seed module_size library defects vectors current =
+    match load_circuit ~circuit ~bench with
+    | Error e -> exit_err e
+    | Ok c ->
+      let result =
+        Pipeline.run
+          ~config:(config ~seed ~module_size ~library)
+          Pipeline.Evolution c
+      in
+      let rng = Iddq_util.Rng.create (seed + 1) in
+      let faults =
+        Iddq_defects.Fault.random_population ~rng c ~count:defects
+          ~defect_current:(current *. 1.0e-6)
+      in
+      let vs = Iddq_patterns.Pattern_gen.random ~rng c ~count:vectors in
+      let part =
+        Iddq_defects.Iddq_sim.run_partitioned result.Pipeline.partition
+          ~vectors:vs ~faults
+      in
+      let single =
+        Iddq_defects.Iddq_sim.run_single_sensor result.Pipeline.charac
+          ~vectors:vs ~faults
+      in
+      Format.printf
+        "%s: %d modules, %d defects at %.1f uA, %d vectors@.  partitioned \
+         BIC: coverage %5.1f%%  test time %.3e s@.  single sensor: coverage \
+         %5.1f%%  test time %.3e s@."
+        (Circuit.name c)
+        (Partition.num_modules result.Pipeline.partition)
+        defects current vectors
+        (100.0 *. part.Iddq_defects.Iddq_sim.coverage)
+        part.Iddq_defects.Iddq_sim.test_time
+        (100.0 *. single.Iddq_defects.Iddq_sim.coverage)
+        single.Iddq_defects.Iddq_sim.test_time
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Inject IDDQ defects and compare partitioned vs single-sensor coverage.")
+    Term.(
+      const run $ circuit_arg $ bench_arg $ seed_arg $ module_size_arg
+      $ library_arg $ defects $ vectors $ current)
+
+let compare_cmd =
+  let all_methods =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Compare all five methods, not just evolution vs standard.")
+  in
+  let run circuit bench seed module_size library all =
+    match load_circuit ~circuit ~bench with
+    | Error e -> exit_err e
+    | Ok c ->
+      Format.printf "circuit %s: %a@.@." (Circuit.name c) Circuit.pp_stats
+        (Circuit.stats c);
+      let methods =
+        if all then
+          [
+            Pipeline.Evolution; Pipeline.Standard; Pipeline.Refined_standard;
+            Pipeline.Annealing; Pipeline.Random;
+          ]
+        else [ Pipeline.Evolution; Pipeline.Standard ]
+      in
+      let results =
+        Pipeline.compare_methods ~config:(config ~seed ~module_size ~library) c
+          methods
+      in
+      List.iter
+        (fun (_, r) -> Format.printf "%a@." Report.pp_pipeline r)
+        results;
+      (match results with
+      | (_, evolution) :: (_, standard) :: _ ->
+        let row =
+          Report.row_of_results ~circuit_name:(Circuit.name c) ~standard
+            ~evolution
+        in
+        Iddq_util.Table.print (Report.table [ row ])
+      | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Evolution vs standard partitioning on one circuit (a Table-1 row).")
+    Term.(
+      const run $ circuit_arg $ bench_arg $ seed_arg $ module_size_arg
+      $ library_arg $ all_methods)
+
+let atpg_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the vectors (one 0/1 row per vector).")
+  in
+  let random_count =
+    Arg.(
+      value & opt int 32
+      & info [ "random" ] ~docv:"N" ~doc:"Random vectors before PODEM top-up.")
+  in
+  let run circuit bench seed random_count out =
+    match load_circuit ~circuit ~bench with
+    | Error e -> exit_err e
+    | Ok c ->
+      let rng = Iddq_util.Rng.create seed in
+      let faults = Iddq_defects.Stuck_at.collapsed_fault_list c in
+      let initial = Iddq_patterns.Pattern_gen.random ~rng c ~count:random_count in
+      let r = Iddq_atpg.Podem.complete_set ~rng ~initial c faults in
+      Format.printf
+        "%s: %d collapsed stuck-at faults@.%d vectors (%d random + %d          generated)@.coverage %.1f%%, efficiency %.1f%% (%d untestable, %d          aborted)@."
+        (Circuit.name c) (List.length faults)
+        (Array.length r.Iddq_atpg.Podem.vectors)
+        random_count r.Iddq_atpg.Podem.generated
+        (100.0 *. r.Iddq_atpg.Podem.coverage)
+        (100.0 *. r.Iddq_atpg.Podem.efficiency)
+        r.Iddq_atpg.Podem.untestable r.Iddq_atpg.Podem.aborted;
+      Option.iter
+        (fun path ->
+          Iddq_patterns.Pattern_io.write_file path r.Iddq_atpg.Podem.vectors;
+          Format.printf "wrote vectors to %s@." path)
+        out
+  in
+  Cmd.v
+    (Cmd.info "atpg"
+       ~doc:"Generate a stuck-at test set (random vectors + PODEM top-up).")
+    Term.(const run $ circuit_arg $ bench_arg $ seed_arg $ random_count $ out)
+
+let dump_library_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Destination library file.")
+  in
+  let run out =
+    Iddq_celllib.Library_io.write_file out Iddq_celllib.Library.default;
+    Format.printf "wrote the default library to %s (edit and pass back with --library)@." out
+  in
+  Cmd.v
+    (Cmd.info "dump-library"
+       ~doc:"Write the built-in cell library as an editable file.")
+    Term.(const run $ out)
+
+let stats_cmd =
+  let run circuit bench =
+    match load_circuit ~circuit ~bench with
+    | Error e -> exit_err e
+    | Ok c ->
+      Format.printf "%s: %a@." (Circuit.name c) Circuit.pp_stats
+        (Circuit.stats c)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print circuit statistics.")
+    Term.(const run $ circuit_arg $ bench_arg)
+
+let generate_cmd =
+  let gates = Arg.(value & opt int 500 & info [ "gates" ] ~docv:"N" ~doc:"Gate count.") in
+  let depth = Arg.(value & opt int 20 & info [ "depth" ] ~docv:"N" ~doc:"Logic depth.") in
+  let inputs = Arg.(value & opt int 32 & info [ "inputs" ] ~docv:"N" ~doc:"Primary inputs.") in
+  let outputs = Arg.(value & opt int 16 & info [ "outputs" ] ~docv:"N" ~doc:"Primary outputs.") in
+  let out = Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output .bench path.") in
+  let run gates depth inputs outputs seed out =
+    let rng = Iddq_util.Rng.create seed in
+    let c =
+      Generator.layered_dag ~rng ~name:(Filename.remove_extension (Filename.basename out))
+        ~num_inputs:inputs ~num_outputs:outputs ~num_gates:gates ~depth ()
+    in
+    Bench_io.write_file out c;
+    Format.printf "wrote %s: %a@." out Circuit.pp_stats (Circuit.stats c)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a random layered netlist as .bench.")
+    Term.(const run $ gates $ depth $ inputs $ outputs $ seed_arg $ out)
+
+let () =
+  let info =
+    Cmd.info "iddq_synth" ~version:"0.1.0"
+      ~doc:"Synthesis of IDDQ-testable circuits with built-in current sensors."
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ partition_cmd; compare_cmd; simulate_cmd; atpg_cmd; dump_library_cmd;
+         stats_cmd; generate_cmd ]))

@@ -1,0 +1,104 @@
+(* The paper's worked example (Figs. 3-5): partitioning ISCAS85 C17
+   with the evolution strategy.  The paper's optimum is the two-module
+   partition {(1,3,5), (2,4,6)} = {{10,16,22}, {11,19,23}} - the two
+   output cones.
+
+   Run with: dune exec examples/iscas_c17.exe *)
+
+module Iscas = Iddq_netlist.Iscas
+module Circuit = Iddq_netlist.Circuit
+module Charac = Iddq_analysis.Charac
+module Partition = Iddq_core.Partition
+module Cost = Iddq_core.Cost
+module Es = Iddq_evolution.Es
+
+let show_partition circuit p =
+  List.iter
+    (fun m ->
+      let names =
+        Array.to_list (Partition.members p m)
+        |> List.map (fun g -> Circuit.node_name circuit (Circuit.node_of_gate circuit g))
+      in
+      Format.printf "  module %d: {%s}  d=%.1f imax=%.2e S=%d@." m
+        (String.concat "," names)
+        (Partition.discriminability p m)
+        (Partition.max_transient_current p m)
+        (Partition.separation_total p m))
+    (Partition.module_ids p)
+
+let () =
+  let circuit = Iscas.c17 () in
+  Format.printf "C17: %a@.@." Circuit.pp_stats (Circuit.stats circuit);
+  (* C17 is tiny; scale the detection threshold down so that, as in
+     the paper's worked example, discriminability caps modules at
+     three gates and the optimum is a two-module partition *)
+  let technology =
+    {
+      Iddq_celllib.Technology.default with
+      Iddq_celllib.Technology.iddq_threshold = 4.0e-9;
+    }
+  in
+  let library =
+    match
+      Iddq_celllib.Library.make ~name:"cmos1u-c17" ~technology
+        ~cells:
+          (List.map
+             (fun k -> (k, Iddq_celllib.Library.cell Iddq_celllib.Library.default k))
+             Iddq_netlist.Gate.all_kinds)
+        ()
+    with
+    | Ok l -> l
+    | Error e -> failwith e
+  in
+  let config =
+    {
+      Iddq.Pipeline.default_config with
+      library;
+      module_size = Some 3;
+      es_params =
+        { Es.default_params with max_generations = 200; stall_generations = 40 };
+    }
+  in
+  let ch = Charac.make ~library:config.Iddq.Pipeline.library circuit in
+  let rng = Iddq_util.Rng.create config.Iddq.Pipeline.seed in
+  let starts = Iddq_evolution.Seeds.population ~rng ~module_size:3 ~count:4 ch in
+  Format.printf "start partitions (chain clustering):@.";
+  List.iteri
+    (fun i p ->
+      Format.printf " start %d (cost %.4f):@." i
+        (Cost.evaluate p).Cost.penalized;
+      show_partition circuit p)
+    starts;
+  let best, trace =
+    Iddq_evolution.Part_iddq.optimize ~params:config.Iddq.Pipeline.es_params
+      ~rng ~starts ()
+  in
+  Format.printf "@.evolution trace (first 10 generations):@.";
+  List.iteri
+    (fun i (r : Es.generation_report) ->
+      if i < 10 then
+        Format.printf "  gen %3d: best %.4f mean %.4f@." r.Es.generation
+          r.Es.best_cost r.Es.mean_cost)
+    trace;
+  Format.printf "@.converged after %d generations@." (List.length trace);
+  Format.printf "final partition (cost %.4f):@." best.Es.cost;
+  show_partition circuit best.Es.solution;
+  (* compare against the paper's optimum {(10,16,22),(11,19,23)} *)
+  let paper_assignment =
+    let p = Array.make (Circuit.num_gates circuit) 0 in
+    List.iter
+      (fun name ->
+        match Circuit.node_id_of_name circuit name with
+        | Some id -> p.(Circuit.gate_of_node circuit id) <- 1
+        | None -> assert false)
+      [ "11"; "19"; "23" ];
+    p
+  in
+  let paper = Partition.create ch ~assignment:paper_assignment in
+  Format.printf
+    "@.the paper's reported optimum {(10,16,22),(11,19,23)} costs %.4f under \
+     our calibrated estimators@ (the ES result is the same shape - two \
+     balanced, connected 3-gate modules - and may differ in cost by a few \
+     percent because the electrical constants differ):@."
+    (Cost.evaluate paper).Cost.penalized;
+  show_partition circuit paper

@@ -1,0 +1,70 @@
+(* Testability analysis around the IDDQ flow: SCOAP measures, the
+   pessimistic vs probabilistic vs realized current estimates, and the
+   logic-vs-IDDQ detection comparison for bridging defects.
+
+   Run with: dune exec examples/testability.exe *)
+
+module Iscas = Iddq_netlist.Iscas
+module Circuit = Iddq_netlist.Circuit
+module Charac = Iddq_analysis.Charac
+module Scoap = Iddq_analysis.Scoap
+module Activity = Iddq_analysis.Activity
+module Probability = Iddq_analysis.Probability
+module Switching = Iddq_analysis.Switching
+module Stuck_at = Iddq_defects.Stuck_at
+module Bridge_logic = Iddq_defects.Bridge_logic
+module Pattern_gen = Iddq_patterns.Pattern_gen
+module Rng = Iddq_util.Rng
+
+let () =
+  let circuit = Iscas.c499_like () in
+  Format.printf "circuit: %a@.@." Circuit.pp_stats (Circuit.stats circuit);
+  (* SCOAP: where are the hard spots? *)
+  let scoap = Scoap.compute circuit in
+  Format.printf "five hardest gates (SCOAP co + min cc):@.";
+  Array.iter
+    (fun g ->
+      let id = Circuit.node_of_gate circuit g in
+      Format.printf "  %-8s cc0=%d cc1=%d co=%d@." (Circuit.node_name circuit id)
+        (Scoap.cc0 scoap id) (Scoap.cc1 scoap id) (Scoap.co scoap id))
+    (Scoap.hardest_gates scoap circuit ~count:5);
+  (* current estimates at three levels of pessimism *)
+  let ch = Charac.make ~library:Iddq_celllib.Library.default circuit in
+  let gates = Array.init (Charac.num_gates ch) Fun.id in
+  let rng = Rng.create 9 in
+  let vectors = Pattern_gen.random ~rng circuit ~count:128 in
+  let realized = Activity.measure ch ~gates ~vectors in
+  Format.printf "@.whole-circuit transient estimates:@.";
+  Format.printf "  pessimistic (paper) : %.3e A@."
+    (Switching.max_transient_current ch gates);
+  Format.printf "  probabilistic       : %.3e A@."
+    (Probability.expected_max_current ch gates);
+  Format.printf "  realized (128 vecs) : %.3e A@." realized.Activity.realized_max;
+  (* stuck-at coverage of the same vectors *)
+  let sa =
+    Stuck_at.fault_simulate circuit ~vectors
+      ~faults:(Stuck_at.collapsed_fault_list circuit)
+  in
+  Format.printf "@.stuck-at: %d collapsed faults, %.1f%% random-pattern coverage@."
+    sa.Stuck_at.total
+    (100.0 *. sa.Stuck_at.coverage);
+  (* bridge detection: logic vs IDDQ on a sample *)
+  let n = Circuit.num_gates circuit in
+  let sample = ref [] in
+  while List.length !sample < 60 do
+    let a = Circuit.node_of_gate circuit (Rng.int rng n) in
+    let b = Circuit.node_of_gate circuit (Rng.int rng n) in
+    if a <> b && not (Bridge_logic.is_feedback circuit a b) then
+      sample := (a, b) :: !sample
+  done;
+  let logic, iddq =
+    List.fold_left
+      (fun (l, i) (a, b) ->
+        ( (if Array.exists (Bridge_logic.logic_detects circuit ~a ~b) vectors then l + 1 else l),
+          if Array.exists (Bridge_logic.iddq_detects circuit ~a ~b) vectors then i + 1 else i ))
+      (0, 0) !sample
+  in
+  Format.printf
+    "bridges (60 sampled): %d logic-detectable, %d IDDQ-activated - the@ \
+     complementary coverage the paper's introduction argues for.@."
+    logic iddq

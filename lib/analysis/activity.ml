@@ -1,0 +1,57 @@
+module Circuit = Iddq_netlist.Circuit
+
+type t = {
+  realized_profile : float array;
+  realized_max : float;
+  toggles_per_pair : int array;
+}
+
+(* Minimal local evaluation to avoid a dependency cycle with
+   iddq_patterns: plain two-valued simulation. *)
+let eval circuit inputs =
+  let values = Array.make (Circuit.num_nodes circuit) false in
+  Array.blit inputs 0 values 0 (Array.length inputs);
+  Circuit.iter_gates circuit (fun g kind fanins ->
+      let id = Circuit.node_of_gate circuit g in
+      values.(id) <-
+        Iddq_netlist.Gate.eval kind (Array.map (fun src -> values.(src)) fanins));
+  values
+
+let measure ch ~gates ~vectors =
+  if Array.length vectors < 2 then
+    invalid_arg "Activity.measure: need at least two vectors";
+  let circuit = Charac.circuit ch in
+  let depth = Charac.depth ch in
+  let worst = Array.make (depth + 1) 0.0 in
+  let toggles = Array.make (Array.length vectors - 1) 0 in
+  let previous = ref (eval circuit vectors.(0)) in
+  for v = 1 to Array.length vectors - 1 do
+    let current = eval circuit vectors.(v) in
+    let pair_profile = Array.make (depth + 1) 0.0 in
+    let pair_toggles = ref 0 in
+    Array.iter
+      (fun g ->
+        let id = Circuit.node_of_gate circuit g in
+        if !previous.(id) <> current.(id) then begin
+          incr pair_toggles;
+          (* the transient is drawn at the gate's switching depth *)
+          let slot = Charac.gate_depth ch g in
+          pair_profile.(slot) <-
+            pair_profile.(slot) +. Charac.peak_current ch g
+        end)
+      gates;
+    toggles.(v - 1) <- !pair_toggles;
+    for slot = 0 to depth do
+      if pair_profile.(slot) > worst.(slot) then worst.(slot) <- pair_profile.(slot)
+    done;
+    previous := current
+  done;
+  {
+    realized_profile = worst;
+    realized_max = Array.fold_left Stdlib.max 0.0 worst;
+    toggles_per_pair = toggles;
+  }
+
+let pessimism_ratio ch ~gates t =
+  let estimated = Switching.max_transient_current ch gates in
+  if t.realized_max <= 0.0 then infinity else estimated /. t.realized_max

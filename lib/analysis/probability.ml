@@ -1,0 +1,58 @@
+module Circuit = Iddq_netlist.Circuit
+module Gate = Iddq_netlist.Gate
+
+let signal_probabilities c =
+  let n = Circuit.num_nodes c in
+  let p = Array.make n 0.5 in
+  Circuit.iter_gates c (fun g kind fanins ->
+      let id = Circuit.node_of_gate c g in
+      let conj () =
+        Array.fold_left (fun acc src -> acc *. p.(src)) 1.0 fanins
+      in
+      let disj () =
+        1.0
+        -. Array.fold_left (fun acc src -> acc *. (1.0 -. p.(src))) 1.0 fanins
+      in
+      let parity () =
+        (* P(odd number of ones), folded pairwise *)
+        Array.fold_left
+          (fun acc src -> (acc *. (1.0 -. p.(src))) +. ((1.0 -. acc) *. p.(src)))
+          0.0 fanins
+      in
+      p.(id) <-
+        (match kind with
+        | Gate.And -> conj ()
+        | Gate.Nand -> 1.0 -. conj ()
+        | Gate.Or -> disj ()
+        | Gate.Nor -> 1.0 -. disj ()
+        | Gate.Xor -> parity ()
+        | Gate.Xnor -> 1.0 -. parity ()
+        | Gate.Not -> 1.0 -. p.(fanins.(0))
+        | Gate.Buff -> p.(fanins.(0))));
+  p
+
+let switching_probabilities c =
+  let p = signal_probabilities c in
+  Array.init (Circuit.num_gates c) (fun g ->
+      let prob = p.(Circuit.node_of_gate c g) in
+      2.0 *. prob *. (1.0 -. prob))
+
+let expected_profile ch gates =
+  let c = Charac.circuit ch in
+  let p_sw = switching_probabilities c in
+  let profile = Array.make (Charac.depth ch + 1) 0.0 in
+  Array.iter
+    (fun g ->
+      let slots = Charac.switch_slot_count ch g in
+      if slots > 0 then begin
+        let share =
+          p_sw.(g) *. Charac.peak_current ch g /. float_of_int slots
+        in
+        Charac.iter_switch_slots ch g (fun slot ->
+            profile.(slot) <- profile.(slot) +. share)
+      end)
+    gates;
+  profile
+
+let expected_max_current ch gates =
+  Array.fold_left Stdlib.max 0.0 (expected_profile ch gates)

@@ -1,0 +1,32 @@
+(** Signal and switching probabilities under the random-vector model.
+
+    Primary inputs are independent fair coins; gate output
+    probabilities follow from the gate function under the classical
+    independence approximation (exact on fanout-free regions,
+    approximate under reconvergence).  Two consecutive independent
+    vectors toggle a net with probability [2 p (1-p)].
+
+    This yields a middle-ground current estimator between the paper's
+    pessimistic worst case and a full logic simulation: the
+    {e expected} per-slot transient, used by the validation experiment
+    and available for probabilistic sensor sizing. *)
+
+val signal_probabilities : Iddq_netlist.Circuit.t -> float array
+(** [P(node = 1)] per node id, inputs at 0.5. *)
+
+val switching_probabilities : Iddq_netlist.Circuit.t -> float array
+(** Per {e gate index}: [2 p (1-p)], the probability the gate toggles
+    between two independent random vectors. *)
+
+val expected_profile : Charac.t -> int array -> float array
+(** Expected per-slot transient current of a gate group under one
+    random vector pair: each gate contributes
+    [p_switch * i_peak / |T(g)|] to each of its transition slots
+    (its toggle lands in exactly one of them).  Indexed like
+    {!Switching.current_profile}. *)
+
+val expected_max_current : Charac.t -> int array -> float
+(** Max over slots of {!expected_profile}.  Always dominated by the
+    pessimistic î_DD,max; being an {e expectation} over one vector
+    pair, it can fall below the worst case observed across many pairs
+    (use {!Activity} for observed maxima). *)

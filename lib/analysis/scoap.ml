@@ -1,0 +1,97 @@
+module Circuit = Iddq_netlist.Circuit
+module Gate = Iddq_netlist.Gate
+
+type t = { cc0 : int array; cc1 : int array; co : int array }
+
+let unobservable = max_int / 2
+let sat_add a b = if a >= unobservable || b >= unobservable then unobservable else a + b
+
+(* Parity DP for wide XOR/XNOR: cheapest assignment cost reaching even
+   / odd parity over the fanins. *)
+let parity_costs cc0 cc1 fanins =
+  Array.fold_left
+    (fun (even, odd) src ->
+      let c0 = cc0.(src) and c1 = cc1.(src) in
+      ( Stdlib.min (sat_add even c0) (sat_add odd c1),
+        Stdlib.min (sat_add odd c0) (sat_add even c1) ))
+    (0, unobservable) fanins
+
+let compute c =
+  let n = Circuit.num_nodes c in
+  let cc0 = Array.make n 1 and cc1 = Array.make n 1 in
+  (* controllability: forward topological pass *)
+  Circuit.iter_gates c (fun g kind fanins ->
+      let id = Circuit.node_of_gate c g in
+      let sum cc = Array.fold_left (fun acc s -> sat_add acc cc.(s)) 0 fanins in
+      let minimum cc =
+        Array.fold_left (fun acc s -> Stdlib.min acc cc.(s)) unobservable fanins
+      in
+      let c0, c1 =
+        match kind with
+        | Gate.And -> (minimum cc0, sum cc1)
+        | Gate.Nand -> (sum cc1, minimum cc0)
+        | Gate.Or -> (sum cc0, minimum cc1)
+        | Gate.Nor -> (minimum cc1, sum cc0)
+        | Gate.Not -> (cc1.(fanins.(0)), cc0.(fanins.(0)))
+        | Gate.Buff -> (cc0.(fanins.(0)), cc1.(fanins.(0)))
+        | Gate.Xor ->
+          let even, odd = parity_costs cc0 cc1 fanins in
+          (even, odd)
+        | Gate.Xnor ->
+          let even, odd = parity_costs cc0 cc1 fanins in
+          (odd, even)
+      in
+      cc0.(id) <- sat_add c0 1;
+      cc1.(id) <- sat_add c1 1);
+  (* observability: reverse topological pass *)
+  let co = Array.make n unobservable in
+  Array.iter (fun id -> co.(id) <- 0) (Circuit.outputs c);
+  for id = n - 1 downto 0 do
+    if Circuit.is_gate c id then begin
+      let kind = Circuit.gate_kind c id in
+      let fanins =
+        match Circuit.node c id with
+        | Circuit.Input -> [||]
+        | Circuit.Gate (_, fi) -> fi
+      in
+      let side_cost keep_index =
+        (* cost of setting the *other* fanins to the non-controlling
+           (or cheapest, for parity gates) values *)
+        let total = ref 0 in
+        Array.iteri
+          (fun j src ->
+            if j <> keep_index then begin
+              let contribution =
+                match kind with
+                | Gate.And | Gate.Nand -> cc1.(src)
+                | Gate.Or | Gate.Nor -> cc0.(src)
+                | Gate.Not | Gate.Buff -> 0
+                | Gate.Xor | Gate.Xnor -> Stdlib.min cc0.(src) cc1.(src)
+              in
+              total := sat_add !total contribution
+            end)
+          fanins;
+        !total
+      in
+      Array.iteri
+        (fun j src ->
+          let through = sat_add (sat_add co.(id) (side_cost j)) 1 in
+          if through < co.(src) then co.(src) <- through)
+        fanins
+    end
+  done;
+  { cc0; cc1; co }
+
+let cc0 t id = t.cc0.(id)
+let cc1 t id = t.cc1.(id)
+let co t id = t.co.(id)
+
+let gate_testability t c g =
+  let id = Circuit.node_of_gate c g in
+  sat_add t.co.(id) (Stdlib.min t.cc0.(id) t.cc1.(id))
+
+let hardest_gates t c ~count =
+  let ng = Circuit.num_gates c in
+  let scored = Array.init ng (fun g -> (gate_testability t c g, g)) in
+  Array.sort (fun (a, _) (b, _) -> Stdlib.compare b a) scored;
+  Array.map snd (Array.sub scored 0 (Stdlib.min count ng))

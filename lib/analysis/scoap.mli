@@ -1,0 +1,30 @@
+(** SCOAP combinational testability measures (Goldstein 1979; the
+    testability-analysis substrate behind the paper's ref [16],
+    Brglez et al.).
+
+    Controllability [CC0]/[CC1] counts, per net, the minimum number of
+    primary-input assignments needed to drive it to 0/1 (primary
+    inputs cost 1); observability [CO] counts the assignments needed
+    to propagate the net to a primary output (outputs cost 0).  Large
+    values flag hard-to-test regions — used here to rank defect sites
+    and to sanity-check generated workloads. *)
+
+type t
+
+val compute : Iddq_netlist.Circuit.t -> t
+
+val cc0 : t -> int -> int
+(** 0-controllability of a node id. *)
+
+val cc1 : t -> int -> int
+val co : t -> int -> int
+(** Observability of a node id; [max_int/2]-capped for unobservable
+    (dead-end) nets. *)
+
+val gate_testability : t -> Iddq_netlist.Circuit.t -> int -> int
+(** Combined difficulty of a gate index: [co + min cc0 cc1] at its
+    output — the standard SCOAP detectability proxy. *)
+
+val hardest_gates : t -> Iddq_netlist.Circuit.t -> count:int -> int array
+(** The [count] gate indices with the largest combined testability
+    (hardest first). *)

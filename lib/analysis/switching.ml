@@ -1,0 +1,34 @@
+module Technology = Iddq_celllib.Technology
+
+let current_profile ch gates =
+  let profile = Array.make (Charac.depth ch + 1) 0.0 in
+  Array.iter
+    (fun g ->
+      let ipk = Charac.peak_current ch g in
+      Charac.iter_switch_slots ch g (fun slot ->
+          profile.(slot) <- profile.(slot) +. ipk))
+    gates;
+  profile
+
+let count_profile ch gates =
+  let profile = Array.make (Charac.depth ch + 1) 0 in
+  Array.iter
+    (fun g ->
+      Charac.iter_switch_slots ch g (fun slot ->
+          profile.(slot) <- profile.(slot) + 1))
+    gates;
+  profile
+
+let max_transient_current ch gates =
+  Array.fold_left Stdlib.max 0.0 (current_profile ch gates)
+
+let leakage ch gates =
+  Array.fold_left (fun acc g -> acc +. Charac.leakage ch g) 0.0 gates
+
+let rail_capacitance ch gates =
+  Array.fold_left (fun acc g -> acc +. Charac.rail_capacitance ch g) 0.0 gates
+
+let discriminability ch gates =
+  let nd = leakage ch gates in
+  if nd <= 0.0 then infinity
+  else (Charac.technology ch).Technology.iddq_threshold /. nd

@@ -1,0 +1,30 @@
+(** Module-level transient-current estimators (paper §3.1).
+
+    The maximum transient current of a group of gates is estimated by
+    the pessimistic rule of the paper: all gates of the group that
+    share a possible transition time switch together, and their peak
+    currents add:
+    [î_DD,max(M) = max over t of sum over g in M with t in T(g) of
+    i_peak(g)]. *)
+
+val current_profile : Charac.t -> int array -> float array
+(** [current_profile ch gates].(t) is the summed peak current of the
+    group's gates that can switch at slot [t] (index 0 unused — gates
+    switch at slots [1 .. depth]). *)
+
+val count_profile : Charac.t -> int array -> int array
+(** Same, counting gates instead of summing current: the activity
+    n(t) used by the delay-degradation model. *)
+
+val max_transient_current : Charac.t -> int array -> float
+(** [max over t] of {!current_profile}; 0 for an empty group. *)
+
+val leakage : Charac.t -> int array -> float
+(** Non-defective quiescent current I_DDQ,nd of the group. *)
+
+val rail_capacitance : Charac.t -> int array -> float
+(** Parasitic capacitance the group's gates put on the shared virtual
+    rail (excluding the sensor's own contribution). *)
+
+val discriminability : Charac.t -> int array -> float
+(** [d(M) = I_DDQ,th / I_DDQ,nd(M)]; [infinity] for an empty group. *)

@@ -1,0 +1,117 @@
+module Circuit = Iddq_netlist.Circuit
+module Technology = Iddq_celllib.Technology
+
+let arrival_times ch ~gate_delay =
+  let c = Charac.circuit ch in
+  let arr = Array.make (Charac.num_gates ch) 0.0 in
+  Circuit.iter_gates c (fun g _ fanins ->
+      let latest =
+        Array.fold_left
+          (fun acc src ->
+            if Circuit.is_input c src then acc
+            else Stdlib.max acc arr.(Circuit.gate_of_node c src))
+          0.0 fanins
+      in
+      arr.(g) <- latest +. gate_delay g);
+  arr
+
+let longest_path ch ~gate_delay =
+  let c = Charac.circuit ch in
+  let arr = arrival_times ch ~gate_delay in
+  Array.fold_left
+    (fun acc id ->
+      if Circuit.is_gate c id then
+        Stdlib.max acc arr.(Circuit.gate_of_node c id)
+      else acc)
+    0.0 (Circuit.outputs c)
+
+let nominal_delay ch = longest_path ch ~gate_delay:(Charac.delay ch)
+
+let critical_path ch ~gate_delay =
+  let c = Charac.circuit ch in
+  let arr = arrival_times ch ~gate_delay in
+  (* end of the path: the latest-arriving output gate *)
+  let last =
+    Array.fold_left
+      (fun acc id ->
+        if Circuit.is_gate c id then begin
+          let g = Circuit.gate_of_node c id in
+          match acc with
+          | Some best when arr.(best) >= arr.(g) -> acc
+          | Some _ | None -> Some g
+        end
+        else acc)
+      None (Circuit.outputs c)
+  in
+  (* walk backwards through the latest-arriving gate fanin each time *)
+  let rec walk g acc =
+    let acc = g :: acc in
+    let pred =
+      Array.fold_left
+        (fun best h ->
+          match best with
+          | Some b when arr.(b) >= arr.(h) -> best
+          | Some _ | None -> Some h)
+        None
+        (Circuit.gate_fanin_gates c g)
+    in
+    match pred with None -> acc | Some p -> walk p acc
+  in
+  match last with None -> [] | Some g -> walk g []
+
+let slacks ch ~gate_delay =
+  let c = Charac.circuit ch in
+  let n = Charac.num_gates ch in
+  let arr = arrival_times ch ~gate_delay in
+  let total =
+    Array.fold_left
+      (fun acc id ->
+        if Circuit.is_gate c id then Stdlib.max acc arr.(Circuit.gate_of_node c id)
+        else acc)
+      0.0 (Circuit.outputs c)
+  in
+  (* required time at each gate's *output*, computed in reverse
+     topological order: outputs are required at [total]; an internal
+     gate must settle before every reader's required time minus that
+     reader's own delay. *)
+  let required = Array.make n infinity in
+  Array.iter
+    (fun id ->
+      if Circuit.is_gate c id then required.(Circuit.gate_of_node c id) <- total)
+    (Circuit.outputs c);
+  for g = n - 1 downto 0 do
+    Array.iter
+      (fun reader ->
+        let candidate = required.(reader) -. gate_delay reader in
+        if candidate < required.(g) then required.(g) <- candidate)
+      (Circuit.gate_fanout_gates c g)
+  done;
+  Array.init n (fun g ->
+      if required.(g) = infinity then
+        (* dead-end gate driving no output: unconstrained *)
+        total -. arr.(g)
+      else required.(g) -. arr.(g))
+
+let degradation_factor ~vdd ~rs ~cs ~rg ~cg ~transient_current =
+  let bounce = rs *. transient_current in
+  let tau_s = rs *. cs and tau_g = rg *. cg in
+  let overlap =
+    if tau_s +. tau_g <= 0.0 then 0.0 else tau_s /. (tau_s +. tau_g)
+  in
+  let loss = bounce /. vdd in
+  1.0 +. (loss *. loss *. overlap)
+
+let bic_delay ch ~module_of_gate ~rs_of_module ~cs_of_module ~module_current =
+  let vdd = (Charac.technology ch).Technology.vdd in
+  let gate_delay g =
+    let m = module_of_gate.(g) in
+    let t = Charac.gate_depth ch g in
+    let delta =
+      degradation_factor ~vdd ~rs:(rs_of_module m) ~cs:(cs_of_module m)
+        ~rg:(Charac.drive_resistance ch g)
+        ~cg:(Charac.output_capacitance ch g)
+        ~transient_current:(module_current m t)
+    in
+    Charac.delay ch g *. delta
+  in
+  longest_path ch ~gate_delay

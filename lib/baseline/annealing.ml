@@ -1,0 +1,73 @@
+module Rng = Iddq_util.Rng
+module Partition = Iddq_core.Partition
+module Cost = Iddq_core.Cost
+
+type params = { initial_temperature : float; cooling : float; steps : int }
+
+let default_params =
+  { initial_temperature = 5.0; cooling = 0.999; steps = 20_000 }
+
+let check_params p =
+  if p.initial_temperature <= 0.0 then invalid_arg "Annealing: T0 <= 0";
+  if p.cooling <= 0.0 || p.cooling >= 1.0 then
+    invalid_arg "Annealing: cooling must be in (0,1)";
+  if p.steps < 1 then invalid_arg "Annealing: steps < 1"
+
+(* Propose moving one random boundary gate to a random neighbouring
+   module; returns the undo information, or None if no move exists. *)
+let propose rng p =
+  if Partition.num_modules p < 2 then None
+  else begin
+    let rec try_module tries =
+      if tries = 0 then None
+      else begin
+        let src = Rng.choose_list rng (Partition.module_ids p) in
+        let boundary = Partition.boundary_gates p src in
+        (* keep every move reversible: never empty the source module *)
+        if Array.length boundary = 0 || Partition.size p src = 1 then
+          try_module (tries - 1)
+        else begin
+          let g = Rng.choose rng boundary in
+          match Partition.neighbour_modules p g with
+          | [] -> try_module (tries - 1)
+          | targets ->
+            let target = Rng.choose_list rng targets in
+            Partition.move_gate p g target;
+            Some (g, src)
+        end
+      end
+    in
+    try_module 8
+  end
+
+let optimize ?weights ?(params = default_params) ~rng start =
+  check_params params;
+  let cost p = (Cost.evaluate ?weights p).Cost.penalized in
+  let current = Partition.copy start in
+  let current_cost = ref (cost current) in
+  let best = ref (Partition.copy current) in
+  let best_cost = ref !current_cost in
+  let temperature = ref params.initial_temperature in
+  for _ = 1 to params.steps do
+    (match propose rng current with
+    | None -> ()
+    | Some (g, src) ->
+      let candidate_cost = cost current in
+      let delta = candidate_cost -. !current_cost in
+      let accept =
+        delta <= 0.0
+        || Rng.float rng 1.0 < exp (-.delta /. !temperature)
+      in
+      if accept then begin
+        current_cost := candidate_cost;
+        if candidate_cost < !best_cost then begin
+          best := Partition.copy current;
+          best_cost := candidate_cost
+        end
+      end
+      else
+        (* undo; the proposal never empties the source, so it is alive *)
+        Partition.move_gate current g src);
+    temperature := !temperature *. params.cooling
+  done;
+  (!best, Cost.evaluate ?weights !best)

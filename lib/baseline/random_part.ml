@@ -1,0 +1,13 @@
+module Rng = Iddq_util.Rng
+module Charac = Iddq_analysis.Charac
+module Partition = Iddq_core.Partition
+
+let partition ~rng ch ~num_modules =
+  let n = Charac.num_gates ch in
+  if num_modules < 1 || num_modules > n then
+    invalid_arg "Random_part.partition: bad module count";
+  let order = Array.init n Fun.id in
+  Rng.shuffle_in_place rng order;
+  let assignment = Array.make n 0 in
+  Array.iteri (fun i g -> assignment.(g) <- i mod num_modules) order;
+  Partition.create ch ~assignment

@@ -1,0 +1,9 @@
+(** Uniform random partitioning: the weakest comparator for the
+    optimizer ablation — gates are dealt into [num_modules] near-equal
+    modules with no regard for structure. *)
+
+val partition :
+  rng:Iddq_util.Rng.t ->
+  Iddq_analysis.Charac.t ->
+  num_modules:int ->
+  Iddq_core.Partition.t

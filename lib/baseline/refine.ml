@@ -1,0 +1,35 @@
+module Partition = Iddq_core.Partition
+module Cost = Iddq_core.Cost
+
+let optimize ?weights ?(max_passes = 20) start =
+  let cost p = (Cost.evaluate ?weights p).Cost.penalized in
+  let p = Partition.copy start in
+  let current = ref (cost p) in
+  let improved = ref true in
+  let passes = ref 0 in
+  while !improved && !passes < max_passes do
+    improved := false;
+    incr passes;
+    List.iter
+      (fun m ->
+        (* the boundary is recomputed per module; gates moved earlier
+           in the pass are naturally skipped by the membership check *)
+        Array.iter
+          (fun g ->
+            if Partition.module_of_gate p g = m && Partition.size p m > 1 then
+              List.iter
+                (fun target ->
+                  if Partition.module_of_gate p g = m then begin
+                    Partition.move_gate p g target;
+                    let candidate = cost p in
+                    if candidate < !current then begin
+                      current := candidate;
+                      improved := true
+                    end
+                    else Partition.move_gate p g m
+                  end)
+                (Partition.neighbour_modules p g))
+          (Partition.boundary_gates p m))
+      (Partition.module_ids p)
+  done;
+  (p, Cost.evaluate ?weights p)

@@ -1,0 +1,11 @@
+(** Greedy first-improvement refinement (Kernighan–Lin-flavoured
+    ablation comparator): repeatedly scan the boundary gates and apply
+    any single-gate move that lowers the penalized cost, until a full
+    scan finds none or the pass budget is exhausted. *)
+
+val optimize :
+  ?weights:Iddq_core.Cost.weights ->
+  ?max_passes:int ->
+  Iddq_core.Partition.t ->
+  Iddq_core.Partition.t * Iddq_core.Cost.breakdown
+(** Deterministic.  Default [max_passes] is 20.  Works on a copy. *)

@@ -1,0 +1,102 @@
+module Charac = Iddq_analysis.Charac
+module Graph_algo = Iddq_netlist.Graph_algo
+module Partition = Iddq_core.Partition
+
+(* Summed separation from [g] to every gate satisfying [keep]. *)
+let summed_separation u ~cutoff g ~keep =
+  let sep = Graph_algo.separations_from u ~cutoff g in
+  let total = ref 0 in
+  Array.iteri (fun h s -> if keep h then total := !total + s) sep;
+  !total
+
+let partition ch ~module_sizes =
+  let n = Charac.num_gates ch in
+  if List.exists (fun s -> s <= 0) module_sizes then
+    invalid_arg "Standard.partition: non-positive module size";
+  if List.fold_left ( + ) 0 module_sizes <> n then
+    invalid_arg "Standard.partition: sizes must sum to the gate count";
+  let u = Charac.undirected ch in
+  let cutoff = Charac.separation_cutoff ch in
+  let assignment = Array.make n (-1) in
+  let free g = assignment.(g) < 0 in
+  (* dist_sum.(g): summed separation from free gate g to the gates
+     already clustered into the module under construction *)
+  let dist_sum = Array.make n 0 in
+  let seed_gate () =
+    (* free gate as near to a primary input as possible *)
+    let best = ref (-1) and best_depth = ref max_int in
+    for g = 0 to n - 1 do
+      if free g && Charac.gate_depth ch g < !best_depth then begin
+        best := g;
+        best_depth := Charac.gate_depth ch g
+      end
+    done;
+    !best
+  in
+  let add_to_module m g =
+    assignment.(g) <- m;
+    (* the new member contributes its distances to all still-free gates *)
+    let sep = Graph_algo.separations_from u ~cutoff g in
+    for h = 0 to n - 1 do
+      if free h then dist_sum.(h) <- dist_sum.(h) + sep.(h)
+    done
+  in
+  let next_gate () =
+    let best = ref (-1) and best_sum = ref max_int in
+    let ties = ref [] in
+    for g = 0 to n - 1 do
+      if free g then begin
+        if dist_sum.(g) < !best_sum then begin
+          best := g;
+          best_sum := dist_sum.(g);
+          ties := [ g ]
+        end
+        else if dist_sum.(g) = !best_sum then ties := g :: !ties
+      end
+    done;
+    match !ties with
+    | [] -> !best
+    | [ g ] -> g
+    | candidates ->
+      (* tie-break: maximal summed path length to the unclustered.
+         Huge tie sets arise while everything is beyond the cutoff;
+         scoring a bounded, deterministic sample keeps this O(1) BFS
+         per addition without changing the typical choice. *)
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      let candidates = take 16 (List.rev candidates) in
+      let score g =
+        summed_separation u ~cutoff g ~keep:(fun h -> free h && h <> g)
+      in
+      let rec argmax best best_score = function
+        | [] -> best
+        | g :: rest ->
+          let s = score g in
+          if s > best_score then argmax g s rest else argmax best best_score rest
+      in
+      argmax !best min_int candidates
+  in
+  List.iteri
+    (fun m size ->
+      Array.fill dist_sum 0 n 0;
+      let seed = seed_gate () in
+      add_to_module m seed;
+      for _ = 2 to size do
+        let g = next_gate () in
+        add_to_module m g
+      done)
+    module_sizes;
+  Partition.create ch ~assignment
+
+let partition_uniform ch ~num_modules =
+  let n = Charac.num_gates ch in
+  if num_modules < 1 || num_modules > n then
+    invalid_arg "Standard.partition_uniform: bad module count";
+  let base = n / num_modules and extra = n mod num_modules in
+  let sizes =
+    List.init num_modules (fun i -> base + if i < extra then 1 else 0)
+  in
+  partition ch ~module_sizes:sizes

@@ -1,0 +1,20 @@
+(** The paper's "standard partitioning" comparison method (§5).
+
+    Each module starts from a free gate as near to a primary input as
+    possible and grows to a specified size; the gate added next is the
+    free gate whose summed path length to the gates already clustered
+    is minimal, with ties broken by the maximal summed path length to
+    the gates not yet clustered — producing modules whose gates are
+    connected most closely.  Path lengths use the same undirected
+    separation metric (cutoff [p]) as the cost function. *)
+
+val partition :
+  Iddq_analysis.Charac.t -> module_sizes:int list -> Iddq_core.Partition.t
+(** [partition ch ~module_sizes] builds one module per listed size, in
+    order; the sizes must be positive and sum to the gate count
+    ("in our case we take the numbers obtained by the evolution based
+    algorithm").  Raises [Invalid_argument] otherwise. *)
+
+val partition_uniform :
+  Iddq_analysis.Charac.t -> num_modules:int -> Iddq_core.Partition.t
+(** Same, with [num_modules] near-equal sizes. *)

@@ -1,0 +1,16 @@
+module Technology = Iddq_celllib.Technology
+module Switching = Iddq_analysis.Switching
+
+type verdict = Pass | Fail
+
+let verdict_to_string = function Pass -> "PASS" | Fail -> "FAIL"
+
+let strobe tech ~measured_current =
+  if measured_current >= tech.Technology.iddq_threshold then Fail else Pass
+
+let margin tech ~measured_current =
+  let th = tech.Technology.iddq_threshold in
+  (th -. measured_current) /. th
+
+let module_quiescent ch gates ~extra_defect_current =
+  Switching.leakage ch gates +. extra_defect_current

@@ -1,0 +1,24 @@
+(** PASS/FAIL detection behaviour of a BIC sensor (paper Fig. 1).
+
+    During test, after the transient has settled, the bypass switch is
+    opened and the sensing device converts the module's quiescent
+    current into a voltage compared against the threshold: the sensor
+    reports [Fail] when the sensed current is at or above
+    [I_DDQ,th]. *)
+
+type verdict = Pass | Fail
+
+val verdict_to_string : verdict -> string
+
+val strobe : Iddq_celllib.Technology.t -> measured_current:float -> verdict
+(** One measurement against the technology threshold. *)
+
+val margin : Iddq_celllib.Technology.t -> measured_current:float -> float
+(** Signed distance to the threshold in threshold units:
+    [(I_th - I) / I_th]; positive means a comfortable PASS, negative a
+    FAIL. *)
+
+val module_quiescent :
+  Iddq_analysis.Charac.t -> int array -> extra_defect_current:float -> float
+(** Quiescent current a sensor sees: the module's non-defective
+    leakage plus any activated defect current. *)

@@ -1,0 +1,54 @@
+module Technology = Iddq_celllib.Technology
+
+type session = { members : int list }
+type t = { sessions : session list; vector_time : float }
+
+let session_settling tech sensors session =
+  List.fold_left
+    (fun acc m ->
+      let s = List.assoc m sensors in
+      Stdlib.max acc (Test_time.settling tech s))
+    0.0 session.members
+
+let finish ~technology ~d_bic sensors sessions =
+  let time =
+    List.fold_left
+      (fun acc session -> acc +. session_settling technology sensors session)
+      d_bic sessions
+  in
+  { sessions; vector_time = time }
+
+let schedule ~technology ~d_bic ~budget sensors =
+  if budget <= 0.0 then invalid_arg "Schedule.schedule: budget must be positive";
+  (* first-fit decreasing on the sensors' design peak currents *)
+  let sorted =
+    List.sort
+      (fun (_, a) (_, b) ->
+        Float.compare b.Sensor.peak_current a.Sensor.peak_current)
+      sensors
+  in
+  let bins = ref [] in
+  (* (remaining budget, members-reversed) list *)
+  List.iter
+    (fun (m, s) ->
+      let need = s.Sensor.peak_current in
+      let rec place = function
+        | [] -> [ (budget -. need, [ m ]) ]
+        | (room, members) :: rest when room >= need ->
+          (room -. need, m :: members) :: rest
+        | bin :: rest -> bin :: place rest
+      in
+      bins := place !bins)
+    sorted;
+  let sessions =
+    List.map (fun (_, members) -> { members = List.rev members }) !bins
+  in
+  finish ~technology ~d_bic sensors sessions
+
+let serial ~technology ~d_bic sensors =
+  finish ~technology ~d_bic sensors
+    (List.map (fun (m, _) -> { members = [ m ] }) sensors)
+
+let parallel ~technology ~d_bic sensors =
+  finish ~technology ~d_bic sensors
+    [ { members = List.map fst sensors } ]

@@ -1,0 +1,38 @@
+(** Measurement scheduling across modules.
+
+    Strobing every BIC sensor in parallel is fastest, but each open
+    bypass switch lets its module's residual transient wiggle the
+    sensing node: test engineers often bound how much total sensed
+    current may be measured simultaneously (resolution/noise budget of
+    the shared detection comparators).  This scheduler packs module
+    measurements into sessions under such a budget; one test vector
+    then costs [sessions * (D_BIC + settling of the slowest sensor in
+    its session)] in the worst case, interpolating between the paper's
+    fully parallel model and a fully serial measurement. *)
+
+type session = { members : int list;  (** Module ids measured together. *) }
+
+type t = {
+  sessions : session list;
+  vector_time : float;  (** Time to apply one vector and run all sessions (s). *)
+}
+
+val schedule :
+  technology:Iddq_celllib.Technology.t ->
+  d_bic:float ->
+  budget:float ->
+  (int * Sensor.t) list ->
+  t
+(** [schedule ~technology ~d_bic ~budget sensors] first-fit-decreasing
+    packs modules so that each session's summed design peak current
+    ({!Sensor.t}[.peak_current]) stays within [budget]; a module whose
+    own peak exceeds the budget gets a session of its own.  The first
+    session includes the vector's settling; later sessions only pay
+    their own settling (the logic is already quiet).  An infinite
+    budget yields one session = the paper's parallel model. *)
+
+val serial : technology:Iddq_celllib.Technology.t -> d_bic:float -> (int * Sensor.t) list -> t
+(** One module per session. *)
+
+val parallel : technology:Iddq_celllib.Technology.t -> d_bic:float -> (int * Sensor.t) list -> t
+(** Everything in one session — {!Test_time.per_vector} semantics. *)

@@ -1,0 +1,40 @@
+module Technology = Iddq_celllib.Technology
+module Charac = Iddq_analysis.Charac
+module Switching = Iddq_analysis.Switching
+
+type t = {
+  rs : float;
+  cs : float;
+  area : float;
+  tau : float;
+  peak_current : float;
+}
+
+let max_rs = 1.0e5
+
+let size ~technology ~peak_current ~module_rail_capacitance =
+  let budget = technology.Technology.rail_budget in
+  let rs =
+    if peak_current <= 0.0 then max_rs
+    else Stdlib.min max_rs (budget /. peak_current)
+  in
+  let cs =
+    module_rail_capacitance +. technology.Technology.sensor_rail_capacitance
+  in
+  let area =
+    technology.Technology.sensor_area_fixed
+    +. (technology.Technology.sensor_area_conductance /. rs)
+  in
+  { rs; cs; area; tau = rs *. cs; peak_current }
+
+let for_module ch gates =
+  size
+    ~technology:(Charac.technology ch)
+    ~peak_current:(Switching.max_transient_current ch gates)
+    ~module_rail_capacitance:(Switching.rail_capacitance ch gates)
+
+let rail_perturbation t ~current = t.rs *. current
+
+let pp fmt t =
+  Format.fprintf fmt "{rs=%.1fohm cs=%.3eF area=%.3e tau=%.3es imax=%.3eA}"
+    t.rs t.cs t.area t.tau t.peak_current

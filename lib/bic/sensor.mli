@@ -1,0 +1,39 @@
+(** BIC sensor sizing and area model (paper §3.1, Fig. 1).
+
+    One sensor per module: a sensing device in the virtual-ground
+    rail, a bypass MOS switch closed during normal operation, and
+    detection circuitry producing PASS/FAIL.  The bypass switch is
+    sized so the worst-case rail bounce stays within the budget:
+    [R_s = r* / î_DD,max]; smaller [R_s] (bigger switch) costs area:
+    [A = A0 + A1 / R_s]. *)
+
+type t = {
+  rs : float;  (** Bypass ON resistance (ohm). *)
+  cs : float;  (** Total virtual-rail capacitance: module + sensor (F). *)
+  area : float;  (** Sensor area, [A0 + A1 / R_s] (units). *)
+  tau : float;  (** Sensing time constant [R_s * C_s] (s). *)
+  peak_current : float;  (** The î_DD,max the switch was sized for (A). *)
+}
+
+val size :
+  technology:Iddq_celllib.Technology.t ->
+  peak_current:float ->
+  module_rail_capacitance:float ->
+  t
+(** Sizes a sensor for a module with the given estimated maximum
+    transient current and rail capacitance.  [peak_current] may be 0
+    (empty module): the switch degenerates to minimum size, i.e.
+    [R_s] is clipped to {!max_rs}. *)
+
+val max_rs : float
+(** Upper clip on [R_s] (a minimum-size bypass device exists even for
+    currentless modules). *)
+
+val for_module : Iddq_analysis.Charac.t -> int array -> t
+(** Convenience: estimate the module quantities with
+    {!Iddq_analysis.Switching} and size the sensor. *)
+
+val rail_perturbation : t -> current:float -> float
+(** [rs * current]: the bounce a given transient current causes. *)
+
+val pp : Format.formatter -> t -> unit

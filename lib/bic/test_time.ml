@@ -1,0 +1,16 @@
+module Technology = Iddq_celllib.Technology
+
+let settling tech sensor =
+  tech.Technology.settling_decades *. sensor.Sensor.tau
+
+let per_vector tech ~d_bic sensors =
+  let worst =
+    List.fold_left (fun acc s -> Stdlib.max acc (settling tech s)) 0.0 sensors
+  in
+  d_bic +. worst
+
+let total tech ~d_bic ~vectors sensors =
+  float_of_int vectors *. per_vector tech ~d_bic sensors
+
+let summed_module_times tech ~d_bic sensors =
+  List.fold_left (fun acc s -> acc +. d_bic +. settling tech s) 0.0 sensors

@@ -1,0 +1,29 @@
+(** Test-application-time model (paper §3.4).
+
+    With BIC sensors, applying one test vector costs the degraded
+    circuit delay [D_BIC] plus the IDDQ settling-and-sensing time
+    [Delta(tau_i)] of the measured module: the transient i_DD must
+    decay below the detection threshold before the bypass switch is
+    opened and the sensing device read.  The paper characterizes
+    [Delta] from SPICE runs as a function of the sensor time constant
+    [tau = R_s * C_s]; we use the analytic exponential-settling form
+    [Delta(tau) = k * tau] with [k = settling_decades =
+    ln(I_peak / I_th)]. *)
+
+val settling : Iddq_celllib.Technology.t -> Sensor.t -> float
+(** [Delta(tau)] for one sensor (s). *)
+
+val per_vector :
+  Iddq_celllib.Technology.t -> d_bic:float -> Sensor.t list -> float
+(** Time to apply one vector and strobe every sensor: all modules are
+    measured in parallel, so the vector costs
+    [d_bic + max_i Delta(tau_i)].  [d_bic] alone when no sensors. *)
+
+val total :
+  Iddq_celllib.Technology.t -> d_bic:float -> vectors:int -> Sensor.t list -> float
+(** [vectors * per_vector]. *)
+
+val summed_module_times :
+  Iddq_celllib.Technology.t -> d_bic:float -> Sensor.t list -> float
+(** [sum_i (d_bic + Delta(tau_i))] — the per-module measurement times
+    the cost estimator [c4] aggregates (DESIGN.md §2). *)

@@ -1,0 +1,32 @@
+module Technology = Iddq_celllib.Technology
+
+type kind = Bypass_mos | Pn_junction | Proportional
+
+let all = [ Bypass_mos; Pn_junction; Proportional ]
+
+let to_string = function
+  | Bypass_mos -> "bypass-mos"
+  | Pn_junction -> "pn-junction"
+  | Proportional -> "proportional"
+
+let junction_drop = 0.5
+
+let technology_for tech = function
+  | Bypass_mos -> tech
+  | Pn_junction ->
+    {
+      tech with
+      Technology.rail_budget = junction_drop;
+      (* no bypass switch to size: only the detection circuitry and a
+         minimum-size junction remain (modelled by a tiny residual
+         conductance coefficient so R_s bookkeeping stays finite) *)
+      sensor_area_conductance = tech.Technology.sensor_area_conductance /. 100.0;
+      settling_decades = tech.Technology.settling_decades *. 0.7;
+    }
+  | Proportional ->
+    {
+      tech with
+      Technology.sensor_area_fixed = tech.Technology.sensor_area_fixed *. 2.0;
+      sensor_area_conductance = tech.Technology.sensor_area_conductance *. 0.6;
+      settling_decades = tech.Technology.settling_decades *. 0.5;
+    }

@@ -1,0 +1,34 @@
+(** Alternative BIC sensing devices.
+
+    The paper (§1) notes that "several sensing devices can be used,
+    each with its advantages and disadvantages" and cites three
+    families; each is modelled here as a transformation of the
+    technology constants so the whole synthesis pipeline runs
+    unchanged per variant:
+
+    - {!Bypass_mos} — the paper's Fig. 1 device: a sensing element
+      with a parallel bypass switch sized to the rail budget.  The
+      baseline ({!Iddq_celllib.Technology.default} as-is).
+    - {!Pn_junction} — a diode (or bipolar) element in the rail with
+      {e no} bypass: no conductance-proportional area at all, but the
+      rail sees the full junction drop (~0.5 V) during every
+      transient — the delay/noise-margin problem that motivated
+      bypassed sensors (paper refs [8,9]).
+    - {!Proportional} — the proportional current sensor of Rius &
+      Figueras (JETTA 1992, paper ref [9]): a larger detection
+      front-end buys a more conductance-efficient branch and roughly
+      halves the settling time. *)
+
+type kind = Bypass_mos | Pn_junction | Proportional
+
+val all : kind list
+val to_string : kind -> string
+
+val technology_for :
+  Iddq_celllib.Technology.t -> kind -> Iddq_celllib.Technology.t
+(** The variant's technology constants: [Bypass_mos] is the identity;
+    [Pn_junction] zeroes the conductance area term (a minimum-size
+    sensing junction), fixes the rail perturbation at the junction
+    drop of 0.5 V and settles fastest; [Proportional] pays 2x the
+    fixed detection area for 0.6x the conductance area and 0.5x the
+    settling constant. *)

@@ -1,0 +1,43 @@
+type t = {
+  peak_current : float;
+  leakage : float;
+  delay : float;
+  drive_resistance : float;
+  output_capacitance : float;
+  rail_capacitance : float;
+  area : float;
+}
+
+let low_power_variant cell =
+  {
+    peak_current = cell.peak_current *. 0.55;
+    leakage = cell.leakage *. 0.85;
+    delay = cell.delay *. 1.5;
+    drive_resistance = cell.drive_resistance *. 1.8;
+    output_capacitance = cell.output_capacitance;
+    rail_capacitance = cell.rail_capacitance *. 0.9;
+    area = cell.area *. 0.85;
+  }
+
+let scale_for_fanin cell n =
+  let base = 2 in
+  if n <= base then cell
+  else begin
+    let extra = float_of_int (n - base) in
+    {
+      peak_current = cell.peak_current *. (1.0 +. (0.15 *. extra));
+      leakage = cell.leakage *. (1.0 +. (0.20 *. extra));
+      delay = cell.delay *. (1.0 +. (0.25 *. extra));
+      drive_resistance = cell.drive_resistance *. (1.0 +. (0.10 *. extra));
+      output_capacitance = cell.output_capacitance *. (1.0 +. (0.10 *. extra));
+      rail_capacitance = cell.rail_capacitance *. (1.0 +. (0.20 *. extra));
+      area = cell.area *. (1.0 +. (0.30 *. extra));
+    }
+  end
+
+let pp fmt c =
+  Format.fprintf fmt
+    "{ipeak=%.3eA leak=%.3eA delay=%.3es rg=%.1fohm cg=%.3eF crail=%.3eF \
+     area=%.1f}"
+    c.peak_current c.leakage c.delay c.drive_resistance c.output_capacitance
+    c.rail_capacitance c.area

@@ -1,0 +1,39 @@
+(** Electrical characterization of one library cell.
+
+    The paper assumes "a target cell library fully characterized at
+    electrical level"; these are exactly the per-cell scalars its
+    estimators consume.  Units are SI (amperes, seconds, ohms,
+    farads); cell area is in technology-relative units, matching the
+    paper's "units whose actual size depends on technology". *)
+
+type t = {
+  peak_current : float;
+      (** Maximum transient supply current drawn while the cell
+          switches (A). *)
+  leakage : float;
+      (** Non-defective quiescent current contribution, I_DDQ (A). *)
+  delay : float;  (** Nominal propagation delay D(g) (s). *)
+  drive_resistance : float;
+      (** R_g: average equivalent ON resistance of the discharging
+          network (ohm). *)
+  output_capacitance : float;  (** C_g: equivalent output load (F). *)
+  rail_capacitance : float;
+      (** Parasitic capacitance the cell adds to the virtual rail
+          (junctions on the sources tied to virtual ground) (F). *)
+  area : float;  (** Cell area (relative units). *)
+}
+
+val low_power_variant : t -> t
+(** The low-drive version of a cell, as offered by dual-drive
+    libraries: the output stage is weaker, so the switching transient
+    peak drops (x0.55) at the price of a slower transition (x1.5) and
+    a higher effective drive resistance; quiescent leakage drops
+    slightly (longer channel), and the cell is marginally smaller. *)
+
+val scale_for_fanin : t -> int -> t
+(** [scale_for_fanin cell n] derates a characterized 2-input (or
+    1-input for inverting buffers) cell to an [n]-input instance:
+    stacked transistors slow the cell and raise its capacitances and
+    currents roughly linearly in the extra inputs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** Cell-library files: a small INI-style format so downstream users
+    can characterize their own technology without recompiling.
+
+    {v
+    # my 0.8um library
+    [technology]
+    vdd = 5.0
+    iddq_threshold = 1e-6
+    required_discriminability = 10
+    rail_budget = 0.2
+    separation_cutoff = 6
+    sensor_area_fixed = 2e4
+    sensor_area_conductance = 1e7
+    sensor_rail_capacitance = 2e-12
+    settling_decades = 9.2
+
+    [NAND]
+    peak_current = 0.6e-3
+    leakage = 0.12e-9
+    delay = 0.8e-9
+    drive_resistance = 4200
+    output_capacitance = 0.18e-12
+    rail_capacitance = 0.05e-12
+    area = 4
+    v}
+
+    Every gate kind needs a section with all seven cell fields; the
+    [technology] section accepts the nine technology fields.  Missing
+    technology keys fall back to {!Technology.default}; missing cell
+    sections or fields are errors. *)
+
+val parse_string : ?name:string -> string -> (Library.t, string) result
+val parse_file : string -> (Library.t, string) result
+
+val to_string : Library.t -> string
+(** [parse_string (to_string lib)] reproduces the library. *)
+
+val write_file : string -> Library.t -> unit

@@ -1,0 +1,49 @@
+type t = {
+  vdd : float;
+  iddq_threshold : float;
+  required_discriminability : float;
+  rail_budget : float;
+  separation_cutoff : int;
+  sensor_area_fixed : float;
+  sensor_area_conductance : float;
+  sensor_rail_capacitance : float;
+  settling_decades : float;
+}
+
+let default =
+  {
+    vdd = 5.0;
+    iddq_threshold = 1.0e-6;
+    required_discriminability = 10.0;
+    rail_budget = 0.2;
+    separation_cutoff = 6;
+    sensor_area_fixed = 2.0e4;
+    sensor_area_conductance = 1.0e7;
+    sensor_rail_capacitance = 2.0e-12;
+    settling_decades = 9.2;
+    (* ln(1e4): a ~10 mA transient decaying below a 1 uA threshold *)
+  }
+
+let validate t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if t.vdd <= 0.0 then err "vdd must be positive"
+  else if t.iddq_threshold <= 0.0 then err "iddq_threshold must be positive"
+  else if t.required_discriminability < 1.0 then
+    err "required_discriminability must be >= 1"
+  else if t.rail_budget <= 0.0 || t.rail_budget >= t.vdd then
+    err "rail_budget must be in (0, vdd)"
+  else if t.separation_cutoff < 1 then err "separation_cutoff must be >= 1"
+  else if t.sensor_area_fixed < 0.0 || t.sensor_area_conductance <= 0.0 then
+    err "sensor area model coefficients out of range"
+  else if t.sensor_rail_capacitance < 0.0 then
+    err "sensor_rail_capacitance must be >= 0"
+  else if t.settling_decades <= 0.0 then err "settling_decades must be positive"
+  else Ok ()
+
+let pp fmt t =
+  Format.fprintf fmt
+    "{vdd=%.1fV ith=%.2eA d=%.1f r*=%.2fV p=%d A0=%.2e A1=%.2e Cs0=%.2eF \
+     k=%.1f}"
+    t.vdd t.iddq_threshold t.required_discriminability t.rail_budget
+    t.separation_cutoff t.sensor_area_fixed t.sensor_area_conductance
+    t.sensor_rail_capacitance t.settling_decades

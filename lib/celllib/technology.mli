@@ -1,0 +1,44 @@
+(** Technology-level parameters of the IDDQ test strategy.
+
+    These are the knobs the paper's constraints and estimators use:
+    the detection threshold I_DDQ,th, the required discriminability
+    [d], the virtual-rail perturbation budget [r*], the separation
+    cutoff [p], and the BIC sensor area model [A0 + A1 / R_s]. *)
+
+type t = {
+  vdd : float;  (** Supply voltage (V). *)
+  iddq_threshold : float;
+      (** I_DDQ,th: smallest defective current that must be flagged
+          (A); the paper's typical value is 1 uA. *)
+  required_discriminability : float;
+      (** d: required I_DDQ,th / I_DDQ,nd ratio per module, >= 1;
+          typically 10. *)
+  rail_budget : float;
+      (** r*: maximum allowed virtual-rail perturbation (V),
+          100-300 mV in the paper. *)
+  separation_cutoff : int;
+      (** p: forced value of the separation parameter for distant or
+          disconnected gate pairs. *)
+  sensor_area_fixed : float;
+      (** A0: area of the detection circuitry (units). *)
+  sensor_area_conductance : float;
+      (** A1: area per siemens of bypass conductance; the bypass and
+          sensing devices cost [A1 / R_s] units. *)
+  sensor_rail_capacitance : float;
+      (** Intrinsic capacitance the sensor itself adds to the virtual
+          rail (F). *)
+  settling_decades : float;
+      (** Multiplier k in the settling model Delta(tau) = k * tau:
+          the number of time constants for i_DD to decay from its
+          transient peak below I_DDQ,th (from SPICE in the paper,
+          analytic ln(I_peak / I_th) here). *)
+}
+
+val default : t
+(** 5 V, 1 uA threshold, d = 10, r* = 200 mV, p = 6; sensor area
+    A0 = 2.0e4 units, A1 = 1.0e7 units per siemens. *)
+
+val validate : t -> (unit, string) result
+(** Positivity / range checks. *)
+
+val pp : Format.formatter -> t -> unit

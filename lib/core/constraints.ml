@@ -1,0 +1,22 @@
+module Charac = Iddq_analysis.Charac
+module Technology = Iddq_celllib.Technology
+
+type violation = { module_id : int; got : float; required : float }
+
+let required p =
+  (Charac.technology (Partition.charac p)).Technology.required_discriminability
+
+let check p =
+  let req = required p in
+  List.filter_map
+    (fun m ->
+      let got = Partition.discriminability p m in
+      if got < req then Some { module_id = m; got; required = req } else None)
+    (Partition.module_ids p)
+
+let satisfied p = check p = []
+
+let deficit p =
+  List.fold_left
+    (fun acc v -> acc +. ((v.required -. v.got) /. v.required))
+    0.0 (check p)

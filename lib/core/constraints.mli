@@ -1,0 +1,23 @@
+(** The paper's constraint evaluation function Γ : P → {0,1} (§2).
+
+    A partition is feasible when every module's discriminability
+    meets the technology requirement.  (The virtual-rail constraint
+    [R_s,i * î_DD,max,i <= r*] is satisfied by construction: sensors
+    are sized as [R_s,i = r* / î_DD,max,i], folding the rail budget
+    into the area cost — exactly the simplification of §3.1.) *)
+
+type violation = {
+  module_id : int;
+  got : float;  (** d(M_i) achieved. *)
+  required : float;
+}
+
+val check : Partition.t -> violation list
+(** Empty when Γ(Π) = 1. *)
+
+val satisfied : Partition.t -> bool
+
+val deficit : Partition.t -> float
+(** Total relative shortfall [sum (required - got) / required] over
+    violating modules: 0 when feasible, grows smoothly with the
+    violation; used as the optimizer's penalty measure. *)

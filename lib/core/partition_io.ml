@@ -1,0 +1,95 @@
+module Charac = Iddq_analysis.Charac
+module Circuit = Iddq_netlist.Circuit
+
+let to_string p =
+  let ch = Partition.charac p in
+  let c = Charac.circuit ch in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# partition of %s\n" (Circuit.name c));
+  List.iteri
+    (fun dense m ->
+      Buffer.add_string buf (Printf.sprintf "module %d:" dense);
+      Array.iter
+        (fun g ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (Circuit.node_name c (Circuit.node_of_gate c g)))
+        (Partition.members p m);
+      Buffer.add_char buf '\n')
+    (Partition.module_ids p);
+  Buffer.contents buf
+
+let of_string ch text =
+  let c = Charac.circuit ch in
+  let n = Charac.num_gates ch in
+  let assignment = Array.make n (-1) in
+  let exception Bad of string in
+  try
+    let module_count = ref 0 in
+    List.iteri
+      (fun i raw ->
+        let lineno = i + 1 in
+        let line =
+          match String.index_opt raw '#' with
+          | None -> String.trim raw
+          | Some j -> String.trim (String.sub raw 0 j)
+        in
+        if line <> "" then begin
+          match String.index_opt line ':' with
+          | None -> raise (Bad (Printf.sprintf "line %d: expected 'module K: nets'" lineno))
+          | Some colon ->
+            let header = String.trim (String.sub line 0 colon) in
+            (match String.split_on_char ' ' header with
+            | [ "module"; k ] when int_of_string_opt k = Some !module_count -> ()
+            | [ "module"; _ ] ->
+              raise (Bad (Printf.sprintf "line %d: module ids must be dense and in order" lineno))
+            | _ -> raise (Bad (Printf.sprintf "line %d: bad module header %S" lineno header)));
+            let m = !module_count in
+            incr module_count;
+            let nets =
+              String.sub line (colon + 1) (String.length line - colon - 1)
+              |> String.split_on_char ' '
+              |> List.map String.trim
+              |> List.filter (fun s -> s <> "")
+            in
+            if nets = [] then
+              raise (Bad (Printf.sprintf "line %d: empty module" lineno));
+            List.iter
+              (fun net ->
+                match Circuit.node_id_of_name c net with
+                | None -> raise (Bad (Printf.sprintf "line %d: unknown net %S" lineno net))
+                | Some id ->
+                  if not (Circuit.is_gate c id) then
+                    raise (Bad (Printf.sprintf "line %d: %S is a primary input" lineno net));
+                  let g = Circuit.gate_of_node c id in
+                  if assignment.(g) >= 0 then
+                    raise (Bad (Printf.sprintf "line %d: %S listed twice" lineno net));
+                  assignment.(g) <- m)
+              nets
+        end)
+      (String.split_on_char '\n' text);
+    if !module_count = 0 then raise (Bad "no modules");
+    (match
+       Array.to_seq assignment
+       |> Seq.mapi (fun g m -> (g, m))
+       |> Seq.find (fun (_, m) -> m < 0)
+     with
+    | Some (g, _) ->
+      raise
+        (Bad
+           (Printf.sprintf "gate %S is not assigned to any module"
+              (Circuit.node_name c (Circuit.node_of_gate c g))))
+    | None -> ());
+    Ok (Partition.create ch ~assignment)
+  with Bad msg -> Error msg
+
+let write_file path p =
+  let oc = open_out path in
+  output_string oc (to_string p);
+  close_out oc
+
+let read_file ch path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string ch text

@@ -1,0 +1,21 @@
+(** Textual save/load of partitions, so a CLI run's result can be
+    re-examined or handed to downstream tooling.
+
+    Format (line-oriented, [#] comments allowed):
+    {v
+    # partition of <circuit>
+    module 0: net1 net2 net3
+    module 1: net4 net5
+    v}
+    Nets are referenced by name, so the file survives any re-ordering
+    of the netlist. *)
+
+val to_string : Partition.t -> string
+
+val of_string :
+  Iddq_analysis.Charac.t -> string -> (Partition.t, string) result
+(** Fails when a line is malformed, a net is unknown or not a gate, a
+    gate is listed twice, or some gate of the circuit is missing. *)
+
+val write_file : string -> Partition.t -> unit
+val read_file : Iddq_analysis.Charac.t -> string -> (Partition.t, string) result

@@ -1,0 +1,37 @@
+(** Logic-level behaviour of bridging defects (wired-AND model).
+
+    A resistive bridge between two nets can change logic values —
+    sometimes.  Under the classical wired-AND model both nets assume
+    the AND of their driven values (the stronger pull-down wins in
+    CMOS).  A bridge is {e logic-detectable} by a vector only when
+    that value change propagates to a primary output; it is
+    {e IDDQ-detectable} whenever the two nets are driven to opposite
+    values at all.  Comparing the two detection conditions quantifies
+    the paper's premise that current testing catches what voltage
+    testing misses (its refs [3, 14, 15]).
+
+    Bridges that close a combinational feedback loop (each net in the
+    other's cone) can oscillate or latch; they are excluded from the
+    logic model and flagged by {!is_feedback}. *)
+
+val is_feedback : Iddq_netlist.Circuit.t -> int -> int -> bool
+(** [is_feedback c a b] — does bridging node ids [a] and [b] create a
+    combinational loop (each reachable from the other)? *)
+
+val faulty_eval :
+  Iddq_netlist.Circuit.t ->
+  a:int ->
+  b:int ->
+  bool array ->
+  Iddq_patterns.Logic_sim.values option
+(** Node values under the wired-AND bridge, or [None] for a feedback
+    bridge.  Both bridged nets are forced to the AND of their fault-free
+    driven values and the change is propagated forward. *)
+
+val logic_detects : Iddq_netlist.Circuit.t -> a:int -> b:int -> bool array -> bool
+(** Does the vector expose the bridge at a primary output under the
+    wired-AND model?  [false] for feedback bridges. *)
+
+val iddq_detects : Iddq_netlist.Circuit.t -> a:int -> b:int -> bool array -> bool
+(** Does the vector drive the two nets to opposite values (the
+    current-test activation condition)? *)

@@ -1,0 +1,113 @@
+module Circuit = Iddq_netlist.Circuit
+module Charac = Iddq_analysis.Charac
+module Technology = Iddq_celllib.Technology
+module Logic_sim = Iddq_patterns.Logic_sim
+module Partition = Iddq_core.Partition
+
+type detection_matrix = {
+  n_vectors : int;
+  detects : bool array array; (* fault -> vector -> detected *)
+}
+
+let detection_matrix p ~vectors ~faults =
+  let ch = Partition.charac p in
+  let c = Charac.circuit ch in
+  let tech = Charac.technology ch in
+  let evaluated = Array.map (Logic_sim.eval c) vectors in
+  let detects =
+    List.map
+      (fun (inj : Fault.injected) ->
+        let g = Fault.location c inj.Fault.fault in
+        let m = Partition.module_of_gate p g in
+        let measurable =
+          Partition.leakage p m +. inj.Fault.defect_current
+          >= tech.Technology.iddq_threshold
+        in
+        if not measurable then Array.make (Array.length vectors) false
+        else
+          Array.map (Fault.activated c inj.Fault.fault) evaluated)
+      faults
+  in
+  { n_vectors = Array.length vectors; detects = Array.of_list detects }
+
+let num_faults m = Array.length m.detects
+
+let num_detectable m =
+  Array.fold_left
+    (fun acc row -> if Array.exists Fun.id row then acc + 1 else acc)
+    0 m.detects
+
+let coverage_curve m =
+  let nf = num_faults m in
+  let caught = Array.make nf false in
+  let curve = Array.make m.n_vectors 0.0 in
+  let hit = ref 0 in
+  for v = 0 to m.n_vectors - 1 do
+    Array.iteri
+      (fun f row ->
+        (* fault dropping: a caught fault is never re-simulated *)
+        if (not caught.(f)) && row.(v) then begin
+          caught.(f) <- true;
+          incr hit
+        end)
+      m.detects;
+    curve.(v) <-
+      (if nf = 0 then 1.0 else float_of_int !hit /. float_of_int nf)
+  done;
+  curve
+
+let first_detection m =
+  Array.map
+    (fun row ->
+      let rec scan v =
+        if v >= Array.length row then -1 else if row.(v) then v else scan (v + 1)
+      in
+      scan 0)
+    m.detects
+
+let coverage_of_selection m selection =
+  let nf = num_faults m in
+  if nf = 0 then 1.0
+  else begin
+    let hit =
+      Array.fold_left
+        (fun acc row ->
+          if Array.exists (fun v -> row.(v)) selection then acc + 1 else acc)
+        0 m.detects
+    in
+    float_of_int hit /. float_of_int nf
+  end
+
+let compact m =
+  let nf = num_faults m in
+  let covered = Array.make nf false in
+  let target = num_detectable m in
+  let kept = ref [] in
+  let covered_count = ref 0 in
+  while !covered_count < target do
+    (* the vector catching the most still-uncovered faults *)
+    let best = ref (-1) and best_gain = ref 0 in
+    for v = 0 to m.n_vectors - 1 do
+      let gain = ref 0 in
+      Array.iteri
+        (fun f row -> if (not covered.(f)) && row.(v) then incr gain)
+        m.detects;
+      if !gain > !best_gain then begin
+        best_gain := !gain;
+        best := v
+      end
+    done;
+    (* target counts only detectable faults, so a useful vector exists *)
+    assert (!best >= 0);
+    kept := !best :: !kept;
+    Array.iteri
+      (fun f row ->
+        if (not covered.(f)) && row.(!best) then begin
+          covered.(f) <- true;
+          incr covered_count
+        end)
+      m.detects
+  done;
+  let arr = Array.of_list !kept in
+  Array.sort compare arr;
+  arr

@@ -1,0 +1,38 @@
+(** Fault-simulation utilities on top of {!Iddq_sim}: coverage growth
+    curves, fault dropping, and greedy test-set compaction.
+
+    The paper assumes "a precomputed test vector set"; these tools
+    build and trim such sets for the IDDQ defect models — the test
+    time saved by compaction multiplies directly into the paper's
+    test-application-time metric, since every dropped vector saves
+    [D_BIC + Delta(tau)]. *)
+
+type detection_matrix
+(** For each fault, the set of vectors that detect it (activation and
+    current threshold both checked), computed with fault dropping. *)
+
+val detection_matrix :
+  Iddq_core.Partition.t ->
+  vectors:bool array array ->
+  faults:Fault.injected list ->
+  detection_matrix
+
+val num_detectable : detection_matrix -> int
+val num_faults : detection_matrix -> int
+
+val coverage_curve : detection_matrix -> float array
+(** Entry [k] is the fault coverage achieved by the first [k+1]
+    vectors in their given order (length = vector count). *)
+
+val first_detection : detection_matrix -> int array
+(** Per fault, the index of its first detecting vector, [-1] when
+    undetectable by the set. *)
+
+val compact : detection_matrix -> int array
+(** Greedy set-cover vector selection: repeatedly keep the vector
+    detecting the most still-uncovered faults, until coverage equals
+    the full set's.  Returns the kept vector indices, ascending.
+    Typically a small fraction of a random set. *)
+
+val coverage_of_selection : detection_matrix -> int array -> float
+(** Coverage achieved by an arbitrary subset of vector indices. *)

@@ -1,0 +1,55 @@
+module Rng = Iddq_util.Rng
+module Circuit = Iddq_netlist.Circuit
+
+type t =
+  | Bridge of int * int
+  | Gate_oxide_short of int * bool
+  | Floating_gate of int
+
+type injected = { fault : t; defect_current : float }
+
+let location c = function
+  | Bridge (a, b) ->
+    if Circuit.is_gate c a then Circuit.gate_of_node c a
+    else if Circuit.is_gate c b then Circuit.gate_of_node c b
+    else invalid_arg "Fault.location: bridge between two primary inputs"
+  | Gate_oxide_short (id, _) | Floating_gate (id) ->
+    if Circuit.is_gate c id then Circuit.gate_of_node c id
+    else invalid_arg "Fault.location: defect on a primary input"
+
+let activated _c fault (values : Iddq_patterns.Logic_sim.values) =
+  match fault with
+  | Bridge (a, b) -> values.(a) <> values.(b)
+  | Gate_oxide_short (id, polarity) -> values.(id) = polarity
+  | Floating_gate _ -> true
+
+let random_gate_node rng c =
+  Circuit.node_of_gate c (Rng.int rng (Circuit.num_gates c))
+
+let random_bridge ~rng c ~defect_current =
+  let a = random_gate_node rng c in
+  let rec other () =
+    let b = Rng.int rng (Circuit.num_nodes c) in
+    if b = a then other () else b
+  in
+  { fault = Bridge (a, other ()); defect_current }
+
+let random_population ~rng c ~count ~defect_current =
+  List.init count (fun _ ->
+      let roll = Rng.float rng 1.0 in
+      if roll < 0.60 then random_bridge ~rng c ~defect_current
+      else if roll < 0.85 then
+        {
+          fault = Gate_oxide_short (random_gate_node rng c, Rng.bool rng);
+          defect_current;
+        }
+      else { fault = Floating_gate (random_gate_node rng c); defect_current })
+
+let pp c fmt = function
+  | Bridge (a, b) ->
+    Format.fprintf fmt "bridge(%s,%s)" (Circuit.node_name c a)
+      (Circuit.node_name c b)
+  | Gate_oxide_short (id, pol) ->
+    Format.fprintf fmt "gos(%s,%b)" (Circuit.node_name c id) pol
+  | Floating_gate id ->
+    Format.fprintf fmt "fg(%s)" (Circuit.node_name c id)

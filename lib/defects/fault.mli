@@ -1,0 +1,54 @@
+(** IDDQ-detectable defect models.
+
+    These are the defect classes the paper's introduction cites as
+    escaping logic test but raising quiescent current: bridging
+    defects, gate-oxide shorts, and floating gates (refs [1–6] of the
+    paper). *)
+
+type t =
+  | Bridge of int * int
+      (** Resistive short between two nets (node ids).  Activated —
+          i.e. drawing defect current — whenever a vector drives the
+          two nets to opposite values. *)
+  | Gate_oxide_short of int * bool
+      (** Short through the gate oxide of the cell driving the node;
+          activated when the node carries the given value. *)
+  | Floating_gate of int
+      (** Floating-gate transistor in the driver of the node: a
+          constant intermediate conduction path, activated by every
+          vector. *)
+
+type injected = {
+  fault : t;
+  defect_current : float;
+      (** Extra quiescent current drawn while activated (A). *)
+}
+
+val location : Iddq_netlist.Circuit.t -> t -> int
+(** The {e gate index} whose module's sensor sees the defect current:
+    for a bridge, the gate driving the first net (or, if the first
+    net is a primary input, the second); oxide shorts and floating
+    gates sit at their driving gate.  Raises [Invalid_argument] for a
+    bridge between two primary inputs. *)
+
+val activated : Iddq_netlist.Circuit.t -> t -> Iddq_patterns.Logic_sim.values -> bool
+(** Is the defect drawing current under the given evaluated vector? *)
+
+val random_bridge :
+  rng:Iddq_util.Rng.t ->
+  Iddq_netlist.Circuit.t ->
+  defect_current:float ->
+  injected
+(** A bridge between two distinct random nets, at least one of them
+    gate-driven. *)
+
+val random_population :
+  rng:Iddq_util.Rng.t ->
+  Iddq_netlist.Circuit.t ->
+  count:int ->
+  defect_current:float ->
+  injected list
+(** A mixed population: ~60% bridges, ~25% gate-oxide shorts, ~15%
+    floating gates, each with the given defect current. *)
+
+val pp : Iddq_netlist.Circuit.t -> Format.formatter -> t -> unit

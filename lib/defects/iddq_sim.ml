@@ -1,0 +1,109 @@
+module Circuit = Iddq_netlist.Circuit
+module Charac = Iddq_analysis.Charac
+module Timing = Iddq_analysis.Timing
+module Technology = Iddq_celllib.Technology
+module Logic_sim = Iddq_patterns.Logic_sim
+module Partition = Iddq_core.Partition
+module Cost = Iddq_core.Cost
+module Sensor = Iddq_bic.Sensor
+module Test_time = Iddq_bic.Test_time
+
+type detection = {
+  injected : Fault.injected;
+  detected : bool;
+  detecting_vector : int option;
+  module_id : int option;
+}
+
+type result = {
+  detections : detection list;
+  coverage : float;
+  vectors_applied : int;
+  test_time : float;
+}
+
+let coverage_of detections =
+  match detections with
+  | [] -> 1.0
+  | l ->
+    let hit = List.length (List.filter (fun d -> d.detected) l) in
+    float_of_int hit /. float_of_int (List.length l)
+
+let run_partitioned p ~vectors ~faults =
+  let ch = Partition.charac p in
+  let c = Charac.circuit ch in
+  let tech = Charac.technology ch in
+  let evaluated = Array.map (Logic_sim.eval c) vectors in
+  let detections =
+    List.map
+      (fun (inj : Fault.injected) ->
+        let g = Fault.location c inj.Fault.fault in
+        let m = Partition.module_of_gate p g in
+        let base = Partition.leakage p m in
+        let rec scan i =
+          if i >= Array.length evaluated then None
+          else if
+            Fault.activated c inj.Fault.fault evaluated.(i)
+            && base +. inj.Fault.defect_current
+               >= tech.Technology.iddq_threshold
+          then Some i
+          else scan (i + 1)
+        in
+        let hit = scan 0 in
+        {
+          injected = inj;
+          detected = hit <> None;
+          detecting_vector = hit;
+          module_id = (if hit <> None then Some m else None);
+        })
+      faults
+  in
+  let breakdown = Cost.evaluate p in
+  let sensors = List.map snd (Partition.sensors p) in
+  let test_time =
+    Test_time.total tech ~d_bic:breakdown.Cost.bic_delay
+      ~vectors:(Array.length vectors) sensors
+  in
+  {
+    detections;
+    coverage = coverage_of detections;
+    vectors_applied = Array.length vectors;
+    test_time;
+  }
+
+let run_single_sensor ?(guard_band = 2.0) ch ~vectors ~faults =
+  let c = Charac.circuit ch in
+  let tech = Charac.technology ch in
+  let all_gates = Array.init (Charac.num_gates ch) Fun.id in
+  let total_leak = Iddq_analysis.Switching.leakage ch all_gates in
+  let threshold =
+    Stdlib.max tech.Technology.iddq_threshold (guard_band *. total_leak)
+  in
+  let evaluated = Array.map (Logic_sim.eval c) vectors in
+  let detections =
+    List.map
+      (fun (inj : Fault.injected) ->
+        let rec scan i =
+          if i >= Array.length evaluated then None
+          else if
+            Fault.activated c inj.Fault.fault evaluated.(i)
+            && total_leak +. inj.Fault.defect_current >= threshold
+          then Some i
+          else scan (i + 1)
+        in
+        let hit = scan 0 in
+        { injected = inj; detected = hit <> None; detecting_vector = hit; module_id = None })
+      faults
+  in
+  (* one sensor for the whole CUT: sized for the full-chip transient *)
+  let sensor = Sensor.for_module ch all_gates in
+  let d = Timing.nominal_delay ch in
+  let test_time =
+    Test_time.total tech ~d_bic:d ~vectors:(Array.length vectors) [ sensor ]
+  in
+  {
+    detections;
+    coverage = coverage_of detections;
+    vectors_applied = Array.length vectors;
+    test_time;
+  }

@@ -1,0 +1,43 @@
+(** End-to-end IDDQ test simulation: apply a vector set, strobe every
+    module's BIC sensor after settling, and compare against the
+    detection threshold (paper Fig. 1 behaviour over a whole test).
+
+    The single-sensor ("off-chip" style) reference measures the whole
+    CUT at once: its pass threshold must sit above the full-chip
+    non-defective leakage (with a guard band), so small defect
+    currents hide under the leakage — exactly the discriminability
+    problem partitioning solves. *)
+
+type detection = {
+  injected : Fault.injected;
+  detected : bool;
+  detecting_vector : int option;  (** Index of the first detecting vector. *)
+  module_id : int option;  (** Module whose sensor fired (partitioned runs). *)
+}
+
+type result = {
+  detections : detection list;
+  coverage : float;  (** Fraction of injected defects detected. *)
+  vectors_applied : int;
+  test_time : float;
+      (** Total application time (s): vectors x (D_BIC + settling). *)
+}
+
+val run_partitioned :
+  Iddq_core.Partition.t ->
+  vectors:bool array array ->
+  faults:Fault.injected list ->
+  result
+(** Each defect is simulated independently (single-fault assumption):
+    a vector detects it when the defect is activated and the module
+    sensor's measured current reaches the technology threshold. *)
+
+val run_single_sensor :
+  ?guard_band:float ->
+  Iddq_analysis.Charac.t ->
+  vectors:bool array array ->
+  faults:Fault.injected list ->
+  result
+(** Whole-CUT measurement with one external sensor whose threshold is
+    [max I_th (guard_band * total leakage)] (default guard band 2.0) —
+    a defect is caught only if leakage + defect current crosses it. *)

@@ -1,0 +1,50 @@
+(** Classical stuck-at (voltage/logic) test substrate.
+
+    The paper's premise is that IDDQ testing {e complements} logic
+    testing: quiescent-current measurement catches defect classes that
+    stuck-at vectors miss.  To quantify that on our workloads we need
+    the logic side too: a stuck-at fault list, structural equivalence
+    collapsing, and a serial fault simulator with fault dropping.
+
+    Faults live on {e stems} (a net, affecting every reader) and on
+    {e pins} (one gate input).  Equivalence collapsing keeps one
+    representative per class: a controlling-value pin fault of an
+    AND/NAND/OR/NOR gate, and any pin fault of a NOT/BUFF, is
+    equivalent to the corresponding output stem fault and is
+    dropped — detection sets are exactly equal, so collapsed coverage
+    equals full coverage. *)
+
+type fault =
+  | Stem of int * bool  (** Node id stuck at the value. *)
+  | Pin of { gate : int; pin : int; value : bool }
+      (** Input [pin] of the gate driving node id [gate], stuck. *)
+
+val pp_fault : Iddq_netlist.Circuit.t -> Format.formatter -> fault -> unit
+
+val full_fault_list : Iddq_netlist.Circuit.t -> fault list
+(** Two stem faults per node and two pin faults per gate input. *)
+
+val collapsed_fault_list : Iddq_netlist.Circuit.t -> fault list
+(** Equivalence-collapsed subset of {!full_fault_list}. *)
+
+val faulty_eval :
+  Iddq_netlist.Circuit.t -> fault -> bool array -> Iddq_patterns.Logic_sim.values
+(** Node values under the fault for one input vector. *)
+
+val detects : Iddq_netlist.Circuit.t -> fault -> bool array -> bool
+(** Does the vector expose the fault at some primary output? *)
+
+type sim_result = {
+  total : int;
+  detected : int;
+  coverage : float;
+  first_vector : int array;  (** Per fault, first detecting vector or -1. *)
+}
+
+val fault_simulate :
+  Iddq_netlist.Circuit.t -> vectors:bool array array -> faults:fault list -> sim_result
+(** Serial fault simulation with fault dropping (a detected fault is
+    not re-simulated). *)
+
+val undetected :
+  Iddq_netlist.Circuit.t -> vectors:bool array array -> faults:fault list -> fault list

@@ -1,0 +1,61 @@
+module Rng = Iddq_util.Rng
+module Partition = Iddq_core.Partition
+module Cost = Iddq_core.Cost
+
+let random_live_module rng p =
+  Rng.choose_list rng (Partition.module_ids p)
+
+let mutate rng ~step p =
+  if Partition.num_modules p >= 2 then begin
+    (* a source with boundary gates exists whenever K >= 2 and the
+       partition covers a connected circuit; retry a few picks *)
+    let rec pick_source tries =
+      if tries = 0 then None
+      else begin
+        let src = random_live_module rng p in
+        let boundary = Partition.boundary_gates p src in
+        if Array.length boundary > 0 then Some boundary
+        else pick_source (tries - 1)
+      end
+    in
+    match pick_source 8 with
+    | None -> ()
+    | Some boundary ->
+      let bound = Stdlib.min step (Array.length boundary) in
+      let m_move = 1 + Rng.int rng bound in
+      let chosen = Rng.sample_without_replacement rng m_move boundary in
+      Array.iter
+        (fun g ->
+          match Partition.neighbour_modules p g with
+          | [] -> ()
+          | targets -> Partition.move_gate p g (Rng.choose_list rng targets))
+        chosen
+  end
+
+let monte_carlo rng p =
+  if Partition.num_modules p >= 2 then begin
+    let src = random_live_module rng p in
+    let target =
+      let rec pick () =
+        let m = random_live_module rng p in
+        if m = src then pick () else m
+      in
+      pick ()
+    in
+    let gates = Partition.members p src in
+    let count = 1 + Rng.int rng (Array.length gates) in
+    let chosen = Rng.sample_without_replacement rng count gates in
+    Array.iter (fun g -> Partition.move_gate p g target) chosen
+  end
+
+let problem ?weights () =
+  {
+    Es.copy = Partition.copy;
+    cost = (fun p -> (Cost.evaluate ?weights p).Cost.penalized);
+    mutate;
+    monte_carlo;
+  }
+
+let optimize ?weights ?(params = Es.default_params) ?on_generation ~rng ~starts
+    () =
+  Es.run ?on_generation params rng (problem ?weights ()) starts

@@ -1,0 +1,30 @@
+(** Adaptation of the evolution strategy to PART-IDDQ (paper §4.2).
+
+    Mutation: pick a source module, determine its boundary gates,
+    move [m_move ~ U{1 .. min(m, m_boundary)}] randomly chosen
+    boundary gates each into a (randomly chosen) module it is
+    connected with.  Monte-Carlo descendants move a random number of
+    gates of a random module into a random module, deleting the source
+    when emptied — a larger jump that keeps the search out of local
+    minima. *)
+
+val mutate : Iddq_util.Rng.t -> step:int -> Iddq_core.Partition.t -> unit
+(** No-op when the partition has a single module or the chosen source
+    has no boundary gates after a few retries. *)
+
+val monte_carlo : Iddq_util.Rng.t -> Iddq_core.Partition.t -> unit
+
+val problem :
+  ?weights:Iddq_core.Cost.weights -> unit -> Iddq_core.Partition.t Es.problem
+(** The {!Es.problem} instance: cost is the penalized weighted cost
+    ({!Iddq_core.Cost.evaluate}). *)
+
+val optimize :
+  ?weights:Iddq_core.Cost.weights ->
+  ?params:Es.params ->
+  ?on_generation:(Es.generation_report -> unit) ->
+  rng:Iddq_util.Rng.t ->
+  starts:Iddq_core.Partition.t list ->
+  unit ->
+  Iddq_core.Partition.t Es.individual * Es.generation_report list
+(** Runs the ES over partitions from the given start population. *)

@@ -1,0 +1,148 @@
+module Rng = Iddq_util.Rng
+module Charac = Iddq_analysis.Charac
+module Partition = Iddq_core.Partition
+module Cost = Iddq_core.Cost
+module Es = Iddq_evolution.Es
+module Seeds = Iddq_evolution.Seeds
+module Part_iddq = Iddq_evolution.Part_iddq
+module Standard = Iddq_baseline.Standard
+module Random_part = Iddq_baseline.Random_part
+module Annealing = Iddq_baseline.Annealing
+module Refine = Iddq_baseline.Refine
+
+type method_ = Evolution | Standard | Random | Annealing | Refined_standard
+
+let method_to_string = function
+  | Evolution -> "evolution"
+  | Standard -> "standard"
+  | Random -> "random"
+  | Annealing -> "annealing"
+  | Refined_standard -> "refined-standard"
+
+let method_of_string s =
+  match String.lowercase_ascii s with
+  | "evolution" | "es" -> Some Evolution
+  | "standard" -> Some Standard
+  | "random" -> Some Random
+  | "annealing" | "sa" -> Some Annealing
+  | "refined-standard" | "refined" -> Some Refined_standard
+  | _ -> None
+
+type t = {
+  charac : Charac.t;
+  partition : Partition.t;
+  breakdown : Cost.breakdown;
+  sensors : (int * Iddq_bic.Sensor.t) list;
+  method_used : method_;
+  generations : int;
+}
+
+type config = {
+  library : Iddq_celllib.Library.t;
+  weights : Cost.weights;
+  es_params : Es.params;
+  seed : int;
+  module_size : int option;
+  reference_sizes : int list option;
+}
+
+let default_config =
+  {
+    library = Iddq_celllib.Library.default;
+    weights = Cost.paper_weights;
+    es_params = Es.default_params;
+    seed = 42;
+    module_size = None;
+    reference_sizes = None;
+  }
+
+let finish ~config ~method_used ~generations ch partition =
+  {
+    charac = ch;
+    partition;
+    breakdown = Cost.evaluate ~weights:config.weights partition;
+    sensors = Partition.sensors partition;
+    method_used;
+    generations;
+  }
+
+(* Module count implied by the configured/estimated start size. *)
+let implied_module_count ~config ch =
+  let n = Charac.num_gates ch in
+  let size =
+    match config.module_size with
+    | Some s -> Stdlib.max 1 s
+    | None -> Seeds.target_module_size ch
+  in
+  Stdlib.max 1 ((n + size - 1) / size)
+
+let standard_sizes ~config ch =
+  match config.reference_sizes with
+  | Some sizes -> sizes
+  | None ->
+    let n = Charac.num_gates ch in
+    let k = implied_module_count ~config ch in
+    let base = n / k and extra = n mod k in
+    List.init k (fun i -> base + if i < extra then 1 else 0)
+
+let run_charac ?(config = default_config) method_ ch =
+  if Charac.num_gates ch = 0 then
+    invalid_arg "Pipeline.run: the circuit has no gates to partition";
+  let rng = Rng.create config.seed in
+  match method_ with
+  | Evolution ->
+    let starts =
+      Seeds.population ~rng ?module_size:config.module_size
+        ~count:config.es_params.Es.mu ch
+    in
+    let best, trace =
+      Part_iddq.optimize ~weights:config.weights ~params:config.es_params ~rng
+        ~starts ()
+    in
+    finish ~config ~method_used:Evolution ~generations:(List.length trace) ch
+      best.Es.solution
+  | Standard ->
+    let p = Standard.partition ch ~module_sizes:(standard_sizes ~config ch) in
+    finish ~config ~method_used:Standard ~generations:0 ch p
+  | Random ->
+    let k = implied_module_count ~config ch in
+    let p = Random_part.partition ~rng ch ~num_modules:k in
+    finish ~config ~method_used:Random ~generations:0 ch p
+  | Annealing ->
+    let start = Seeds.chain_partition ~rng ?module_size:config.module_size ch in
+    let p, _ = Annealing.optimize ~weights:config.weights ~rng start in
+    finish ~config ~method_used:Annealing ~generations:0 ch p
+  | Refined_standard ->
+    let start =
+      Standard.partition ch ~module_sizes:(standard_sizes ~config ch)
+    in
+    let p, _ = Refine.optimize ~weights:config.weights start in
+    finish ~config ~method_used:Refined_standard ~generations:0 ch p
+
+let run ?(config = default_config) method_ circuit =
+  run_charac ~config method_ (Charac.make ~library:config.library circuit)
+
+let compare_methods ?(config = default_config) circuit methods =
+  let ch = Charac.make ~library:config.library circuit in
+  let evolution_first =
+    if List.mem Evolution methods then
+      Evolution :: List.filter (fun m -> m <> Evolution) methods
+    else methods
+  in
+  let config = ref config in
+  let results =
+    List.map
+      (fun m ->
+        let r = run_charac ~config:!config m ch in
+        (if m = Evolution && !config.reference_sizes = None then
+           let sizes =
+             List.map
+               (fun id -> Partition.size r.partition id)
+               (Partition.module_ids r.partition)
+           in
+           config := { !config with reference_sizes = Some sizes });
+        (m, r))
+      evolution_first
+  in
+  (* restore the caller's method order *)
+  List.map (fun m -> (m, List.assoc m results)) methods

@@ -1,0 +1,53 @@
+(** One-call synthesis flow: characterize a circuit against a cell
+    library, build the chain start population, optimize the partition
+    with the evolution strategy, and size one BIC sensor per module.
+
+    This is the library's main entry point; the [examples/] programs
+    and the benchmark harness are thin wrappers around it. *)
+
+type method_ = Evolution | Standard | Random | Annealing | Refined_standard
+(** Partitioning methods: the paper's contribution ([Evolution]), its
+    §5 comparison ([Standard], greedy closest-gate clustering at the
+    evolution's module sizes), and the ablation comparators. *)
+
+val method_to_string : method_ -> string
+val method_of_string : string -> method_ option
+
+type t = {
+  charac : Iddq_analysis.Charac.t;
+  partition : Iddq_core.Partition.t;
+  breakdown : Iddq_core.Cost.breakdown;
+  sensors : (int * Iddq_bic.Sensor.t) list;
+  method_used : method_;
+  generations : int;  (** ES generations run (0 for one-shot methods). *)
+}
+
+type config = {
+  library : Iddq_celllib.Library.t;
+  weights : Iddq_core.Cost.weights;
+  es_params : Iddq_evolution.Es.params;
+  seed : int;
+  module_size : int option;
+      (** Target start-module size; [None] = estimate from the
+          discriminability budget ({!Iddq_evolution.Seeds}). *)
+  reference_sizes : int list option;
+      (** Module sizes for [Standard] ("we take the numbers obtained
+          by the evolution based algorithm"); [None] = near-equal
+          sizes at the estimated module count. *)
+}
+
+val default_config : config
+(** Default library, paper weights, default ES parameters, seed 42. *)
+
+val run : ?config:config -> method_ -> Iddq_netlist.Circuit.t -> t
+
+val run_charac : ?config:config -> method_ -> Iddq_analysis.Charac.t -> t
+(** Same, reusing an existing characterization (cheaper when several
+    methods run on one circuit). *)
+
+val compare_methods :
+  ?config:config -> Iddq_netlist.Circuit.t -> method_ list -> (method_ * t) list
+(** Runs several methods on one characterization.  When the list
+    contains [Evolution], it runs first and its module sizes become
+    the [reference_sizes] for [Standard]/[Refined_standard], matching
+    the paper's protocol. *)

@@ -1,0 +1,48 @@
+(** Standard-cell-style placement and wirelength estimation.
+
+    The paper defers wiring: "as technology mapping is not carried out
+    so far wiring is not considered", arguing the routing costs of the
+    compared partitions should not differ much.  This module checks
+    that claim: a recursive min-cut bisection placement (FM-refined)
+    assigns every gate a position on a unit grid, and half-perimeter
+    wirelength (HPWL) plus per-module bounding boxes estimate the
+    routing the partitions would actually cost — the virtual rail must
+    reach every gate of a module, and the test clock/output lines must
+    chain the sensors. *)
+
+type t
+
+val place : ?seed:int -> Iddq_netlist.Circuit.t -> t
+(** Recursive bisection on the undirected gate graph, cut minimized by
+    Fiduccia–Mattheyses-style passes, alternating horizontal/vertical
+    splits.  Deterministic for a given seed (default 1). *)
+
+val random : rng:Iddq_util.Rng.t -> Iddq_netlist.Circuit.t -> t
+(** Gates shuffled onto the same grid — the quality baseline. *)
+
+val position : t -> int -> float * float
+(** Position of a gate index, in cell pitches. *)
+
+val dimensions : t -> float * float
+(** Width and height of the placement region. *)
+
+val hpwl : t -> float
+(** Total half-perimeter wirelength over all gate-to-gate nets (one
+    net per driving gate spanning it and its gate fanouts; primary
+    I/O excluded). *)
+
+val net_hpwl : t -> int -> float
+(** HPWL of the net driven by one gate index (0 for no gate fanout). *)
+
+val module_bbox : t -> int array -> float * float * float * float
+(** [(x0, y0, x1, y1)] bounding box of a gate group.  Raises
+    [Invalid_argument] on an empty group. *)
+
+val module_rail_length : t -> int array -> float
+(** Half-perimeter of the group's bounding box: the scale of the
+    virtual-rail routing a module's sensor needs. *)
+
+val sensor_chain_length : t -> int array list -> float
+(** Nearest-neighbour chain through the modules' centroids: the test
+    clock/test output routing among the BIC sensors (the c5 cost's
+    physical counterpart). *)

@@ -1,0 +1,25 @@
+(** Reader and writer for the ISCAS85 [.bench] netlist format.
+
+    The format is line-oriented:
+    {v
+    # comment
+    INPUT(G1)
+    OUTPUT(G22)
+    G10 = NAND(G1, G3)
+    v}
+    Blank lines and [#] comments are ignored; keywords and gate
+    mnemonics are case-insensitive; net names are case-sensitive. *)
+
+val parse_string : ?name:string -> string -> (Circuit.t, string) result
+(** Parse a full [.bench] document.  Errors carry a line number. *)
+
+val parse_file : string -> (Circuit.t, string) result
+(** [parse_file path] reads and parses; the circuit is named after the
+    file's basename without extension. *)
+
+val to_string : Circuit.t -> string
+(** Render back to [.bench].  [parse_string (to_string c)] yields a
+    circuit isomorphic to [c] (same names, kinds, connectivity,
+    outputs). *)
+
+val write_file : string -> Circuit.t -> unit

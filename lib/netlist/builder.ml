@@ -1,0 +1,132 @@
+type decl = Decl_input | Decl_gate of Gate.kind * string list
+
+type t = {
+  mutable circuit_name : string;
+  decls : (string, decl) Hashtbl.t;
+  mutable order : string list; (* declaration order, reversed *)
+  mutable output_names : string list; (* reversed, unique *)
+  output_seen : (string, unit) Hashtbl.t;
+}
+
+let create ?(name = "circuit") () =
+  {
+    circuit_name = name;
+    decls = Hashtbl.create 64;
+    order = [];
+    output_names = [];
+    output_seen = Hashtbl.create 16;
+  }
+
+let declare b name decl =
+  if Hashtbl.mem b.decls name then
+    invalid_arg (Printf.sprintf "Builder: duplicate declaration of %S" name);
+  Hashtbl.replace b.decls name decl;
+  b.order <- name :: b.order
+
+let add_input b name = declare b name Decl_input
+
+let add_gate b name kind fanins =
+  if not (Gate.arity_ok kind (List.length fanins)) then
+    invalid_arg
+      (Printf.sprintf "Builder: %s gate %S with %d fanins" (Gate.to_string kind)
+         name (List.length fanins));
+  declare b name (Decl_gate (kind, fanins))
+
+let add_output b name =
+  if not (Hashtbl.mem b.output_seen name) then begin
+    Hashtbl.replace b.output_seen name ();
+    b.output_names <- name :: b.output_names
+  end
+
+(* Topological sort of the gates (inputs first, declaration order kept
+   where possible), by DFS with an explicit three-colour marking so
+   cycles are reported rather than overflowing the stack. *)
+let freeze b =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let names_in_order = List.rev b.order in
+  let input_names, gate_names =
+    List.partition
+      (fun n ->
+        match Hashtbl.find b.decls n with
+        | Decl_input -> true
+        | Decl_gate _ -> false)
+      names_in_order
+  in
+  (* Check all fanins are declared. *)
+  let undefined = ref None in
+  List.iter
+    (fun n ->
+      match Hashtbl.find b.decls n with
+      | Decl_input -> ()
+      | Decl_gate (_, fanins) ->
+        List.iter
+          (fun f ->
+            if (not (Hashtbl.mem b.decls f)) && !undefined = None then
+              undefined := Some (n, f))
+          fanins)
+    names_in_order;
+  match !undefined with
+  | Some (gate, fanin) -> err "gate %S references undefined net %S" gate fanin
+  | None -> begin
+    let missing_output =
+      List.find_opt (fun n -> not (Hashtbl.mem b.decls n)) b.output_names
+    in
+    match missing_output with
+    | Some n -> err "output %S names an undeclared net" n
+    | None ->
+      if b.output_names = [] then err "circuit has no outputs"
+      else begin
+        (* Iterative DFS topological sort over gates. *)
+        let color = Hashtbl.create 64 in
+        (* 0 = white (absent), 1 = grey, 2 = black *)
+        let sorted = ref [] in
+        let cycle = ref None in
+        let rec visit name =
+          match Hashtbl.find_opt color name with
+          | Some 2 -> ()
+          | Some 1 -> if !cycle = None then cycle := Some name
+          | Some _ | None -> begin
+            match Hashtbl.find b.decls name with
+            | Decl_input -> Hashtbl.replace color name 2
+            | Decl_gate (_, fanins) ->
+              Hashtbl.replace color name 1;
+              List.iter visit fanins;
+              Hashtbl.replace color name 2;
+              sorted := name :: !sorted
+          end
+        in
+        List.iter visit gate_names;
+        match !cycle with
+        | Some n -> err "combinational cycle through net %S" n
+        | None ->
+          let gate_order = List.rev !sorted in
+          let all_names = Array.of_list (input_names @ gate_order) in
+          let index = Hashtbl.create (Array.length all_names) in
+          Array.iteri (fun i n -> Hashtbl.replace index n i) all_names;
+          let nodes =
+            Array.map
+              (fun n ->
+                match Hashtbl.find b.decls n with
+                | Decl_input -> Circuit.Input
+                | Decl_gate (kind, fanins) ->
+                  let ids =
+                    Array.of_list
+                      (List.map (fun f -> Hashtbl.find index f) fanins)
+                  in
+                  Circuit.Gate (kind, ids))
+              all_names
+          in
+          let outputs =
+            Array.of_list
+              (List.rev_map (fun n -> Hashtbl.find index n) b.output_names)
+          in
+          Ok
+            (Circuit.unsafe_make ~name:b.circuit_name ~nodes
+               ~node_names:all_names
+               ~num_inputs:(List.length input_names)
+               ~outputs)
+      end
+  end
+
+let freeze_exn b =
+  match freeze b with Ok c -> c | Error e -> failwith ("Builder.freeze: " ^ e)

@@ -1,0 +1,31 @@
+(** Mutable circuit construction.
+
+    Nodes are declared by name in any order; fanins may reference
+    names that are declared later.  [freeze] resolves names,
+    topologically sorts the gates, checks the structural invariants
+    and produces an immutable {!Circuit.t}. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val add_input : t -> string -> unit
+(** Declares a primary input.  Raises [Invalid_argument] on duplicate
+    declaration of the name (input or gate). *)
+
+val add_gate : t -> string -> Gate.kind -> string list -> unit
+(** [add_gate b name kind fanins] declares a gate driving net [name].
+    Raises [Invalid_argument] on duplicate names or invalid arity. *)
+
+val add_output : t -> string -> unit
+(** Marks a net as primary output (it must be declared before
+    [freeze]; declaration order does not matter).  Duplicate output
+    declarations are idempotent. *)
+
+val freeze : t -> (Circuit.t, string) result
+(** Resolves and validates.  Errors on: undefined fanin names,
+    combinational cycles, zero outputs, outputs naming undeclared
+    nets. *)
+
+val freeze_exn : t -> Circuit.t
+(** [freeze] or [Failure]. *)

@@ -1,0 +1,192 @@
+type node = Input | Gate of Gate.kind * int array
+
+type t = {
+  name : string;
+  nodes : node array;
+  node_names : string array;
+  num_inputs : int;
+  outputs : int array;
+  output_set : bool array;
+  fanouts : int array array;
+  name_index : (string, int) Hashtbl.t;
+}
+
+let build_fanouts nodes =
+  let n = Array.length nodes in
+  let counts = Array.make n 0 in
+  let record_fanin id = counts.(id) <- counts.(id) + 1 in
+  Array.iter
+    (function Input -> () | Gate (_, fanins) -> Array.iter record_fanin fanins)
+    nodes;
+  let fanouts = Array.map (fun c -> Array.make c (-1)) counts in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun id node ->
+      match node with
+      | Input -> ()
+      | Gate (_, fanins) ->
+        Array.iter
+          (fun src ->
+            fanouts.(src).(fill.(src)) <- id;
+            fill.(src) <- fill.(src) + 1)
+          fanins)
+    nodes;
+  fanouts
+
+let unsafe_make ~name ~nodes ~node_names ~num_inputs ~outputs =
+  let n = Array.length nodes in
+  let output_set = Array.make n false in
+  Array.iter (fun id -> output_set.(id) <- true) outputs;
+  let name_index = Hashtbl.create (2 * n) in
+  Array.iteri (fun id nm -> Hashtbl.replace name_index nm id) node_names;
+  {
+    name;
+    nodes = Array.copy nodes;
+    node_names = Array.copy node_names;
+    num_inputs;
+    outputs = Array.copy outputs;
+    output_set;
+    fanouts = build_fanouts nodes;
+    name_index;
+  }
+
+let name c = c.name
+let num_nodes c = Array.length c.nodes
+let num_inputs c = c.num_inputs
+let num_gates c = Array.length c.nodes - c.num_inputs
+let num_outputs c = Array.length c.outputs
+let node c id = c.nodes.(id)
+let node_name c id = c.node_names.(id)
+let node_id_of_name c nm = Hashtbl.find_opt c.name_index nm
+let outputs c = Array.copy c.outputs
+let inputs c = Array.init c.num_inputs Fun.id
+
+let fanins c id =
+  match c.nodes.(id) with Input -> [||] | Gate (_, fi) -> Array.copy fi
+
+let fanouts c id = Array.copy c.fanouts.(id)
+let fanout_count c id = Array.length c.fanouts.(id)
+
+let fanin_count c id =
+  match c.nodes.(id) with Input -> 0 | Gate (_, fi) -> Array.length fi
+
+let is_gate c id = id >= c.num_inputs
+let is_input c id = id < c.num_inputs
+let is_output c id = c.output_set.(id)
+
+let gate_kind c id =
+  match c.nodes.(id) with
+  | Input -> invalid_arg "Circuit.gate_kind: node is a primary input"
+  | Gate (kind, _) -> kind
+
+let node_of_gate c g = c.num_inputs + g
+let gate_of_node c id = id - c.num_inputs
+
+let gate_fanin_gates c g =
+  match c.nodes.(node_of_gate c g) with
+  | Input -> [||]
+  | Gate (_, fi) ->
+    Array.of_list
+      (Array.fold_right
+         (fun id acc -> if is_gate c id then gate_of_node c id :: acc else acc)
+         fi [])
+
+let gate_fanout_gates c g =
+  let fo = c.fanouts.(node_of_gate c g) in
+  Array.of_list
+    (Array.fold_right
+       (fun id acc -> if is_gate c id then gate_of_node c id :: acc else acc)
+       fo [])
+
+let iter_gates c f =
+  for id = c.num_inputs to Array.length c.nodes - 1 do
+    match c.nodes.(id) with
+    | Input -> assert false
+    | Gate (kind, fanins) -> f (gate_of_node c id) kind fanins
+  done
+
+let fold_gates c ~init ~f =
+  let acc = ref init in
+  iter_gates c (fun g kind _ -> acc := f !acc g kind);
+  !acc
+
+type stats = {
+  s_inputs : int;
+  s_outputs : int;
+  s_gates : int;
+  s_depth : int;
+  s_kind_counts : (Gate.kind * int) list;
+}
+
+let stats c =
+  let n = num_nodes c in
+  let depth = Array.make n 0 in
+  let max_depth = ref 0 in
+  for id = c.num_inputs to n - 1 do
+    match c.nodes.(id) with
+    | Input -> ()
+    | Gate (_, fanins) ->
+      let d =
+        Array.fold_left (fun acc src -> Stdlib.max acc depth.(src)) 0 fanins + 1
+      in
+      depth.(id) <- d;
+      if d > !max_depth then max_depth := d
+  done;
+  let counts = Hashtbl.create 8 in
+  iter_gates c (fun _ kind _ ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt counts kind) in
+      Hashtbl.replace counts kind (cur + 1));
+  let kind_counts =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt counts k with
+        | Some v -> Some (k, v)
+        | None -> None)
+      Gate.all_kinds
+  in
+  {
+    s_inputs = num_inputs c;
+    s_outputs = num_outputs c;
+    s_gates = num_gates c;
+    s_depth = !max_depth;
+    s_kind_counts = kind_counts;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "inputs=%d outputs=%d gates=%d depth=%d [%a]" s.s_inputs
+    s.s_outputs s.s_gates s.s_depth
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+       (fun fmt (k, n) -> Format.fprintf fmt "%a:%d" Gate.pp k n))
+    s.s_kind_counts
+
+let validate c =
+  let n = num_nodes c in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_node id =
+    match c.nodes.(id) with
+    | Input ->
+      if id >= c.num_inputs then err "gate slot %d holds an Input node" id
+      else Ok ()
+    | Gate (kind, fanins) ->
+      if id < c.num_inputs then err "input slot %d holds a gate" id
+      else if not (Gate.arity_ok kind (Array.length fanins)) then
+        err "node %d: %s with %d fanins" id (Gate.to_string kind)
+          (Array.length fanins)
+      else if Array.exists (fun src -> src < 0 || src >= id) fanins then
+        err "node %d: fanin out of topological order" id
+      else Ok ()
+  in
+  let rec check_all id =
+    if id >= n then Ok ()
+    else begin
+      match check_node id with Ok () -> check_all (id + 1) | Error e -> Error e
+    end
+  in
+  match check_all 0 with
+  | Error e -> Error e
+  | Ok () ->
+    if Array.exists (fun o -> o < 0 || o >= n) c.outputs then
+      err "output id out of range"
+    else if Array.length c.outputs = 0 then err "circuit has no outputs"
+    else Ok ()

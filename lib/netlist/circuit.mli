@@ -1,0 +1,105 @@
+(** Immutable gate-level circuit graph.
+
+    A circuit is a DAG of [n] nodes.  Node ids [0 .. num_inputs-1] are
+    the primary inputs; node ids [num_inputs .. n-1] are gates, stored
+    in topological order (every fanin of a node has a smaller id).
+    Gates additionally carry a dense {e gate index} in
+    [0 .. num_gates-1]; the partitioning machinery works on gate
+    indices.  Use {!Builder} to construct circuits. *)
+
+type node = Input | Gate of Gate.kind * int array
+(** A node is a primary input or a gate with its fanin node ids. *)
+
+type t
+
+(** {1 Accessors} *)
+
+val name : t -> string
+val num_nodes : t -> int
+val num_inputs : t -> int
+val num_gates : t -> int
+val num_outputs : t -> int
+
+val node : t -> int -> node
+(** [node c id] for [0 <= id < num_nodes c]. *)
+
+val node_name : t -> int -> string
+val node_id_of_name : t -> string -> int option
+
+val outputs : t -> int array
+(** Node ids of the primary outputs (a gate or even an input may be an
+    output).  Fresh copy. *)
+
+val inputs : t -> int array
+(** Node ids [0 .. num_inputs-1].  Fresh copy. *)
+
+val fanins : t -> int -> int array
+(** Fanin node ids of a node (empty for inputs).  Fresh copy. *)
+
+val fanouts : t -> int -> int array
+(** Fanout node ids of a node.  Fresh copy. *)
+
+val fanout_count : t -> int -> int
+val fanin_count : t -> int -> int
+
+val is_gate : t -> int -> bool
+val is_input : t -> int -> bool
+val is_output : t -> int -> bool
+
+val gate_kind : t -> int -> Gate.kind
+(** Raises [Invalid_argument] if the node is a primary input. *)
+
+(** {1 Gate indexing}
+
+    Gate index [g] (dense, [0 .. num_gates-1]) corresponds to node id
+    [num_inputs + g]; the two functions below convert. *)
+
+val node_of_gate : t -> int -> int
+val gate_of_node : t -> int -> int
+
+val gate_fanin_gates : t -> int -> int array
+(** [gate_fanin_gates c g] — fanins of gate index [g] that are
+    themselves gates, as gate indices.  Fresh copy. *)
+
+val gate_fanout_gates : t -> int -> int array
+(** Fanouts of gate index [g] that are gates, as gate indices. *)
+
+(** {1 Iteration} *)
+
+val iter_gates : t -> (int -> Gate.kind -> int array -> unit) -> unit
+(** [iter_gates c f] calls [f gate_index kind fanin_node_ids] in
+    topological order.  The fanin array must not be mutated. *)
+
+val fold_gates : t -> init:'a -> f:('a -> int -> Gate.kind -> 'a) -> 'a
+
+(** {1 Statistics and validation} *)
+
+type stats = {
+  s_inputs : int;
+  s_outputs : int;
+  s_gates : int;
+  s_depth : int; (* max gate depth, inputs at depth 0 *)
+  s_kind_counts : (Gate.kind * int) list;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val validate : t -> (unit, string) result
+(** Re-checks the structural invariants (topological fanins, arities,
+    fanout consistency, output ids in range).  Builders establish
+    them; this is used by tests and after deserialization. *)
+
+(** {1 Construction (internal)}
+
+    [unsafe_make] is the raw constructor used by {!Builder} and
+    {!Bench_io}; it trusts its arguments.  Library users should go
+    through {!Builder.freeze}. *)
+
+val unsafe_make :
+  name:string ->
+  nodes:node array ->
+  node_names:string array ->
+  num_inputs:int ->
+  outputs:int array ->
+  t

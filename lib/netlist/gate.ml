@@ -1,0 +1,54 @@
+type kind = And | Nand | Or | Nor | Xor | Xnor | Not | Buff
+
+let all_kinds = [ And; Nand; Or; Nor; Xor; Xnor; Not; Buff ]
+
+let to_string = function
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Not -> "NOT"
+  | Buff -> "BUFF"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | "NOT" | "INV" -> Some Not
+  | "BUFF" | "BUF" -> Some Buff
+  | _ -> None
+
+let arity_ok kind n =
+  match kind with
+  | Not | Buff -> n = 1
+  | And | Nand | Or | Nor | Xor | Xnor -> n >= 2
+
+let eval kind inputs =
+  let n = Array.length inputs in
+  if not (arity_ok kind n) then
+    invalid_arg
+      (Printf.sprintf "Gate.eval: %s with %d inputs" (to_string kind) n);
+  let conj () = Array.for_all Fun.id inputs in
+  let disj () = Array.exists Fun.id inputs in
+  let parity () =
+    Array.fold_left (fun acc b -> if b then not acc else acc) false inputs
+  in
+  match kind with
+  | And -> conj ()
+  | Nand -> not (conj ())
+  | Or -> disj ()
+  | Nor -> not (disj ())
+  | Xor -> parity ()
+  | Xnor -> not (parity ())
+  | Not -> not inputs.(0)
+  | Buff -> inputs.(0)
+
+let pp fmt kind = Format.pp_print_string fmt (to_string kind)
+let equal (a : kind) b = a = b
+let compare (a : kind) b = Stdlib.compare a b

@@ -1,0 +1,35 @@
+(** Combinational gate kinds.
+
+    The set matches what the ISCAS85 benchmark format uses.  Every
+    kind except [Not] and [Buff] accepts two or more inputs. *)
+
+type kind =
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+  | Not
+  | Buff
+
+val all_kinds : kind list
+
+val to_string : kind -> string
+(** Upper-case ISCAS85 mnemonic, e.g. ["NAND"]. *)
+
+val of_string : string -> kind option
+(** Case-insensitive parse of the ISCAS85 mnemonic.  [BUF] is accepted
+    as a synonym for [BUFF]. *)
+
+val arity_ok : kind -> int -> bool
+(** [arity_ok k n] checks that a gate of kind [k] may have [n] inputs. *)
+
+val eval : kind -> bool array -> bool
+(** Boolean function of the gate.  Raises [Invalid_argument] when the
+    arity is invalid for the kind. *)
+
+val pp : Format.formatter -> kind -> unit
+
+val equal : kind -> kind -> bool
+val compare : kind -> kind -> int

@@ -1,0 +1,299 @@
+module Rng = Iddq_util.Rng
+
+type kind_mix = (Gate.kind * float) list
+
+let iscas_kind_mix =
+  [
+    (Gate.Nand, 0.30);
+    (Gate.Nor, 0.18);
+    (Gate.And, 0.14);
+    (Gate.Or, 0.10);
+    (Gate.Not, 0.16);
+    (Gate.Buff, 0.04);
+    (Gate.Xor, 0.05);
+    (Gate.Xnor, 0.03);
+  ]
+
+let pick_kind rng mix =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 mix in
+  let x = Rng.float rng total in
+  let rec walk acc = function
+    | [] -> invalid_arg "Generator.pick_kind: empty mix"
+    | [ (k, _) ] -> k
+    | (k, w) :: rest -> if x < acc +. w then k else walk (acc +. w) rest
+  in
+  walk 0.0 mix
+
+(* Layer sizes: every layer gets one gate, the surplus is spread with a
+   bias toward the early layers (circuits tend to be wide near the
+   inputs and narrow toward the outputs). *)
+let layer_sizes rng ~num_gates ~depth =
+  let sizes = Array.make depth 1 in
+  let surplus = num_gates - depth in
+  for _ = 1 to surplus do
+    (* triangular bias: min of two uniforms leans early *)
+    let a = Rng.int rng depth and b = Rng.int rng depth in
+    let layer = Stdlib.min a b in
+    sizes.(layer) <- sizes.(layer) + 1
+  done;
+  sizes
+
+let layered_dag ~rng ~name ~num_inputs ~num_outputs ~num_gates ~depth
+    ?(kind_mix = iscas_kind_mix) ?(max_fanin = 4) () =
+  if num_inputs < 1 then invalid_arg "Generator.layered_dag: no inputs";
+  if depth < 1 || num_gates < depth then
+    invalid_arg "Generator.layered_dag: need num_gates >= depth >= 1";
+  if num_outputs < 1 then invalid_arg "Generator.layered_dag: no outputs";
+  let b = Builder.create ~name () in
+  let input_names = Array.init num_inputs (fun i -> Printf.sprintf "I%d" (i + 1)) in
+  Array.iter (Builder.add_input b) input_names;
+  let sizes = layer_sizes rng ~num_gates ~depth in
+  (* layers.(0) = inputs; layers.(d) = names of gates at depth d *)
+  let layers = Array.make (depth + 1) [||] in
+  layers.(0) <- input_names;
+  let fanout_count = Hashtbl.create num_gates in
+  let bump nm =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt fanout_count nm) in
+    Hashtbl.replace fanout_count nm (cur + 1)
+  in
+  (* geometric locality bias: fanins come mostly from nearby layers *)
+  let pick_source_layer d =
+    let rec back l = if l <= 0 then 0 else if Rng.float rng 1.0 < 0.55 then l else back (l - 1) in
+    back (d - 1)
+  in
+  let counter = ref 0 in
+  for d = 1 to depth do
+    let here =
+      Array.init sizes.(d - 1) (fun _ ->
+          incr counter;
+          let nm = Printf.sprintf "G%d" !counter in
+          let kind = pick_kind rng kind_mix in
+          let arity =
+            match kind with
+            | Gate.Not | Gate.Buff -> 1
+            | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+              (* mostly 2-input, like the real benchmarks; wide gates
+                 make circuits random-pattern-resistant *)
+              let roll = Rng.float rng 1.0 in
+              if roll < 0.80 || max_fanin <= 2 then 2
+              else if roll < 0.95 || max_fanin <= 3 then 3
+              else Stdlib.min max_fanin 4
+          in
+          let first = Rng.choose rng layers.(d - 1) in
+          let rest = ref [] in
+          for _ = 2 to arity do
+            let source_layer = pick_source_layer d in
+            (* prefer a still-unread gate of the source layer: real
+               netlists have no dangling logic, so soak up would-be
+               sinks as fanins (inputs and primary outputs aside) *)
+            let fresh =
+              Array.to_list layers.(source_layer)
+              |> List.filter (fun nm -> not (Hashtbl.mem fanout_count nm))
+            in
+            let candidate =
+              if fresh <> [] && source_layer > 0 && Rng.float rng 1.0 < 0.8
+              then Rng.choose_list rng fresh
+              else Rng.choose rng layers.(source_layer)
+            in
+            (* a few attempts at distinct fanins; duplicates are legal *)
+            let candidate =
+              if candidate = first || List.mem candidate !rest then
+                Rng.choose rng layers.(pick_source_layer d)
+              else candidate
+            in
+            rest := candidate :: !rest
+          done;
+          let fanins = first :: List.rev !rest in
+          List.iter bump fanins;
+          Builder.add_gate b nm kind fanins;
+          nm)
+    in
+    layers.(d) <- here
+  done;
+  (* Outputs: fanout-free gates first (deep first), then random gates. *)
+  let all_gates =
+    Array.concat (Array.to_list (Array.sub layers 1 depth))
+  in
+  let sinks =
+    Array.to_list all_gates
+    |> List.filter (fun nm -> not (Hashtbl.mem fanout_count nm))
+  in
+  let chosen = Hashtbl.create num_outputs in
+  let add_output nm =
+    if Hashtbl.length chosen < num_outputs && not (Hashtbl.mem chosen nm) then begin
+      Hashtbl.replace chosen nm ();
+      Builder.add_output b nm
+    end
+  in
+  List.iter add_output (List.rev sinks);
+  (* top up from the deepest layers *)
+  let rec top_up d =
+    if Hashtbl.length chosen < num_outputs && d >= 1 then begin
+      Array.iter add_output layers.(d);
+      top_up (d - 1)
+    end
+  in
+  top_up depth;
+  Builder.freeze_exn b
+
+let cell_kind_of_row r =
+  match r mod 3 with
+  | 0 -> Gate.Nand
+  | 1 -> Gate.Nor
+  | 2 -> Gate.And
+  | _ -> assert false
+
+let cell_array ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generator.cell_array: empty array";
+  let b = Builder.create ~name:(Printf.sprintf "array%dx%d" rows cols) () in
+  let input_name r = Printf.sprintf "IR%d" r in
+  for r = 0 to rows - 1 do
+    Builder.add_input b (input_name r)
+  done;
+  let cell_name r c = Printf.sprintf "X_%d_%d" r c in
+  for c = 0 to cols - 1 do
+    for r = 0 to rows - 1 do
+      let prev r' = if c = 0 then input_name r' else cell_name r' (c - 1) in
+      let fanins = [ prev r; prev ((r + 1) mod rows) ] in
+      let kind = cell_kind_of_row r in
+      (* two-input cells; for rows = 1 both fanins coincide, allowed *)
+      Builder.add_gate b (cell_name r c) kind fanins
+    done
+  done;
+  for r = 0 to rows - 1 do
+    Builder.add_output b (cell_name r (cols - 1))
+  done;
+  Builder.freeze_exn b
+
+let cell_array_gate ~rows ~cols ~r ~c =
+  if r < 0 || r >= rows || c < 0 || c >= cols then
+    invalid_arg "Generator.cell_array_gate: out of range";
+  (c * rows) + r
+
+let chain ~length ?(kind = Gate.Not) () =
+  if length < 1 then invalid_arg "Generator.chain: empty";
+  if not (Gate.arity_ok kind 1) then
+    invalid_arg "Generator.chain: kind must be one-input";
+  let b = Builder.create ~name:(Printf.sprintf "chain%d" length) () in
+  Builder.add_input b "I1";
+  let prev = ref "I1" in
+  for i = 1 to length do
+    let nm = Printf.sprintf "G%d" i in
+    Builder.add_gate b nm kind [ !prev ];
+    prev := nm
+  done;
+  Builder.add_output b !prev;
+  Builder.freeze_exn b
+
+let balanced_tree ~depth ?(kind = Gate.Nand) () =
+  if depth < 1 then invalid_arg "Generator.balanced_tree: depth < 1";
+  if not (Gate.arity_ok kind 2) then
+    invalid_arg "Generator.balanced_tree: kind must be two-input";
+  let b = Builder.create ~name:(Printf.sprintf "tree%d" depth) () in
+  let leaves = 1 lsl depth in
+  let level0 =
+    Array.init leaves (fun i ->
+        let nm = Printf.sprintf "I%d" (i + 1) in
+        Builder.add_input b nm;
+        nm)
+  in
+  let counter = ref 0 in
+  let rec reduce level names =
+    if Array.length names = 1 then names.(0)
+    else begin
+      let half = Array.length names / 2 in
+      let next =
+        Array.init half (fun i ->
+            incr counter;
+            let nm = Printf.sprintf "G%d" !counter in
+            Builder.add_gate b nm kind [ names.(2 * i); names.((2 * i) + 1) ];
+            nm)
+      in
+      reduce (level + 1) next
+    end
+  in
+  let root = reduce 0 level0 in
+  Builder.add_output b root;
+  Builder.freeze_exn b
+
+(* School-book array multiplier.  Partial products pp(i,j) = a_i AND
+   b_j; row i (i >= 1) is added to the running sum with a ripple
+   carry-propagate row, C6288's structure in spirit. *)
+let multiplier_array ~n =
+  if n < 2 then invalid_arg "Generator.multiplier_array: n < 2";
+  let b = Builder.create ~name:(Printf.sprintf "mult%dx%d" n n) () in
+  let a i = Printf.sprintf "A%d" i and bb j = Printf.sprintf "B%d" j in
+  for i = 0 to n - 1 do
+    Builder.add_input b (a i)
+  done;
+  for j = 0 to n - 1 do
+    Builder.add_input b (bb j)
+  done;
+  let fresh =
+    let counter = ref 0 in
+    fun prefix ->
+      incr counter;
+      Printf.sprintf "%s%d" prefix !counter
+  in
+  let pp i j =
+    let nm = Printf.sprintf "PP_%d_%d" i j in
+    Builder.add_gate b nm Gate.And [ a i; bb j ];
+    nm
+  in
+  let half_adder x y =
+    let s = fresh "S" and c = fresh "C" in
+    Builder.add_gate b s Gate.Xor [ x; y ];
+    Builder.add_gate b c Gate.And [ x; y ];
+    (s, c)
+  in
+  let full_adder x y z =
+    let s1 = fresh "S" in
+    Builder.add_gate b s1 Gate.Xor [ x; y ];
+    let s = fresh "S" in
+    Builder.add_gate b s Gate.Xor [ s1; z ];
+    let c1 = fresh "C" and c2 = fresh "C" and c = fresh "C" in
+    Builder.add_gate b c1 Gate.And [ x; y ];
+    Builder.add_gate b c2 Gate.And [ s1; z ];
+    Builder.add_gate b c Gate.Or [ c1; c2 ];
+    (s, c)
+  in
+  (* Ripple addition of two little-endian bit vectors of wire names;
+     the result may be one bit wider than the widest operand. *)
+  let add_vectors xs ys =
+    let out = ref [] and carry = ref None in
+    let width = Stdlib.max (Array.length xs) (Array.length ys) in
+    for j = 0 to width - 1 do
+      let bit arr = if j < Array.length arr then Some arr.(j) else None in
+      let s, c =
+        match bit xs, bit ys, !carry with
+        | Some x, Some y, Some cy ->
+          let s, c = full_adder x y cy in
+          (s, Some c)
+        | Some x, Some y, None ->
+          let s, c = half_adder x y in
+          (s, Some c)
+        | Some x, None, Some cy | None, Some x, Some cy ->
+          let s, c = half_adder x cy in
+          (s, Some c)
+        | Some x, None, None | None, Some x, None -> (x, None)
+        | None, None, (Some _ | None) -> assert false
+      in
+      out := s :: !out;
+      carry := c
+    done;
+    let bits = match !carry with None -> !out | Some cy -> cy :: !out in
+    Array.of_list (List.rev bits)
+  in
+  (* Shift-and-add over the partial-product rows.  After row i the low
+     bit of the accumulator is the final product bit i. *)
+  let final_bits = ref [] in
+  let acc = ref (Array.init n (fun j -> pp 0 j)) in
+  for i = 1 to n - 1 do
+    let row = Array.init n (fun j -> pp i j) in
+    final_bits := !acc.(0) :: !final_bits;
+    let high = Array.sub !acc 1 (Array.length !acc - 1) in
+    acc := add_vectors high row
+  done;
+  Array.iter (fun s -> final_bits := s :: !final_bits) !acc;
+  List.iter (Builder.add_output b) (List.rev !final_bits);
+  Builder.freeze_exn b

@@ -1,0 +1,56 @@
+(** Synthetic circuit generators.
+
+    The Table-1 reproduction runs on structure-matched synthetic
+    stand-ins for the ISCAS85 netlists (see DESIGN.md §2); all
+    generators are deterministic given the RNG state. *)
+
+type kind_mix = (Gate.kind * float) list
+(** Weighted gate-kind distribution; weights need not sum to 1. *)
+
+val iscas_kind_mix : kind_mix
+(** NAND/NOR-heavy mix resembling the ISCAS85 profile. *)
+
+val layered_dag :
+  rng:Iddq_util.Rng.t ->
+  name:string ->
+  num_inputs:int ->
+  num_outputs:int ->
+  num_gates:int ->
+  depth:int ->
+  ?kind_mix:kind_mix ->
+  ?max_fanin:int ->
+  unit ->
+  Circuit.t
+(** Random layered DAG with exactly [num_gates] gates and logic depth
+    exactly [depth] (requires [num_gates >= depth >= 1] and
+    [num_inputs >= 1]).  Every gate at layer [d] has at least one
+    fanin at layer [d-1] (layer 0 = primary inputs), the remaining
+    fanins are drawn from strictly earlier layers with a locality
+    bias.  Outputs are drawn from the fanout-free gates first. *)
+
+val cell_array :
+  rows:int -> cols:int -> Circuit.t
+(** The 2-D cell array of the paper's Figure 2.  Cell [(r,c)] is a
+    2-input gate whose kind cycles with [r mod 3] (the three cell
+    types C1, C2, C3); its fanins are cells [(r, c-1)] and
+    [(r+1 mod rows, c-1)] (column 0 reads the per-row primary
+    inputs), so every cell of column [c] switches at depth [c+1].
+    A row-shaped module therefore never switches two cells in the
+    same time slot, while a column-shaped module switches all [rows]
+    cells simultaneously — the shape effect of Figure 2. *)
+
+val cell_array_gate : rows:int -> cols:int -> r:int -> c:int -> int
+(** Gate index of cell [(r,c)] in [cell_array]. *)
+
+val chain : length:int -> ?kind:Gate.kind -> unit -> Circuit.t
+(** A single chain of [length] one-input gates ([Not] by default):
+    worst-case depth, minimal parallelism. *)
+
+val balanced_tree : depth:int -> ?kind:Gate.kind -> unit -> Circuit.t
+(** Complete binary reduction tree of 2-input gates ([Nand] by
+    default) with [2^depth] leaves/primary inputs. *)
+
+val multiplier_array : n:int -> Circuit.t
+(** C6288-style [n * n] array multiplier: an AND partial-product
+    matrix reduced by ripple-carry rows of half/full adders.  Deep
+    carry chains, heavy reconvergence. *)

@@ -1,0 +1,160 @@
+let node_depths c =
+  let n = Circuit.num_nodes c in
+  let depth = Array.make n 0 in
+  for id = Circuit.num_inputs c to n - 1 do
+    match Circuit.node c id with
+    | Circuit.Input -> ()
+    | Circuit.Gate (_, fanins) ->
+      depth.(id) <-
+        Array.fold_left (fun acc src -> Stdlib.max acc depth.(src)) 0 fanins + 1
+  done;
+  depth
+
+let gate_depths c =
+  let nd = node_depths c in
+  Array.init (Circuit.num_gates c) (fun g -> nd.(Circuit.node_of_gate c g))
+
+let depth c = Array.fold_left Stdlib.max 0 (gate_depths c)
+
+let gates_by_depth c =
+  let gd = gate_depths c in
+  let dmax = Array.fold_left Stdlib.max 0 gd in
+  let buckets = Array.make dmax [] in
+  (* iterate in reverse so each bucket list ends up in ascending order *)
+  for g = Array.length gd - 1 downto 0 do
+    let d = gd.(g) in
+    buckets.(d - 1) <- g :: buckets.(d - 1)
+  done;
+  Array.map Array.of_list buckets
+
+type undirected = int array array
+
+let undirected_of_circuit c =
+  let ng = Circuit.num_gates c in
+  let adj = Array.make ng [] in
+  Circuit.iter_gates c (fun g _ _ ->
+      let add other = if other <> g then adj.(g) <- other :: adj.(g) in
+      Array.iter add (Circuit.gate_fanin_gates c g);
+      Array.iter add (Circuit.gate_fanout_gates c g));
+  (* dedupe parallel edges *)
+  Array.map
+    (fun l ->
+      let sorted = List.sort_uniq Stdlib.compare l in
+      Array.of_list sorted)
+    adj
+
+let neighbours u g = Array.copy u.(g)
+let iter_neighbours u g f = Array.iter f u.(g)
+let exists_neighbour u g f = Array.exists f u.(g)
+
+(* BFS truncated at [cutoff] intermediate nodes.  The separation of a
+   direct neighbour is 0, so BFS distance d corresponds to separation
+   d - 1; source separation is 0 as well. *)
+let separations_from u ~cutoff source =
+  let n = Array.length u in
+  let sep = Array.make n cutoff in
+  let dist = Array.make n (-1) in
+  dist.(source) <- 0;
+  sep.(source) <- 0;
+  let q = Queue.create () in
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    let d = dist.(v) in
+    (* a node at BFS distance d+1 has separation d; only expand while
+       the next separation would still be below the cutoff *)
+    if d < cutoff then
+      Array.iter
+        (fun w ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- d + 1;
+            sep.(w) <- Stdlib.min cutoff d;
+            Queue.add w q
+          end)
+        u.(v)
+  done;
+  sep
+
+let separation u ~cutoff g1 g2 =
+  if g1 = g2 then 0
+  else begin
+    let sep = separations_from u ~cutoff g1 in
+    sep.(g2)
+  end
+
+let module_separation u ~cutoff gates =
+  let k = Array.length gates in
+  if k < 2 then 0
+  else begin
+    let total = ref 0 in
+    (* one truncated BFS per gate; count each unordered pair once *)
+    Array.iteri
+      (fun i g ->
+        let sep = separations_from u ~cutoff g in
+        Array.iteri (fun j h -> if j > i then total := !total + sep.(h)) gates)
+      gates;
+    !total
+  end
+
+let reachable_from c seeds =
+  let n = Circuit.num_nodes c in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  Array.iter
+    (fun id ->
+      if not seen.(id) then begin
+        seen.(id) <- true;
+        Queue.add id q
+      end)
+    seeds;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Queue.add w q
+        end)
+      (Circuit.fanouts c v)
+  done;
+  seen
+
+let connected_components u =
+  let n = Array.length u in
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  for g = 0 to n - 1 do
+    if label.(g) < 0 then begin
+      let l = !next in
+      incr next;
+      let q = Queue.create () in
+      label.(g) <- l;
+      Queue.add g q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        Array.iter
+          (fun w ->
+            if label.(w) < 0 then begin
+              label.(w) <- l;
+              Queue.add w q
+            end)
+          u.(v)
+      done
+    end
+  done;
+  label
+
+let transitive_fanin_count c id =
+  let seen = Hashtbl.create 64 in
+  let rec visit v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.replace seen v ();
+      match Circuit.node c v with
+      | Circuit.Input -> ()
+      | Circuit.Gate (_, fanins) -> Array.iter visit fanins
+    end
+  in
+  (match Circuit.node c id with
+  | Circuit.Input -> ()
+  | Circuit.Gate (_, fanins) -> Array.iter visit fanins);
+  Hashtbl.length seen

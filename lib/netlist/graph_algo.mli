@@ -1,0 +1,66 @@
+(** Graph algorithms over circuits.
+
+    Everything here treats the circuit either as the directed DAG of
+    its nodes, or — for the separation metric of the paper — as the
+    corresponding undirected graph. *)
+
+(** {1 Levelization} *)
+
+val node_depths : Circuit.t -> int array
+(** [node_depths c].(id) is the longest distance (in gates) from any
+    primary input to node [id]; inputs have depth 0 and a gate's depth
+    is [1 + max] over its fanins. *)
+
+val gate_depths : Circuit.t -> int array
+(** Depths indexed by gate index. *)
+
+val depth : Circuit.t -> int
+(** Maximum gate depth (the circuit's logic depth). *)
+
+val gates_by_depth : Circuit.t -> int array array
+(** [gates_by_depth c].(d) lists the gate indices at depth [d+1]
+    (slot 0 holds depth-1 gates; inputs are not listed). *)
+
+(** {1 Undirected separation (paper §3.3)} *)
+
+type undirected
+(** Adjacency of the undirected version of the circuit graph over
+    {e gate indices} (primary inputs are excluded: the paper's
+    separation measures routing between gates of a module). *)
+
+val undirected_of_circuit : Circuit.t -> undirected
+
+val neighbours : undirected -> int -> int array
+
+val iter_neighbours : undirected -> int -> (int -> unit) -> unit
+(** Allocation-free iteration over a gate's undirected neighbours. *)
+
+val exists_neighbour : undirected -> int -> (int -> bool) -> bool
+
+val separation : undirected -> cutoff:int -> int -> int -> int
+(** [separation u ~cutoff g1 g2] is the paper's [S(g_i,g_j)]: the
+    number of intermediate nodes on a shortest undirected path between
+    the two gates (0 for adjacent gates and for [g1 = g2]); when the
+    distance exceeds [cutoff] or no path exists, the result is the
+    forced value [cutoff]. *)
+
+val separations_from : undirected -> cutoff:int -> int -> int array
+(** Single-source BFS truncated at [cutoff]; entry [g] is the
+    separation from the source to [g] (sources at 0), [cutoff] where
+    unreachable within the horizon. *)
+
+val module_separation : undirected -> cutoff:int -> int array -> int
+(** [module_separation u ~cutoff gates] is [S(M)]: the sum of
+    pairwise separations over all unordered gate pairs of the module. *)
+
+(** {1 Reachability and components} *)
+
+val reachable_from : Circuit.t -> int array -> bool array
+(** Forward reachability over node ids from a seed set. *)
+
+val connected_components : undirected -> int array
+(** Component label per gate index (labels are dense from 0). *)
+
+val transitive_fanin_count : Circuit.t -> int -> int
+(** Number of nodes (inputs and gates) in the transitive fanin cone of
+    a node id, the node itself excluded. *)

@@ -1,0 +1,95 @@
+module Rng = Iddq_util.Rng
+module Gate = Gate
+
+let c17_bench =
+  "# c17 (ISCAS85)\n\
+   INPUT(1)\n\
+   INPUT(2)\n\
+   INPUT(3)\n\
+   INPUT(6)\n\
+   INPUT(7)\n\
+   OUTPUT(22)\n\
+   OUTPUT(23)\n\
+   10 = NAND(1, 3)\n\
+   11 = NAND(3, 6)\n\
+   16 = NAND(2, 11)\n\
+   19 = NAND(11, 7)\n\
+   22 = NAND(10, 16)\n\
+   23 = NAND(16, 19)\n"
+
+let c17 () =
+  match Bench_io.parse_string ~name:"c17" c17_bench with
+  | Ok c -> c
+  | Error e -> failwith ("Iscas.c17: " ^ e)
+
+(* Paper gate g1..g6 <-> original nets; chosen so that the paper's
+   optimum {(1,3,5), (2,4,6)} corresponds to the two output cones
+   {10,16,22} and {11,19,23}. *)
+let c17_paper_gate_names = [| "10"; "11"; "16"; "19"; "22"; "23" |]
+
+let synthetic ?kind_mix ~name ~seed ~num_inputs ~num_outputs ~num_gates ~depth () =
+  let rng = Rng.create seed in
+  Generator.layered_dag ~rng ~name ~num_inputs ~num_outputs ~num_gates ~depth
+    ?kind_mix ()
+
+(* C499/C1355 implement the same 32-bit single-error-correcting
+   function; C499 is XOR-rich, C1355 its NAND expansion. *)
+let xor_heavy_mix =
+  [
+    (Gate.Xor, 0.40); (Gate.And, 0.15); (Gate.Or, 0.12); (Gate.Nand, 0.12);
+    (Gate.Nor, 0.08); (Gate.Not, 0.10); (Gate.Buff, 0.03);
+  ]
+
+let nand_heavy_mix =
+  [ (Gate.Nand, 0.70); (Gate.Not, 0.15); (Gate.And, 0.10); (Gate.Buff, 0.05) ]
+
+(* Published ISCAS85 characteristics: (inputs, outputs, gates, depth). *)
+let c432_like () =
+  synthetic ~name:"C432" ~seed:432 ~num_inputs:36 ~num_outputs:7 ~num_gates:160
+    ~depth:17 ()
+
+let c499_like () =
+  synthetic ~kind_mix:xor_heavy_mix ~name:"C499" ~seed:499 ~num_inputs:41
+    ~num_outputs:32 ~num_gates:202 ~depth:11 ()
+
+let c880_like () =
+  synthetic ~name:"C880" ~seed:880 ~num_inputs:60 ~num_outputs:26 ~num_gates:383
+    ~depth:24 ()
+
+let c1355_like () =
+  synthetic ~kind_mix:nand_heavy_mix ~name:"C1355" ~seed:1355 ~num_inputs:41
+    ~num_outputs:32 ~num_gates:546 ~depth:24 ()
+
+let c1908_like () =
+  synthetic ~name:"C1908" ~seed:1908 ~num_inputs:33 ~num_outputs:25
+    ~num_gates:880 ~depth:40 ()
+
+let c2670_like () =
+  synthetic ~name:"C2670" ~seed:2670 ~num_inputs:233 ~num_outputs:140
+    ~num_gates:1193 ~depth:32 ()
+
+let c3540_like () =
+  synthetic ~name:"C3540" ~seed:3540 ~num_inputs:50 ~num_outputs:22
+    ~num_gates:1669 ~depth:47 ()
+
+let c5315_like () =
+  synthetic ~name:"C5315" ~seed:5315 ~num_inputs:178 ~num_outputs:123
+    ~num_gates:2307 ~depth:49 ()
+
+let c6288_like () =
+  synthetic ~name:"C6288" ~seed:6288 ~num_inputs:32 ~num_outputs:32
+    ~num_gates:2416 ~depth:124 ()
+
+let c7552_like () =
+  synthetic ~name:"C7552" ~seed:7552 ~num_inputs:207 ~num_outputs:108
+    ~num_gates:3512 ~depth:43 ()
+
+let table1_suite () =
+  [
+    ("C1908", c1908_like ());
+    ("C2670", c2670_like ());
+    ("C3540", c3540_like ());
+    ("C5315", c5315_like ());
+    ("C6288", c6288_like ());
+    ("C7552", c7552_like ());
+  ]

@@ -1,0 +1,44 @@
+(** ISCAS85 benchmark circuits.
+
+    [c17] is the exact published netlist.  The six Table-1 circuits
+    (C1908 … C7552) are {e structure-matched synthetic stand-ins}:
+    deterministic layered DAGs reproducing each benchmark's published
+    primary-input, primary-output and gate counts and logic depth
+    (DESIGN.md §2 records the substitution).  Generation is seeded per
+    circuit, so every call returns an identical netlist. *)
+
+val c17 : unit -> Circuit.t
+(** The real C17: 5 inputs, 2 outputs, 6 NAND gates.  Node names
+    follow the original numbering (nets 1,2,3,6,7 in; 10,11,16,19,22,
+    23 gates; 22,23 out). *)
+
+val c17_paper_gate_names : string array
+(** The paper's worked example (Figs. 3–5) numbers the C17 gates 1–6;
+    entry [i] is the net name of the paper's gate [i+1]. *)
+
+val c432_like : unit -> Circuit.t
+(** Mid-size stand-in (36 in / 7 out / 160 gates / depth 17),
+    handy for fast integration tests. *)
+
+val c499_like : unit -> Circuit.t
+(** 41 in / 32 out / 202 gates / depth 11, XOR-heavy mix (C499 is the
+    32-bit single-error-correcting circuit). *)
+
+val c880_like : unit -> Circuit.t
+(** 60 in / 26 out / 383 gates / depth 24. *)
+
+val c1355_like : unit -> Circuit.t
+(** 41 in / 32 out / 546 gates / depth 24, NAND-heavy mix (C1355 is
+    C499's NAND expansion). *)
+
+val c1908_like : unit -> Circuit.t
+val c2670_like : unit -> Circuit.t
+val c3540_like : unit -> Circuit.t
+val c5315_like : unit -> Circuit.t
+val c6288_like : unit -> Circuit.t
+val c7552_like : unit -> Circuit.t
+
+val table1_suite : unit -> (string * Circuit.t) list
+(** The six circuits of the paper's Table 1 in publication order,
+    under their paper names (the paper's "C7522" is the well-known
+    typo for C7552). *)

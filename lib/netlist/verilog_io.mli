@@ -1,0 +1,32 @@
+(** Reader and writer for gate-level structural Verilog.
+
+    The supported subset is what gate-level netlists use: one module,
+    [input]/[output]/[wire] declarations, and primitive gate
+    instantiations
+
+    {v
+    module c17 (N1, N2, N3, N6, N7, N22, N23);
+      input N1, N2, N3, N6, N7;
+      output N22, N23;
+      wire N10, N11, N16, N19;
+      nand g10 (N10, N1, N3);
+      ...
+    endmodule
+    v}
+
+    Primitives: [and or nand nor xor xnor not buf], first terminal is
+    the output.  Instance names are optional on parse and generated on
+    print.  Comments ([//] and [/* ... */]) are ignored. *)
+
+val parse_string : string -> (Circuit.t, string) result
+(** Errors carry a line number.  The circuit takes the Verilog
+    module's name. *)
+
+val parse_file : string -> (Circuit.t, string) result
+
+val to_string : Circuit.t -> string
+(** [parse_string (to_string c)] is a circuit isomorphic to [c].
+    Net names that are not Verilog identifiers are escaped with the
+    [\ ] syntax. *)
+
+val write_file : string -> Circuit.t -> unit

@@ -1,0 +1,31 @@
+module Circuit = Iddq_netlist.Circuit
+module Gate = Iddq_netlist.Gate
+
+type values = bool array
+
+let eval c inputs =
+  if Array.length inputs <> Circuit.num_inputs c then
+    invalid_arg "Logic_sim.eval: input vector length mismatch";
+  let values = Array.make (Circuit.num_nodes c) false in
+  Array.blit inputs 0 values 0 (Array.length inputs);
+  Circuit.iter_gates c (fun g kind fanins ->
+      let id = Circuit.node_of_gate c g in
+      values.(id) <- Gate.eval kind (Array.map (fun src -> values.(src)) fanins));
+  values
+
+let output_values c values =
+  Array.map (fun id -> values.(id)) (Circuit.outputs c)
+
+let toggles c before after =
+  let count = ref 0 in
+  for id = Circuit.num_inputs c to Circuit.num_nodes c - 1 do
+    if before.(id) <> after.(id) then incr count
+  done;
+  !count
+
+let toggled_gates c before after =
+  let out = ref [] in
+  for id = Circuit.num_nodes c - 1 downto Circuit.num_inputs c do
+    if before.(id) <> after.(id) then out := Circuit.gate_of_node c id :: !out
+  done;
+  Array.of_list !out

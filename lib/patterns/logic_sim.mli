@@ -1,0 +1,24 @@
+(** Plain two-valued logic simulation of a circuit.
+
+    IDDQ testing applies a precomputed vector set and measures the
+    quiescent current after each vector settles; this simulator
+    provides the node values a defect model needs to decide whether a
+    defect is {e activated} (e.g. a bridge driven to opposite values),
+    and per-vector switching activity for workload studies. *)
+
+type values = bool array
+(** One value per node id ([Circuit.num_nodes] long). *)
+
+val eval : Iddq_netlist.Circuit.t -> bool array -> values
+(** [eval c inputs] with [inputs] of length [num_inputs c].  Raises
+    [Invalid_argument] on length mismatch. *)
+
+val output_values : Iddq_netlist.Circuit.t -> values -> bool array
+(** Values of the primary outputs, in output order. *)
+
+val toggles : Iddq_netlist.Circuit.t -> values -> values -> int
+(** Number of {e gates} whose output differs between two evaluated
+    vectors: the realized switching activity of the vector pair. *)
+
+val toggled_gates : Iddq_netlist.Circuit.t -> values -> values -> int array
+(** Gate indices that toggle between the two vectors. *)

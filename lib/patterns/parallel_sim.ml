@@ -1,0 +1,78 @@
+module Circuit = Iddq_netlist.Circuit
+module Gate = Iddq_netlist.Gate
+
+let pack vectors ~start =
+  let n = Array.length vectors in
+  if start < 0 || start >= n then invalid_arg "Parallel_sim.pack: bad start";
+  let width = Array.length vectors.(start) in
+  let count = Stdlib.min 64 (n - start) in
+  Array.init width (fun i ->
+      let word = ref 0L in
+      for k = 0 to count - 1 do
+        let v = vectors.(start + k) in
+        if Array.length v <> width then
+          invalid_arg "Parallel_sim.pack: inconsistent vector widths";
+        if v.(i) then word := Int64.logor !word (Int64.shift_left 1L k)
+      done;
+      !word)
+
+let active_mask vectors ~start =
+  let n = Array.length vectors in
+  if start < 0 || start >= n then invalid_arg "Parallel_sim.active_mask: bad start";
+  let count = Stdlib.min 64 (n - start) in
+  if count = 64 then Int64.minus_one
+  else Int64.sub (Int64.shift_left 1L count) 1L
+
+let eval_word kind words =
+  let fold f init = Array.fold_left f init words in
+  match kind with
+  | Gate.And -> fold Int64.logand Int64.minus_one
+  | Gate.Nand -> Int64.lognot (fold Int64.logand Int64.minus_one)
+  | Gate.Or -> fold Int64.logor 0L
+  | Gate.Nor -> Int64.lognot (fold Int64.logor 0L)
+  | Gate.Xor -> fold Int64.logxor 0L
+  | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L)
+  | Gate.Not -> Int64.lognot words.(0)
+  | Gate.Buff -> words.(0)
+
+let eval_internal c packed_inputs ~stuck ~stuck_pin =
+  if Array.length packed_inputs <> Circuit.num_inputs c then
+    invalid_arg "Parallel_sim.eval: input word count mismatch";
+  let values = Array.make (Circuit.num_nodes c) 0L in
+  Array.blit packed_inputs 0 values 0 (Array.length packed_inputs);
+  (match stuck with
+  | Some (node, value) when Circuit.is_input c node ->
+    values.(node) <- (if value then Int64.minus_one else 0L)
+  | Some _ | None -> ());
+  Circuit.iter_gates c (fun g kind fanins ->
+      let id = Circuit.node_of_gate c g in
+      let words =
+        Array.mapi
+          (fun pin src ->
+            match stuck_pin with
+            | Some (gate, p, value) when gate = id && p = pin ->
+              if value then Int64.minus_one else 0L
+            | Some _ | None -> values.(src))
+          fanins
+      in
+      let word = eval_word kind words in
+      values.(id) <-
+        (match stuck with
+        | Some (node, value) when node = id ->
+          if value then Int64.minus_one else 0L
+        | Some _ | None -> word));
+  values
+
+let eval c packed_inputs =
+  eval_internal c packed_inputs ~stuck:None ~stuck_pin:None
+
+let eval_with_stuck_node c ~node ~value packed_inputs =
+  eval_internal c packed_inputs ~stuck:(Some (node, value)) ~stuck_pin:None
+
+let eval_with_stuck_pin c ~gate ~pin ~value packed_inputs =
+  eval_internal c packed_inputs ~stuck:None ~stuck_pin:(Some (gate, pin, value))
+
+let output_diff c good bad =
+  Array.fold_left
+    (fun acc id -> Int64.logor acc (Int64.logxor good.(id) bad.(id)))
+    0L (Circuit.outputs c)

@@ -1,0 +1,41 @@
+(** Bit-parallel logic simulation: 64 vectors per pass.
+
+    The classic PPSFP trick — each net holds an [int64] whose bit [k]
+    is the net's value under vector [k], and every gate evaluates all
+    64 vectors with a couple of machine instructions.  Fault
+    simulation over realistic vector sets gets ~50x faster than
+    vector-at-a-time simulation ({!Iddq_defects.Stuck_at} uses this
+    internally). *)
+
+val pack : bool array array -> start:int -> int64 array
+(** [pack vectors ~start] packs vectors [start .. start+63] (fewer at
+    the tail) into one word per circuit input: bit [k] of word [i] is
+    input [i] of vector [start + k].  Raises [Invalid_argument] if
+    [start] is out of range or the vectors have inconsistent
+    widths. *)
+
+val active_mask : bool array array -> start:int -> int64
+(** Bits corresponding to real vectors in the packed block (all-ones
+    except at the tail). *)
+
+val eval : Iddq_netlist.Circuit.t -> int64 array -> int64 array
+(** [eval c packed_inputs] returns one word per node.  The input array
+    must have [num_inputs] words. *)
+
+val eval_with_stuck_node :
+  Iddq_netlist.Circuit.t -> node:int -> value:bool -> int64 array -> int64 array
+(** Faulty evaluation with a stem stuck-at. *)
+
+val eval_with_stuck_pin :
+  Iddq_netlist.Circuit.t ->
+  gate:int ->
+  pin:int ->
+  value:bool ->
+  int64 array ->
+  int64 array
+(** Faulty evaluation with one gate input pin stuck ([gate] is the
+    node id of the reading gate). *)
+
+val output_diff : Iddq_netlist.Circuit.t -> int64 array -> int64 array -> int64
+(** OR over the primary outputs of (good XOR faulty): bit [k] set iff
+    vector [k] exposes a difference at some output. *)

@@ -1,0 +1,27 @@
+module Rng = Iddq_util.Rng
+module Circuit = Iddq_netlist.Circuit
+
+let random ~rng c ~count =
+  let n = Circuit.num_inputs c in
+  Array.init count (fun _ -> Array.init n (fun _ -> Rng.bool rng))
+
+let exhaustive c =
+  let n = Circuit.num_inputs c in
+  if n > 20 then invalid_arg "Pattern_gen.exhaustive: too many inputs";
+  Array.init (1 lsl n) (fun v ->
+      Array.init n (fun bit -> (v lsr bit) land 1 = 1))
+
+let lfsr c ~seed ~count =
+  let n = Circuit.num_inputs c in
+  let state = ref (seed land 0xFFFFFFFF) in
+  if !state = 0 then invalid_arg "Pattern_gen.lfsr: zero seed";
+  let step () =
+    (* Fibonacci LFSR, taps 32 22 2 1 (x^32 + x^22 + x^2 + x + 1) *)
+    let s = !state in
+    let bit =
+      (s lxor (s lsr 10) lxor (s lsr 30) lxor (s lsr 31)) land 1
+    in
+    state := ((s lsr 1) lor (bit lsl 31)) land 0xFFFFFFFF;
+    bit = 1
+  in
+  Array.init count (fun _ -> Array.init n (fun _ -> step ()))

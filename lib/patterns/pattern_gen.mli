@@ -1,0 +1,21 @@
+(** Test-vector generation.
+
+    The paper assumes a precomputed vector set (partitioning never
+    changes the logic, so the set is unchanged); for the end-to-end
+    defect experiments we generate pseudo-random sets, exhaustive sets
+    for small circuits, and LFSR sequences as a BIST-flavoured
+    source. *)
+
+val random :
+  rng:Iddq_util.Rng.t -> Iddq_netlist.Circuit.t -> count:int -> bool array array
+(** [count] uniform random vectors. *)
+
+val exhaustive : Iddq_netlist.Circuit.t -> bool array array
+(** All [2^n] input vectors in counting order.  Raises
+    [Invalid_argument] for more than 20 inputs. *)
+
+val lfsr :
+  Iddq_netlist.Circuit.t -> seed:int -> count:int -> bool array array
+(** Vectors from a 32-bit maximal-length Fibonacci LFSR (taps
+    32,22,2,1), one bit shifted out per input bit.  [seed] must be
+    non-zero modulo 2^32. *)

@@ -1,0 +1,53 @@
+let to_string vectors =
+  let buf = Buffer.create (Array.length vectors * 16) in
+  Array.iter
+    (fun v ->
+      Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) v;
+      Buffer.add_char buf '\n')
+    vectors;
+  Buffer.contents buf
+
+let of_string ~expected_width text =
+  let exception Bad of string in
+  try
+    let vectors = ref [] in
+    List.iteri
+      (fun i raw ->
+        let lineno = i + 1 in
+        let line =
+          match String.index_opt raw '#' with
+          | None -> String.trim raw
+          | Some j -> String.trim (String.sub raw 0 j)
+        in
+        if line <> "" then begin
+          if String.length line <> expected_width then
+            raise
+              (Bad
+                 (Printf.sprintf "line %d: expected %d bits, got %d" lineno
+                    expected_width (String.length line)));
+          let v =
+            Array.init expected_width (fun j ->
+                match line.[j] with
+                | '1' -> true
+                | '0' -> false
+                | ch ->
+                  raise
+                    (Bad (Printf.sprintf "line %d: bad character %C" lineno ch)))
+          in
+          vectors := v :: !vectors
+        end)
+      (String.split_on_char '\n' text);
+    Ok (Array.of_list (List.rev !vectors))
+  with Bad m -> Error m
+
+let write_file path vectors =
+  let oc = open_out path in
+  output_string oc (to_string vectors);
+  close_out oc
+
+let read_file ~expected_width path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string ~expected_width text

@@ -1,0 +1,18 @@
+(** Plain-text vector files: one test vector per line as a string of
+    [0]/[1] characters, most-significant input first matching the
+    circuit's input order; [#] comments and blank lines ignored.
+
+    {v
+    # 5 inputs: 1 2 3 6 7
+    01101
+    11100
+    v} *)
+
+val to_string : bool array array -> string
+
+val of_string : expected_width:int -> string -> (bool array array, string) result
+(** Errors carry a line number; every vector must have
+    [expected_width] bits. *)
+
+val write_file : string -> bool array array -> unit
+val read_file : expected_width:int -> string -> (bool array array, string) result

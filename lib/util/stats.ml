@@ -1,0 +1,72 @@
+let sum xs =
+  (* Kahan compensated summation *)
+  let total = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !total +. y in
+      comp := t -. !total -. y;
+      total := t)
+    xs;
+  !total
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.map (fun x -> (x -. m) *. (x -. m)) xs in
+    sum acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let s = Array.copy xs in
+    Array.sort compare s;
+    if n mod 2 = 1 then s.(n / 2) else 0.5 *. (s.((n / 2) - 1) +. s.(n / 2))
+  end
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> (Stdlib.min lo x, Stdlib.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let s = Array.copy xs in
+  Array.sort compare s;
+  let n = Array.length s in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then s.(lo)
+  else begin
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. s.(lo)) +. (w *. s.(hi))
+  end
+
+let ratio_percent a b = 100.0 *. (a -. b) /. b
+
+let histogram ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
+  let lo, hi = min_max xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  let place x =
+    let i = int_of_float ((x -. lo) /. width) in
+    let i = if i >= bins then bins - 1 else i in
+    counts.(i) <- counts.(i) + 1
+  in
+  Array.iter place xs;
+  Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts

@@ -1,0 +1,31 @@
+(** Small numerical helpers shared by estimators, benches and reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 if fewer than two samples. *)
+
+val stddev : float array -> float
+
+val median : float array -> float
+(** Median (average of the two central elements for even lengths);
+    0 on the empty array.  Does not mutate its argument. *)
+
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on the empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100], linear interpolation.
+    Raises [Invalid_argument] on the empty array. *)
+
+val sum : float array -> float
+(** Numerically stable (Kahan) summation. *)
+
+val ratio_percent : float -> float -> float
+(** [ratio_percent a b] is [100 * (a - b) / b]: how much larger [a] is
+    than the reference [b], in percent. *)
+
+val histogram : bins:int -> float array -> (float * int) array
+(** [histogram ~bins xs] returns [(bin_lower_edge, count)] pairs
+    covering [min xs, max xs].  Raises on empty input or [bins <= 0]. *)

@@ -1,0 +1,52 @@
+type align = Left | Right
+
+type t = {
+  headers : (string * align) array;
+  mutable rows : string array list; (* reversed *)
+}
+
+let create headers = { headers = Array.of_list headers; rows = [] }
+
+let add_row t cells =
+  let row = Array.of_list cells in
+  if Array.length row <> Array.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render t =
+  let ncols = Array.length t.headers in
+  let widths = Array.map (fun (h, _) -> String.length h) t.headers in
+  let rows = List.rev t.rows in
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell))
+        row)
+    rows;
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    for i = 0 to ncols - 1 do
+      let _, align = t.headers.(i) in
+      Buffer.add_string buf (pad align widths.(i) cells.(i));
+      if i < ncols - 1 then Buffer.add_string buf "  "
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_row (Array.map fst t.headers);
+  let rule_len = Array.fold_left ( + ) (2 * (ncols - 1)) widths in
+  Buffer.add_string buf (String.make rule_len '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  flush stdout

@@ -1,0 +1,22 @@
+(** Plain-text table rendering for benchmark reports.
+
+    The benchmark harness prints Table-1-style rows; this module keeps
+    the column alignment logic in one place. *)
+
+type align = Left | Right
+
+type t
+
+val create : (string * align) list -> t
+(** [create headers] starts a table with the given column headers and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row.  Raises [Invalid_argument] if the arity does not
+    match the header. *)
+
+val render : t -> string
+(** Renders with a header rule and padded columns. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline flush. *)

@@ -1,0 +1,129 @@
+module Sensor = Iddq_bic.Sensor
+module Test_time = Iddq_bic.Test_time
+module Detection = Iddq_bic.Detection
+module Technology = Iddq_celllib.Technology
+module Charac = Iddq_analysis.Charac
+module Library = Iddq_celllib.Library
+module Iscas = Iddq_netlist.Iscas
+
+let tech = Technology.default
+
+let test_sizing_meets_rail_budget () =
+  let s =
+    Sensor.size ~technology:tech ~peak_current:0.01
+      ~module_rail_capacitance:5e-12
+  in
+  Alcotest.(check (float 1e-9)) "rs = r*/imax"
+    (tech.Technology.rail_budget /. 0.01)
+    s.Sensor.rs;
+  Alcotest.(check (float 1e-9)) "perturbation at imax = r*"
+    tech.Technology.rail_budget
+    (Sensor.rail_perturbation s ~current:0.01);
+  Alcotest.(check (float 1e-6)) "area model"
+    (tech.Technology.sensor_area_fixed
+    +. (tech.Technology.sensor_area_conductance /. s.Sensor.rs))
+    s.Sensor.area;
+  Alcotest.(check (float 1e-20)) "tau = rs*cs" (s.Sensor.rs *. s.Sensor.cs)
+    s.Sensor.tau
+
+let test_sizing_zero_current_clips () =
+  let s =
+    Sensor.size ~technology:tech ~peak_current:0.0 ~module_rail_capacitance:1e-12
+  in
+  Alcotest.(check (float 0.0)) "clipped to max_rs" Sensor.max_rs s.Sensor.rs
+
+let test_area_monotone_in_current () =
+  let area i =
+    (Sensor.size ~technology:tech ~peak_current:i ~module_rail_capacitance:1e-12)
+      .Sensor.area
+  in
+  Alcotest.(check bool) "bigger current -> bigger switch" true
+    (area 0.02 > area 0.01)
+
+let test_cs_includes_sensor () =
+  let s =
+    Sensor.size ~technology:tech ~peak_current:0.01 ~module_rail_capacitance:3e-12
+  in
+  Alcotest.(check (float 1e-20)) "module + intrinsic"
+    (3e-12 +. tech.Technology.sensor_rail_capacitance)
+    s.Sensor.cs
+
+let test_for_module () =
+  let ch = Charac.make ~library:Library.default (Iscas.c17 ()) in
+  let s = Sensor.for_module ch (Array.init 6 Fun.id) in
+  let imax =
+    Iddq_analysis.Switching.max_transient_current ch (Array.init 6 Fun.id)
+  in
+  Alcotest.(check (float 1e-9)) "sized for the estimated peak" imax
+    s.Sensor.peak_current
+
+let test_settling_and_totals () =
+  let s =
+    Sensor.size ~technology:tech ~peak_current:0.01 ~module_rail_capacitance:5e-12
+  in
+  let settle = Test_time.settling tech s in
+  Alcotest.(check (float 1e-20)) "k * tau"
+    (tech.Technology.settling_decades *. s.Sensor.tau)
+    settle;
+  let d_bic = 50e-9 in
+  Alcotest.(check (float 1e-18)) "per vector = d + worst settle"
+    (d_bic +. settle)
+    (Test_time.per_vector tech ~d_bic [ s; s ]);
+  Alcotest.(check (float 1e-18)) "no sensors: just the delay" d_bic
+    (Test_time.per_vector tech ~d_bic []);
+  Alcotest.(check (float 1e-16)) "total scales with vectors"
+    (100.0 *. (d_bic +. settle))
+    (Test_time.total tech ~d_bic ~vectors:100 [ s ]);
+  Alcotest.(check (float 1e-18)) "summed module times"
+    (2.0 *. (d_bic +. settle))
+    (Test_time.summed_module_times tech ~d_bic [ s; s ])
+
+let test_detection_verdicts () =
+  Alcotest.(check string) "below threshold passes" "PASS"
+    (Detection.verdict_to_string
+       (Detection.strobe tech ~measured_current:(0.5 *. tech.Technology.iddq_threshold)));
+  Alcotest.(check string) "at threshold fails" "FAIL"
+    (Detection.verdict_to_string
+       (Detection.strobe tech ~measured_current:tech.Technology.iddq_threshold));
+  Alcotest.(check bool) "margin positive on pass" true
+    (Detection.margin tech ~measured_current:(0.1 *. tech.Technology.iddq_threshold)
+    > 0.0);
+  Alcotest.(check bool) "margin negative on fail" true
+    (Detection.margin tech ~measured_current:(2.0 *. tech.Technology.iddq_threshold)
+    < 0.0)
+
+let test_module_quiescent () =
+  let ch = Charac.make ~library:Library.default (Iscas.c17 ()) in
+  let gates = Array.init 6 Fun.id in
+  let base = Detection.module_quiescent ch gates ~extra_defect_current:0.0 in
+  let with_defect =
+    Detection.module_quiescent ch gates ~extra_defect_current:1e-6
+  in
+  Alcotest.(check (float 1e-18)) "adds the defect" (base +. 1e-6) with_defect
+
+let qcheck_rail_budget_never_exceeded =
+  QCheck.Test.make
+    ~name:"sized sensor never exceeds the rail budget at its design current"
+    ~count:300
+    QCheck.(float_range 1e-6 1.0)
+    (fun imax ->
+      let s =
+        Sensor.size ~technology:tech ~peak_current:imax
+          ~module_rail_capacitance:1e-12
+      in
+      Sensor.rail_perturbation s ~current:imax
+      <= tech.Technology.rail_budget +. 1e-12)
+
+let tests =
+  [
+    Alcotest.test_case "sizing meets rail budget" `Quick
+      test_sizing_meets_rail_budget;
+    Alcotest.test_case "zero current clips" `Quick test_sizing_zero_current_clips;
+    Alcotest.test_case "area monotone" `Quick test_area_monotone_in_current;
+    Alcotest.test_case "cs includes sensor" `Quick test_cs_includes_sensor;
+    Alcotest.test_case "for_module" `Quick test_for_module;
+    Alcotest.test_case "settling and totals" `Quick test_settling_and_totals;
+    Alcotest.test_case "detection verdicts" `Quick test_detection_verdicts;
+    Alcotest.test_case "module quiescent" `Quick test_module_quiescent;
+    QCheck_alcotest.to_alcotest qcheck_rail_budget_never_exceeded;
+  ]

@@ -1,0 +1,113 @@
+module Cell = Iddq_celllib.Cell
+module Library = Iddq_celllib.Library
+module Technology = Iddq_celllib.Technology
+module Gate = Iddq_netlist.Gate
+
+let test_default_library_valid () =
+  let lib = Library.default in
+  List.iter
+    (fun k ->
+      let c = Library.cell lib k in
+      Alcotest.(check bool)
+        (Gate.to_string k ^ " positive fields")
+        true
+        (c.Cell.peak_current > 0.0 && c.Cell.leakage > 0.0 && c.Cell.delay > 0.0
+        && c.Cell.drive_resistance > 0.0
+        && c.Cell.output_capacitance > 0.0
+        && c.Cell.rail_capacitance > 0.0 && c.Cell.area > 0.0))
+    Gate.all_kinds
+
+let test_leakage_calibration () =
+  (* the calibration target of DESIGN.md: with the ISCAS mix, the mean
+     gate leakage keeps ~600-gate modules above discriminability 10 at
+     the 1 uA threshold *)
+  let lib = Library.default in
+  let tech = Library.technology lib in
+  let mix = Iddq_netlist.Generator.iscas_kind_mix in
+  let total_w = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 mix in
+  let mean_leak =
+    List.fold_left
+      (fun acc (k, w) -> acc +. (w /. total_w *. (Library.cell lib k).Cell.leakage))
+      0.0 mix
+  in
+  let max_gates =
+    tech.Technology.iddq_threshold
+    /. (tech.Technology.required_discriminability *. mean_leak)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "feasible module size %f in [400, 900]" max_gates)
+    true
+    (max_gates > 400.0 && max_gates < 900.0)
+
+let test_scale_for_fanin () =
+  let c = Library.cell Library.default Gate.Nand in
+  let c3 = Cell.scale_for_fanin c 3 in
+  let c5 = Cell.scale_for_fanin c 5 in
+  Alcotest.(check bool) "2-input unchanged" true (Cell.scale_for_fanin c 2 = c);
+  Alcotest.(check bool) "delay grows" true (c3.Cell.delay > c.Cell.delay);
+  Alcotest.(check bool) "monotone" true (c5.Cell.delay > c3.Cell.delay);
+  Alcotest.(check bool) "leakage grows" true (c5.Cell.leakage > c.Cell.leakage);
+  Alcotest.(check bool) "area grows" true (c5.Cell.area > c3.Cell.area)
+
+let test_library_missing_kind () =
+  let cells =
+    List.filter (fun (k, _) -> not (Gate.equal k Gate.Xor))
+      (List.map (fun k -> (k, Library.cell Library.default k)) Gate.all_kinds)
+  in
+  match Library.make ~technology:Technology.default ~cells () with
+  | Ok _ -> Alcotest.fail "expected missing-kind error"
+  | Error e ->
+    Alcotest.(check bool) ("mentions XOR: " ^ e) true
+      (String.length e > 0)
+
+let test_library_duplicate_kind () =
+  let nand = (Gate.Nand, Library.cell Library.default Gate.Nand) in
+  let cells =
+    nand :: List.map (fun k -> (k, Library.cell Library.default k)) Gate.all_kinds
+  in
+  match Library.make ~technology:Technology.default ~cells () with
+  | Ok _ -> Alcotest.fail "expected duplicate error"
+  | Error e ->
+    Alcotest.(check bool) ("mentions twice: " ^ e) true (String.length e > 0)
+
+let test_library_bad_cell () =
+  let bad = { (Library.cell Library.default Gate.Nand) with Cell.delay = -1.0 } in
+  let cells =
+    List.map
+      (fun k -> (k, if Gate.equal k Gate.Nand then bad else Library.cell Library.default k))
+      Gate.all_kinds
+  in
+  match Library.make ~technology:Technology.default ~cells () with
+  | Ok _ -> Alcotest.fail "expected bad-cell error"
+  | Error _ -> ()
+
+let test_technology_validation () =
+  Alcotest.(check bool) "default ok" true
+    (Technology.validate Technology.default = Ok ());
+  let bad = { Technology.default with Technology.rail_budget = 10.0 } in
+  Alcotest.(check bool) "rail budget > vdd rejected" true
+    (Result.is_error (Technology.validate bad));
+  let bad2 = { Technology.default with Technology.required_discriminability = 0.5 } in
+  Alcotest.(check bool) "d < 1 rejected" true
+    (Result.is_error (Technology.validate bad2));
+  let bad3 = { Technology.default with Technology.separation_cutoff = 0 } in
+  Alcotest.(check bool) "p < 1 rejected" true
+    (Result.is_error (Technology.validate bad3))
+
+let test_cell_for () =
+  let lib = Library.default in
+  let base = Library.cell lib Gate.And in
+  let derated = Library.cell_for lib Gate.And ~fanin:4 in
+  Alcotest.(check bool) "derated slower" true (derated.Cell.delay > base.Cell.delay)
+
+let tests =
+  [
+    Alcotest.test_case "default library valid" `Quick test_default_library_valid;
+    Alcotest.test_case "leakage calibration" `Quick test_leakage_calibration;
+    Alcotest.test_case "scale for fanin" `Quick test_scale_for_fanin;
+    Alcotest.test_case "missing kind" `Quick test_library_missing_kind;
+    Alcotest.test_case "duplicate kind" `Quick test_library_duplicate_kind;
+    Alcotest.test_case "bad cell" `Quick test_library_bad_cell;
+    Alcotest.test_case "technology validation" `Quick test_technology_validation;
+    Alcotest.test_case "cell_for derating" `Quick test_cell_for;
+  ]

@@ -1,0 +1,168 @@
+module Charac = Iddq_analysis.Charac
+module Partition = Iddq_core.Partition
+module Constraints = Iddq_core.Constraints
+module Cost = Iddq_core.Cost
+module Iscas = Iddq_netlist.Iscas
+module Generator = Iddq_netlist.Generator
+module Library = Iddq_celllib.Library
+module Technology = Iddq_celllib.Technology
+module Gate = Iddq_netlist.Gate
+module Rng = Iddq_util.Rng
+
+let make circuit = Charac.make ~library:Library.default circuit
+
+let library_with_threshold th =
+  match
+    Library.make ~name:"custom"
+      ~technology:{ Technology.default with Technology.iddq_threshold = th }
+      ~cells:(List.map (fun k -> (k, Library.cell Library.default k)) Gate.all_kinds)
+      ()
+  with
+  | Ok l -> l
+  | Error e -> failwith e
+
+let test_constraints_feasible_default () =
+  let ch = make (Iscas.c17 ()) in
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  Alcotest.(check bool) "tiny modules trivially feasible" true
+    (Constraints.satisfied p);
+  Alcotest.(check (float 0.0)) "deficit 0" 0.0 (Constraints.deficit p)
+
+let test_constraints_infeasible () =
+  (* a threshold so low that even one NAND gate violates d >= 10 *)
+  let ch = Charac.make ~library:(library_with_threshold 1e-12) (Iscas.c17 ()) in
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  Alcotest.(check bool) "violated" false (Constraints.satisfied p);
+  let violations = Constraints.check p in
+  Alcotest.(check int) "both modules listed" 2 (List.length violations);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "got < required" true
+        (v.Constraints.got < v.Constraints.required))
+    violations;
+  Alcotest.(check bool) "deficit positive" true (Constraints.deficit p > 0.0)
+
+let test_penalty_applied () =
+  let ch = Charac.make ~library:(library_with_threshold 1e-12) (Iscas.c17 ()) in
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let b = Cost.evaluate p in
+  Alcotest.(check bool) "penalized > total" true (b.Cost.penalized > b.Cost.total);
+  Alcotest.(check bool) "flagged infeasible" false b.Cost.feasible
+
+let test_feasible_no_penalty () =
+  let ch = make (Iscas.c17 ()) in
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let b = Cost.evaluate p in
+  Alcotest.(check (float 1e-12)) "penalized = total" b.Cost.total b.Cost.penalized;
+  Alcotest.(check bool) "feasible" true b.Cost.feasible
+
+let test_breakdown_sanity () =
+  let ch = make (Iscas.c17 ()) in
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let b = Cost.evaluate p in
+  Alcotest.(check (float 1e-9)) "c1 = log area" (log b.Cost.sensor_area)
+    b.Cost.c1_area;
+  Alcotest.(check (float 1e-9)) "c5 = module count" 2.0 b.Cost.c5_module_count;
+  Alcotest.(check bool) "bic delay >= nominal" true
+    (b.Cost.bic_delay >= b.Cost.nominal_delay);
+  Alcotest.(check (float 1e-9)) "c2 consistent"
+    ((b.Cost.bic_delay -. b.Cost.nominal_delay) /. b.Cost.nominal_delay)
+    b.Cost.c2_delay;
+  Alcotest.(check bool) "test time per vector > bic delay" true
+    (b.Cost.test_time_per_vector > b.Cost.bic_delay)
+
+let test_weights_respected () =
+  let ch = make (Iscas.c17 ()) in
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let b = Cost.evaluate ~weights:Cost.equal_weights p in
+  let expected =
+    b.Cost.c1_area +. b.Cost.c2_delay +. b.Cost.c3_separation
+    +. b.Cost.c4_test_time +. b.Cost.c5_module_count
+  in
+  Alcotest.(check (float 1e-9)) "equal weights sum" expected b.Cost.total
+
+let test_paper_weights_values () =
+  let w = Cost.paper_weights in
+  Alcotest.(check (float 0.0)) "area 9" 9.0 w.Cost.w_area;
+  Alcotest.(check (float 0.0)) "delay 1e5" 1.0e5 w.Cost.w_delay;
+  Alcotest.(check (float 0.0)) "separation 1" 1.0 w.Cost.w_separation;
+  Alcotest.(check (float 0.0)) "test 1" 1.0 w.Cost.w_test_time;
+  Alcotest.(check (float 0.0)) "count 10" 10.0 w.Cost.w_module_count
+
+let test_merge_lowers_module_count_cost () =
+  let ch = make (Iscas.c17 ()) in
+  let two = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let one = Partition.create ch ~assignment:[| 0; 0; 0; 0; 0; 0 |] in
+  let b2 = Cost.evaluate two and b1 = Cost.evaluate one in
+  Alcotest.(check bool) "c5 smaller" true
+    (b1.Cost.c5_module_count < b2.Cost.c5_module_count)
+
+let qcheck_cost_invariant_under_move_roundtrip =
+  QCheck.Test.make
+    ~name:"cost identical after a move and its inverse" ~count:25
+    QCheck.(pair (int_range 20 60) (int_range 1 100000))
+    (fun (gates, seed) ->
+      let rng = Rng.create seed in
+      let circuit =
+        Generator.layered_dag ~rng ~name:"q" ~num_inputs:6 ~num_outputs:3
+          ~num_gates:gates ~depth:(1 + (gates / 8)) ()
+      in
+      let ch = make circuit in
+      let p = Partition.create ch ~assignment:(Array.init gates (fun g -> g mod 3)) in
+      let before = (Cost.evaluate p).Cost.penalized in
+      let g = Rng.int rng gates in
+      let src = Partition.module_of_gate p g in
+      let target = (src + 1) mod 3 in
+      if Partition.size p src > 1 then begin
+        Partition.move_gate p g target;
+        Partition.move_gate p g src
+      end;
+      let after = (Cost.evaluate p).Cost.penalized in
+      Float.abs (before -. after) < 1e-9 *. Stdlib.max 1.0 (Float.abs before))
+
+let qcheck_incremental_cost_equals_fresh =
+  QCheck.Test.make
+    ~name:"cost from incremental aggregates = cost from a fresh partition"
+    ~count:20
+    QCheck.(triple (int_range 20 60) (int_range 2 5) (int_range 1 100000))
+    (fun (gates, k, seed) ->
+      let rng = Rng.create seed in
+      let circuit =
+        Generator.layered_dag ~rng ~name:"q" ~num_inputs:6 ~num_outputs:3
+          ~num_gates:gates ~depth:(1 + (gates / 8)) ()
+      in
+      let ch = make circuit in
+      let p = Partition.create ch ~assignment:(Array.init gates (fun g -> g mod k)) in
+      (* random walk *)
+      for _ = 1 to 40 do
+        if Partition.num_modules p >= 2 then begin
+          let g = Rng.int rng gates in
+          let target = Rng.choose_list rng (Partition.module_ids p) in
+          if target <> Partition.module_of_gate p g then
+            Partition.move_gate p g target
+        end
+      done;
+      (* rebuild from the final assignment with dense ids *)
+      let assignment = Partition.assignment p in
+      let live = Partition.module_ids p in
+      let remap = Hashtbl.create 8 in
+      List.iteri (fun i m -> Hashtbl.replace remap m i) live;
+      let dense = Array.map (Hashtbl.find remap) assignment in
+      let fresh = Partition.create ch ~assignment:dense in
+      let a = (Cost.evaluate p).Cost.penalized in
+      let b = (Cost.evaluate fresh).Cost.penalized in
+      Float.abs (a -. b) < 1e-9 *. Stdlib.max 1.0 (Float.abs a))
+
+let tests =
+  [
+    Alcotest.test_case "constraints feasible" `Quick test_constraints_feasible_default;
+    Alcotest.test_case "constraints infeasible" `Quick test_constraints_infeasible;
+    Alcotest.test_case "penalty applied" `Quick test_penalty_applied;
+    Alcotest.test_case "feasible no penalty" `Quick test_feasible_no_penalty;
+    Alcotest.test_case "breakdown sanity" `Quick test_breakdown_sanity;
+    Alcotest.test_case "weights respected" `Quick test_weights_respected;
+    Alcotest.test_case "paper weights" `Quick test_paper_weights_values;
+    Alcotest.test_case "merge lowers c5" `Quick test_merge_lowers_module_count_cost;
+    QCheck_alcotest.to_alcotest qcheck_cost_invariant_under_move_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_incremental_cost_equals_fresh;
+  ]

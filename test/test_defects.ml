@@ -1,0 +1,157 @@
+module Fault = Iddq_defects.Fault
+module Iddq_sim = Iddq_defects.Iddq_sim
+module Logic_sim = Iddq_patterns.Logic_sim
+module Pattern_gen = Iddq_patterns.Pattern_gen
+module Charac = Iddq_analysis.Charac
+module Partition = Iddq_core.Partition
+module Iscas = Iddq_netlist.Iscas
+module Circuit = Iddq_netlist.Circuit
+module Library = Iddq_celllib.Library
+module Rng = Iddq_util.Rng
+
+let c17 = Iscas.c17 ()
+let ch = Charac.make ~library:Library.default c17
+
+let node name = Option.get (Circuit.node_id_of_name c17 name)
+
+let test_bridge_activation () =
+  (* bridge between input 1 and input 2: active when they differ *)
+  let f = Fault.Bridge (node "1", node "2") in
+  let v_same = Logic_sim.eval c17 [| true; true; false; false; false |] in
+  let v_diff = Logic_sim.eval c17 [| true; false; false; false; false |] in
+  Alcotest.(check bool) "same values: quiet" false (Fault.activated c17 f v_same);
+  Alcotest.(check bool) "opposite values: active" true (Fault.activated c17 f v_diff)
+
+let test_gos_activation () =
+  let f = Fault.Gate_oxide_short (node "10", true) in
+  (* g10 = NAND(1,3): output false iff both true *)
+  let v_high = Logic_sim.eval c17 [| false; false; false; false; false |] in
+  let v_low = Logic_sim.eval c17 [| true; false; true; false; false |] in
+  Alcotest.(check bool) "active when node high" true (Fault.activated c17 f v_high);
+  Alcotest.(check bool) "quiet when node low" false (Fault.activated c17 f v_low)
+
+let test_floating_gate_always_active () =
+  let f = Fault.Floating_gate (node "16") in
+  let v = Logic_sim.eval c17 [| false; true; false; true; false |] in
+  Alcotest.(check bool) "always active" true (Fault.activated c17 f v)
+
+let test_location () =
+  let g10 = Circuit.gate_of_node c17 (node "10") in
+  Alcotest.(check int) "bridge at driving gate" g10
+    (Fault.location c17 (Fault.Bridge (node "10", node "1")));
+  Alcotest.(check int) "bridge picks the gate-driven net" g10
+    (Fault.location c17 (Fault.Bridge (node "1", node "10")));
+  Alcotest.(check int) "gos location" g10
+    (Fault.location c17 (Fault.Gate_oxide_short (node "10", true)));
+  Alcotest.(check bool) "input-input bridge rejected" true
+    (try ignore (Fault.location c17 (Fault.Bridge (node "1", node "2"))); false
+     with Invalid_argument _ -> true)
+
+let test_random_population () =
+  let rng = Rng.create 3 in
+  let pop = Fault.random_population ~rng c17 ~count:50 ~defect_current:1e-6 in
+  Alcotest.(check int) "count" 50 (List.length pop);
+  List.iter
+    (fun inj ->
+      Alcotest.(check (float 0.0)) "current" 1e-6 inj.Fault.defect_current;
+      (* location never raises: bridges always include a gate net *)
+      ignore (Fault.location c17 inj.Fault.fault))
+    pop
+
+let test_partitioned_detection () =
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let vectors = Pattern_gen.exhaustive c17 in
+  (* a 2 uA gate-oxide short is far above the 1 uA threshold and is
+     activated by some vector *)
+  let faults =
+    [ { Fault.fault = Fault.Gate_oxide_short (node "10", true); defect_current = 2e-6 } ]
+  in
+  let r = Iddq_sim.run_partitioned p ~vectors ~faults in
+  Alcotest.(check (float 0.0)) "full coverage" 1.0 r.Iddq_sim.coverage;
+  (match r.Iddq_sim.detections with
+  | [ d ] ->
+    Alcotest.(check bool) "detected" true d.Iddq_sim.detected;
+    Alcotest.(check bool) "vector recorded" true (d.Iddq_sim.detecting_vector <> None);
+    Alcotest.(check (option int)) "module recorded" (Some 0) d.Iddq_sim.module_id
+  | _ -> Alcotest.fail "one detection expected");
+  Alcotest.(check bool) "test time positive" true (r.Iddq_sim.test_time > 0.0)
+
+let test_below_threshold_not_detected () =
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let vectors = Pattern_gen.exhaustive c17 in
+  let faults =
+    [ { Fault.fault = Fault.Gate_oxide_short (node "10", true); defect_current = 1e-8 } ]
+  in
+  let r = Iddq_sim.run_partitioned p ~vectors ~faults in
+  Alcotest.(check (float 0.0)) "missed" 0.0 r.Iddq_sim.coverage
+
+let test_never_activated_not_detected () =
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  (* only vectors where inputs 1 and 3 are both true: g10 stays low,
+     so a high-polarity short on g10 never conducts *)
+  let vectors =
+    [| [| true; false; true; false; false |]; [| true; true; true; true; true |] |]
+  in
+  let faults =
+    [ { Fault.fault = Fault.Gate_oxide_short (node "10", true); defect_current = 5e-6 } ]
+  in
+  let r = Iddq_sim.run_partitioned p ~vectors ~faults in
+  Alcotest.(check (float 0.0)) "not activated, not detected" 0.0
+    r.Iddq_sim.coverage
+
+let test_single_sensor_guard_band () =
+  (* make the whole-chip leakage matter: leaky library, defect current
+     below the guard-banded threshold but above the per-module one *)
+  let leaky_cells =
+    List.map
+      (fun k ->
+        let c = Library.cell Library.default k in
+        (k, { c with Iddq_celllib.Cell.leakage = 1500.0 *. c.Iddq_celllib.Cell.leakage }))
+      Iddq_netlist.Gate.all_kinds
+  in
+  let leaky =
+    match
+      Library.make ~name:"leaky" ~technology:(Library.technology Library.default)
+        ~cells:leaky_cells ()
+    with
+    | Ok l -> l
+    | Error e -> failwith e
+  in
+  let ch = Charac.make ~library:leaky c17 in
+  (* total leakage = 6 NAND * 180 nA = 1.08 uA; guard band 2 puts the
+     single-sensor threshold at 2.16 uA, so a 0.8 uA defect hides
+     under it (1.88 uA measured) while a module sensor sees
+     0.54 + 0.8 = 1.34 uA >= the 1 uA threshold *)
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let vectors = Pattern_gen.exhaustive c17 in
+  let faults =
+    [ { Fault.fault = Fault.Gate_oxide_short (node "10", true); defect_current = 0.8e-6 } ]
+  in
+  let partitioned = Iddq_sim.run_partitioned p ~vectors ~faults in
+  let single = Iddq_sim.run_single_sensor ch ~vectors ~faults in
+  Alcotest.(check (float 0.0)) "partitioned catches it" 1.0
+    partitioned.Iddq_sim.coverage;
+  Alcotest.(check (float 0.0)) "single sensor misses it" 0.0
+    single.Iddq_sim.coverage
+
+let test_empty_fault_list () =
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let r =
+    Iddq_sim.run_partitioned p ~vectors:(Pattern_gen.exhaustive c17) ~faults:[]
+  in
+  Alcotest.(check (float 0.0)) "vacuous coverage 1" 1.0 r.Iddq_sim.coverage
+
+let tests =
+  [
+    Alcotest.test_case "bridge activation" `Quick test_bridge_activation;
+    Alcotest.test_case "gos activation" `Quick test_gos_activation;
+    Alcotest.test_case "floating gate" `Quick test_floating_gate_always_active;
+    Alcotest.test_case "location" `Quick test_location;
+    Alcotest.test_case "random population" `Quick test_random_population;
+    Alcotest.test_case "partitioned detection" `Quick test_partitioned_detection;
+    Alcotest.test_case "below threshold" `Quick test_below_threshold_not_detected;
+    Alcotest.test_case "never activated" `Quick test_never_activated_not_detected;
+    Alcotest.test_case "single sensor guard band" `Quick
+      test_single_sensor_guard_band;
+    Alcotest.test_case "empty fault list" `Quick test_empty_fault_list;
+  ]

@@ -1,0 +1,98 @@
+module Dot = Iddq_netlist.Dot
+module Iscas = Iddq_netlist.Iscas
+module Charac = Iddq_analysis.Charac
+module Partition = Iddq_core.Partition
+module Partition_io = Iddq_core.Partition_io
+module Library = Iddq_celllib.Library
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+  m = 0 || scan 0
+
+let test_dot_plain () =
+  let c = Iscas.c17 () in
+  let dot = Dot.of_circuit c in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph");
+  Alcotest.(check bool) "input box" true (contains dot "\"1\" [shape=box]");
+  Alcotest.(check bool) "edge 10 -> 22" true (contains dot "\"10\" -> \"22\"");
+  Alcotest.(check bool) "output double circle" true
+    (contains dot "doublecircle");
+  Alcotest.(check bool) "gate kind label" true (contains dot "NAND");
+  Alcotest.(check bool) "closed" true (contains dot "}")
+
+let test_dot_clustered () =
+  let c = Iscas.c17 () in
+  let ch = Charac.make ~library:Library.default c in
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let dot = Dot.of_circuit ~module_of_gate:(Partition.module_of_gate p) c in
+  Alcotest.(check bool) "cluster 0" true (contains dot "subgraph cluster_0");
+  Alcotest.(check bool) "cluster 1" true (contains dot "subgraph cluster_1");
+  Alcotest.(check bool) "fill colours" true (contains dot "fillcolor")
+
+let test_partition_io_roundtrip () =
+  let c = Iscas.c17 () in
+  let ch = Charac.make ~library:Library.default c in
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let text = Partition_io.to_string p in
+  match Partition_io.of_string ch text with
+  | Error e -> Alcotest.failf "reload failed: %s" e
+  | Ok q ->
+    Alcotest.(check int) "modules" (Partition.num_modules p)
+      (Partition.num_modules q);
+    (* same grouping up to relabelling: compare canonical forms *)
+    let canon r =
+      List.map
+        (fun m -> Array.to_list (Partition.members r m))
+        (Partition.module_ids r)
+      |> List.sort compare
+    in
+    Alcotest.(check bool) "same grouping" true (canon p = canon q)
+
+let test_partition_io_errors () =
+  let c = Iscas.c17 () in
+  let ch = Charac.make ~library:Library.default c in
+  let is_err s =
+    match Partition_io.of_string ch s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "unknown net" true (is_err "module 0: bogus\n");
+  Alcotest.(check bool) "input not a gate" true (is_err "module 0: 1\n");
+  Alcotest.(check bool) "duplicate gate" true
+    (is_err "module 0: 10 10 11 16 19 22 23\n");
+  Alcotest.(check bool) "missing gate" true (is_err "module 0: 10 11\n");
+  Alcotest.(check bool) "sparse ids" true
+    (is_err "module 1: 10 11 16 19 22 23\n");
+  Alcotest.(check bool) "empty" true (is_err "");
+  Alcotest.(check bool) "garbage" true (is_err "hello world\n")
+
+let test_partition_io_comments_tolerated () =
+  let c = Iscas.c17 () in
+  let ch = Charac.make ~library:Library.default c in
+  let text = "# header\nmodule 0: 10 16 22  # cone of 22\nmodule 1: 11 19 23\n" in
+  match Partition_io.of_string ch text with
+  | Error e -> Alcotest.failf "comments broke parse: %s" e
+  | Ok q -> Alcotest.(check int) "two modules" 2 (Partition.num_modules q)
+
+let test_partition_io_file () =
+  let c = Iscas.c17 () in
+  let ch = Charac.make ~library:Library.default c in
+  let p = Partition.create ch ~assignment:[| 0; 0; 0; 1; 1; 1 |] in
+  let path = Filename.temp_file "iddq_part" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Partition_io.write_file path p;
+      match Partition_io.read_file ch path with
+      | Ok q -> Alcotest.(check int) "modules" 2 (Partition.num_modules q)
+      | Error e -> Alcotest.failf "read_file: %s" e)
+
+let tests =
+  [
+    Alcotest.test_case "dot plain" `Quick test_dot_plain;
+    Alcotest.test_case "dot clustered" `Quick test_dot_clustered;
+    Alcotest.test_case "partition io roundtrip" `Quick test_partition_io_roundtrip;
+    Alcotest.test_case "partition io errors" `Quick test_partition_io_errors;
+    Alcotest.test_case "partition io comments" `Quick
+      test_partition_io_comments_tolerated;
+    Alcotest.test_case "partition io file" `Quick test_partition_io_file;
+  ]

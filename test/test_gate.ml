@@ -1,0 +1,101 @@
+module Gate = Iddq_netlist.Gate
+
+let check_eval kind inputs expected =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s%s" (Gate.to_string kind)
+       (String.concat ""
+          (List.map (fun b -> if b then "1" else "0") (Array.to_list inputs))))
+    expected
+    (Gate.eval kind inputs)
+
+let test_two_input_truth_tables () =
+  let cases =
+    [
+      (Gate.And, [ false; false; false; true ]);
+      (Gate.Nand, [ true; true; true; false ]);
+      (Gate.Or, [ false; true; true; true ]);
+      (Gate.Nor, [ true; false; false; false ]);
+      (Gate.Xor, [ false; true; true; false ]);
+      (Gate.Xnor, [ true; false; false; true ]);
+    ]
+  in
+  List.iter
+    (fun (kind, expected) ->
+      List.iteri
+        (fun i exp ->
+          let a = i land 2 <> 0 and b = i land 1 <> 0 in
+          check_eval kind [| a; b |] exp)
+        expected)
+    cases
+
+let test_unary () =
+  check_eval Gate.Not [| true |] false;
+  check_eval Gate.Not [| false |] true;
+  check_eval Gate.Buff [| true |] true;
+  check_eval Gate.Buff [| false |] false
+
+let test_wide_gates () =
+  check_eval Gate.And [| true; true; true |] true;
+  check_eval Gate.And [| true; false; true |] false;
+  check_eval Gate.Nor [| false; false; false; false |] true;
+  check_eval Gate.Xor [| true; true; true |] true;
+  (* parity *)
+  check_eval Gate.Xor [| true; true; true; true |] false;
+  check_eval Gate.Xnor [| true; true; true |] false
+
+let test_arity_validation () =
+  Alcotest.(check bool) "NOT arity 1" true (Gate.arity_ok Gate.Not 1);
+  Alcotest.(check bool) "NOT arity 2" false (Gate.arity_ok Gate.Not 2);
+  Alcotest.(check bool) "AND arity 1" false (Gate.arity_ok Gate.And 1);
+  Alcotest.(check bool) "AND arity 5" true (Gate.arity_ok Gate.And 5);
+  Alcotest.check_raises "eval checks arity"
+    (Invalid_argument "Gate.eval: NOT with 2 inputs") (fun () ->
+      ignore (Gate.eval Gate.Not [| true; false |]))
+
+let test_string_roundtrip () =
+  List.iter
+    (fun k ->
+      match Gate.of_string (Gate.to_string k) with
+      | Some k' -> Alcotest.(check bool) (Gate.to_string k) true (Gate.equal k k')
+      | None -> Alcotest.fail "roundtrip failed")
+    Gate.all_kinds;
+  Alcotest.(check bool) "case-insensitive" true
+    (Gate.of_string "nand" = Some Gate.Nand);
+  Alcotest.(check bool) "BUF synonym" true (Gate.of_string "BUF" = Some Gate.Buff);
+  Alcotest.(check bool) "INV synonym" true (Gate.of_string "inv" = Some Gate.Not);
+  Alcotest.(check bool) "unknown" true (Gate.of_string "FOO" = None)
+
+let test_all_kinds_complete () =
+  Alcotest.(check int) "eight kinds" 8 (List.length Gate.all_kinds)
+
+let qcheck_demorgan =
+  (* NAND(a,b) = OR(not a, not b), over arbitrary widths *)
+  QCheck.Test.make ~name:"De Morgan: NAND = OR of negations" ~count:200
+    QCheck.(array_of_size Gen.(int_range 2 6) bool)
+    (fun inputs ->
+      Gate.eval Gate.Nand inputs
+      = Gate.eval Gate.Or (Array.map not inputs))
+
+let qcheck_xor_assoc =
+  QCheck.Test.make ~name:"wide XOR = fold of 2-input XOR" ~count:200
+    QCheck.(array_of_size Gen.(int_range 2 8) bool)
+    (fun inputs ->
+      let folded =
+        Array.fold_left
+          (fun acc b -> Gate.eval Gate.Xor [| acc; b |])
+          inputs.(0)
+          (Array.sub inputs 1 (Array.length inputs - 1))
+      in
+      Gate.eval Gate.Xor inputs = folded)
+
+let tests =
+  [
+    Alcotest.test_case "2-input truth tables" `Quick test_two_input_truth_tables;
+    Alcotest.test_case "unary gates" `Quick test_unary;
+    Alcotest.test_case "wide gates" `Quick test_wide_gates;
+    Alcotest.test_case "arity validation" `Quick test_arity_validation;
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "all kinds" `Quick test_all_kinds_complete;
+    QCheck_alcotest.to_alcotest qcheck_demorgan;
+    QCheck_alcotest.to_alcotest qcheck_xor_assoc;
+  ]

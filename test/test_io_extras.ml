@@ -1,0 +1,136 @@
+module Pattern_io = Iddq_patterns.Pattern_io
+module Pattern_gen = Iddq_patterns.Pattern_gen
+module Library_io = Iddq_celllib.Library_io
+module Library = Iddq_celllib.Library
+module Technology = Iddq_celllib.Technology
+module Cell = Iddq_celllib.Cell
+module Gate = Iddq_netlist.Gate
+module Iscas = Iddq_netlist.Iscas
+module Charac = Iddq_analysis.Charac
+module Timing = Iddq_analysis.Timing
+module Rng = Iddq_util.Rng
+
+let test_pattern_roundtrip () =
+  let rng = Rng.create 3 in
+  let c = Iscas.c17 () in
+  let vectors = Pattern_gen.random ~rng c ~count:20 in
+  match Pattern_io.of_string ~expected_width:5 (Pattern_io.to_string vectors) with
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Ok v' ->
+    Alcotest.(check int) "count" 20 (Array.length v');
+    Alcotest.(check bool) "identical" true (vectors = v')
+
+let test_pattern_errors () =
+  let err s = Result.is_error (Pattern_io.of_string ~expected_width:3 s) in
+  Alcotest.(check bool) "wrong width" true (err "0101\n");
+  Alcotest.(check bool) "bad char" true (err "0x1\n");
+  Alcotest.(check bool) "comments ok" false (err "# note\n010\n011\n");
+  match Pattern_io.of_string ~expected_width:3 "010 # trailing\n" with
+  | Ok v -> Alcotest.(check int) "trailing comment" 1 (Array.length v)
+  | Error e -> Alcotest.failf "trailing comment: %s" e
+
+let test_pattern_file () =
+  let path = Filename.temp_file "iddq_vec" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Pattern_io.write_file path [| [| true; false |]; [| false; true |] |];
+      match Pattern_io.read_file ~expected_width:2 path with
+      | Ok v -> Alcotest.(check int) "two vectors" 2 (Array.length v)
+      | Error e -> Alcotest.failf "read: %s" e)
+
+let test_library_roundtrip () =
+  let text = Library_io.to_string Library.default in
+  match Library_io.parse_string ~name:"cmos1u" text with
+  | Error e -> Alcotest.failf "library roundtrip: %s" e
+  | Ok lib ->
+    Alcotest.(check bool) "technology identical" true
+      (Library.technology lib = Library.technology Library.default);
+    List.iter
+      (fun k ->
+        Alcotest.(check bool)
+          (Gate.to_string k ^ " identical")
+          true
+          (Library.cell lib k = Library.cell Library.default k))
+      Gate.all_kinds
+
+let test_library_partial_technology_defaults () =
+  (* only cells + one technology override: the rest defaults *)
+  let cells_text =
+    String.concat "\n"
+      (List.map
+         (fun k ->
+           let c = Library.cell Library.default k in
+           Printf.sprintf
+             "[%s]\npeak_current = %g\nleakage = %g\ndelay = %g\n\
+              drive_resistance = %g\noutput_capacitance = %g\n\
+              rail_capacitance = %g\narea = %g"
+             (Gate.to_string k) c.Cell.peak_current c.Cell.leakage c.Cell.delay
+             c.Cell.drive_resistance c.Cell.output_capacitance
+             c.Cell.rail_capacitance c.Cell.area)
+         Gate.all_kinds)
+  in
+  let text = "[technology]\nvdd = 3.3\n" ^ cells_text ^ "\n" in
+  match Library_io.parse_string text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok lib ->
+    let t = Library.technology lib in
+    Alcotest.(check (float 0.0)) "vdd overridden" 3.3 t.Technology.vdd;
+    Alcotest.(check (float 0.0)) "threshold defaulted"
+      Technology.default.Technology.iddq_threshold t.Technology.iddq_threshold
+
+let test_library_errors () =
+  let err s = Result.is_error (Library_io.parse_string s) in
+  Alcotest.(check bool) "missing sections" true (err "[technology]\nvdd = 5\n");
+  Alcotest.(check bool) "bad number" true
+    (err "[NAND]\npeak_current = banana\n");
+  Alcotest.(check bool) "entry before section" true (err "vdd = 5\n");
+  Alcotest.(check bool) "unterminated header" true (err "[technology\nvdd = 5\n")
+
+let test_library_file () =
+  let path = Filename.temp_file "iddq_lib" ".ini" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Library_io.write_file path Library.default;
+      match Library_io.parse_file path with
+      | Ok lib ->
+        Alcotest.(check bool) "cells survive" true
+          (Library.cell lib Gate.Nand = Library.cell Library.default Gate.Nand)
+      | Error e -> Alcotest.failf "parse_file: %s" e)
+
+(* slack property: stretching any single gate by less than its slack
+   never lengthens the critical path *)
+let qcheck_slack_soundness =
+  QCheck.Test.make
+    ~name:"slowing a gate within its slack keeps the longest path" ~count:30
+    QCheck.(triple (int_range 20 80) (int_range 1 100000) (float_bound_exclusive 1.0))
+    (fun (gates, seed, fraction) ->
+      let rng = Rng.create seed in
+      let circuit =
+        Iddq_netlist.Generator.layered_dag ~rng ~name:"q" ~num_inputs:6
+          ~num_outputs:3 ~num_gates:gates ~depth:(1 + (gates / 8)) ()
+      in
+      let ch = Charac.make ~library:Library.default circuit in
+      let delay = Charac.delay ch in
+      let slacks = Timing.slacks ch ~gate_delay:delay in
+      let d = Timing.longest_path ch ~gate_delay:delay in
+      let victim = Rng.int rng gates in
+      let stretched g =
+        if g = victim then delay g +. (fraction *. slacks.(g)) else delay g
+      in
+      let d' = Timing.longest_path ch ~gate_delay:stretched in
+      d' <= d +. 1e-12)
+
+let tests =
+  [
+    Alcotest.test_case "pattern roundtrip" `Quick test_pattern_roundtrip;
+    Alcotest.test_case "pattern errors" `Quick test_pattern_errors;
+    Alcotest.test_case "pattern file" `Quick test_pattern_file;
+    Alcotest.test_case "library roundtrip" `Quick test_library_roundtrip;
+    Alcotest.test_case "library partial technology" `Quick
+      test_library_partial_technology_defaults;
+    Alcotest.test_case "library errors" `Quick test_library_errors;
+    Alcotest.test_case "library file" `Quick test_library_file;
+    QCheck_alcotest.to_alcotest qcheck_slack_soundness;
+  ]

@@ -1,0 +1,148 @@
+module Placement = Iddq_layout.Placement
+module Iscas = Iddq_netlist.Iscas
+module Circuit = Iddq_netlist.Circuit
+module Generator = Iddq_netlist.Generator
+module Rng = Iddq_util.Rng
+
+let test_positions_in_bounds () =
+  let c = Iscas.c432_like () in
+  let p = Placement.place c in
+  let w, h = Placement.dimensions p in
+  for g = 0 to Circuit.num_gates c - 1 do
+    let x, y = Placement.position p g in
+    Alcotest.(check bool)
+      (Printf.sprintf "gate %d in bounds" g)
+      true
+      (x >= 0.0 && x <= w && y >= 0.0 && y <= h)
+  done
+
+let test_deterministic () =
+  let c = Iscas.c432_like () in
+  let a = Placement.place ~seed:3 c and b = Placement.place ~seed:3 c in
+  for g = 0 to Circuit.num_gates c - 1 do
+    Alcotest.(check bool) "same position" true
+      (Placement.position a g = Placement.position b g)
+  done
+
+let test_mincut_beats_random () =
+  (* a connectivity-driven placement must wire a structured circuit
+     more tightly than a shuffle *)
+  let c = Iscas.c880_like () in
+  let placed = Placement.place c in
+  let rng = Rng.create 9 in
+  let shuffled = Placement.random ~rng c in
+  let a = Placement.hpwl placed and b = Placement.hpwl shuffled in
+  Alcotest.(check bool)
+    (Printf.sprintf "placed %.1f < random %.1f" a b)
+    true (a < b)
+
+let test_chain_hpwl_small () =
+  (* a chain places onto a line-ish layout: each net spans few cells *)
+  let c = Generator.chain ~length:64 () in
+  let p = Placement.place c in
+  let per_net = Placement.hpwl p /. 63.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f pitches per chain net" per_net)
+    true (per_net < 3.0)
+
+let test_net_hpwl_sink () =
+  let c = Generator.chain ~length:4 () in
+  let p = Placement.place c in
+  (* the last gate drives no gate: empty net *)
+  Alcotest.(check (float 0.0)) "sink net" 0.0 (Placement.net_hpwl p 3)
+
+let test_module_bbox () =
+  let c = Iscas.c432_like () in
+  let p = Placement.place c in
+  let gates = [| 0; 1; 2; 3; 4 |] in
+  let x0, y0, x1, y1 = Placement.module_bbox p gates in
+  Alcotest.(check bool) "bbox ordered" true (x0 <= x1 && y0 <= y1);
+  Array.iter
+    (fun g ->
+      let x, y = Placement.position p g in
+      Alcotest.(check bool) "inside" true (x >= x0 && x <= x1 && y >= y0 && y <= y1))
+    gates;
+  Alcotest.(check (float 1e-9)) "rail length = half perimeter"
+    (x1 -. x0 +. (y1 -. y0))
+    (Placement.module_rail_length p gates);
+  Alcotest.(check bool) "empty rejected" true
+    (try ignore (Placement.module_bbox p [||]); false
+     with Invalid_argument _ -> true)
+
+let test_sensor_chain () =
+  let c = Iscas.c432_like () in
+  let p = Placement.place c in
+  let all = Array.init (Circuit.num_gates c) Fun.id in
+  Alcotest.(check (float 0.0)) "one module: no chain" 0.0
+    (Placement.sensor_chain_length p [ all ]);
+  let halves =
+    [ Array.sub all 0 80; Array.sub all 80 80 ]
+  in
+  Alcotest.(check bool) "two modules: positive chain" true
+    (Placement.sensor_chain_length p halves > 0.0);
+  (* more modules, longer chain *)
+  let quarters =
+    [ Array.sub all 0 40; Array.sub all 40 40; Array.sub all 80 40;
+      Array.sub all 120 40 ]
+  in
+  Alcotest.(check bool) "chain grows with module count" true
+    (Placement.sensor_chain_length p quarters
+    >= Placement.sensor_chain_length p halves)
+
+let test_separation_correlates_with_bbox () =
+  (* the paper's S(M) metric should track physical rail length:
+     averaged over samples, connected BFS balls need less rail (and
+     less separation) than random scatters of the same size *)
+  let c = Iscas.c880_like () in
+  let p = Placement.place c in
+  let u = Iddq_netlist.Graph_algo.undirected_of_circuit c in
+  let rng = Rng.create 4 in
+  let n = Circuit.num_gates c in
+  let size = 12 and samples = 12 in
+  let ball () =
+    let seen = Hashtbl.create 16 in
+    let q = Queue.create () in
+    Queue.add (Rng.int rng n) q;
+    while Hashtbl.length seen < size && not (Queue.is_empty q) do
+      let g = Queue.pop q in
+      if not (Hashtbl.mem seen g) then begin
+        Hashtbl.replace seen g ();
+        Iddq_netlist.Graph_algo.iter_neighbours u g (fun h -> Queue.add h q)
+      end
+    done;
+    Array.of_seq (Hashtbl.to_seq_keys seen)
+  in
+  let scatter () =
+    Rng.sample_without_replacement rng size (Array.init n Fun.id)
+  in
+  let sep gates =
+    float_of_int (Iddq_netlist.Graph_algo.module_separation u ~cutoff:6 gates)
+  in
+  let rail gates = Placement.module_rail_length p gates in
+  let mean f make =
+    let total = ref 0.0 in
+    for _ = 1 to samples do
+      total := !total +. f (make ())
+    done;
+    !total /. float_of_int samples
+  in
+  let sep_ball = mean sep ball and sep_scatter = mean sep scatter in
+  let rail_ball = mean rail ball and rail_scatter = mean rail scatter in
+  Alcotest.(check bool)
+    (Printf.sprintf "balls: S=%.0f rail=%.1f; scatters: S=%.0f rail=%.1f"
+       sep_ball rail_ball sep_scatter rail_scatter)
+    true
+    (sep_ball < sep_scatter && rail_ball < rail_scatter)
+
+let tests =
+  [
+    Alcotest.test_case "positions in bounds" `Quick test_positions_in_bounds;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "mincut beats random" `Quick test_mincut_beats_random;
+    Alcotest.test_case "chain hpwl small" `Quick test_chain_hpwl_small;
+    Alcotest.test_case "sink net" `Quick test_net_hpwl_sink;
+    Alcotest.test_case "module bbox" `Quick test_module_bbox;
+    Alcotest.test_case "sensor chain" `Quick test_sensor_chain;
+    Alcotest.test_case "separation vs bbox" `Quick
+      test_separation_correlates_with_bbox;
+  ]

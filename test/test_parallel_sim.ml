@@ -1,0 +1,135 @@
+module P = Iddq_patterns.Parallel_sim
+module Logic_sim = Iddq_patterns.Logic_sim
+module Pattern_gen = Iddq_patterns.Pattern_gen
+module Stuck_at = Iddq_defects.Stuck_at
+module Iscas = Iddq_netlist.Iscas
+module Circuit = Iddq_netlist.Circuit
+module Generator = Iddq_netlist.Generator
+module Rng = Iddq_util.Rng
+
+let bit word k = Int64.logand (Int64.shift_right_logical word k) 1L = 1L
+
+let test_pack_unpack () =
+  let vectors = [| [| true; false |]; [| false; true |]; [| true; true |] |] in
+  let packed = P.pack vectors ~start:0 in
+  Alcotest.(check int) "one word per input" 2 (Array.length packed);
+  Alcotest.(check bool) "v0 i0" true (bit packed.(0) 0);
+  Alcotest.(check bool) "v1 i0" false (bit packed.(0) 1);
+  Alcotest.(check bool) "v1 i1" true (bit packed.(1) 1);
+  Alcotest.(check bool) "v2 i0" true (bit packed.(0) 2);
+  Alcotest.(check int64) "mask covers 3" 7L (P.active_mask vectors ~start:0);
+  Alcotest.(check int64) "tail mask" 1L (P.active_mask vectors ~start:2)
+
+let test_eval_matches_scalar_c17 () =
+  let c = Iscas.c17 () in
+  let vectors = Pattern_gen.exhaustive c in
+  let packed = P.pack vectors ~start:0 in
+  let words = P.eval c packed in
+  for k = 0 to 31 do
+    let scalar = Logic_sim.eval c vectors.(k) in
+    for id = 0 to Circuit.num_nodes c - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d vector %d" id k)
+        scalar.(id) (bit words.(id) k)
+    done
+  done
+
+let test_stuck_node_matches_scalar () =
+  let c = Iscas.c17 () in
+  let node = Option.get (Circuit.node_id_of_name c "16") in
+  let fault = Stuck_at.Stem (node, true) in
+  let vectors = Pattern_gen.exhaustive c in
+  let packed = P.pack vectors ~start:0 in
+  let words = P.eval_with_stuck_node c ~node ~value:true packed in
+  for k = 0 to 31 do
+    let scalar = Stuck_at.faulty_eval c fault vectors.(k) in
+    for id = 0 to Circuit.num_nodes c - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d vector %d" id k)
+        scalar.(id) (bit words.(id) k)
+    done
+  done
+
+let test_stuck_pin_matches_scalar () =
+  let c = Iscas.c17 () in
+  let gate = Option.get (Circuit.node_id_of_name c "22") in
+  let fault = Stuck_at.Pin { gate; pin = 1; value = false } in
+  let vectors = Pattern_gen.exhaustive c in
+  let packed = P.pack vectors ~start:0 in
+  let words = P.eval_with_stuck_pin c ~gate ~pin:1 ~value:false packed in
+  for k = 0 to 31 do
+    let scalar = Stuck_at.faulty_eval c fault vectors.(k) in
+    for id = 0 to Circuit.num_nodes c - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d vector %d" id k)
+        scalar.(id) (bit words.(id) k)
+    done
+  done
+
+let test_output_diff () =
+  let c = Iscas.c17 () in
+  let vectors = Pattern_gen.exhaustive c in
+  let packed = P.pack vectors ~start:0 in
+  let good = P.eval c packed in
+  Alcotest.(check int64) "no diff against itself" 0L (P.output_diff c good good)
+
+let test_fault_simulate_matches_scalar_detects () =
+  (* the packed fault simulator agrees with per-vector detection *)
+  let c = Iscas.c432_like () in
+  let rng = Rng.create 3 in
+  let vectors = Pattern_gen.random ~rng c ~count:100 in
+  let faults =
+    (* a deterministic sample across the fault list *)
+    List.filteri (fun i _ -> i mod 17 = 0) (Stuck_at.collapsed_fault_list c)
+  in
+  let r = Stuck_at.fault_simulate c ~vectors ~faults in
+  List.iteri
+    (fun f fault ->
+      let expected =
+        let rec scan v =
+          if v >= Array.length vectors then -1
+          else if Stuck_at.detects c fault vectors.(v) then v
+          else scan (v + 1)
+        in
+        scan 0
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "fault %d first vector" f)
+        expected
+        r.Stuck_at.first_vector.(f))
+    faults
+
+let qcheck_parallel_equals_scalar =
+  QCheck.Test.make ~name:"64-way eval equals scalar eval" ~count:20
+    QCheck.(triple (int_range 10 60) (int_range 1 100000) (int_range 0 1000))
+    (fun (gates, seed, vseed) ->
+      let rng = Rng.create seed in
+      let c =
+        Generator.layered_dag ~rng ~name:"q" ~num_inputs:5 ~num_outputs:3
+          ~num_gates:gates ~depth:(1 + (gates / 8)) ()
+      in
+      let vr = Rng.create vseed in
+      let vectors = Pattern_gen.random ~rng:vr c ~count:64 in
+      let words = P.eval c (P.pack vectors ~start:0) in
+      let ok = ref true in
+      for k = 0 to 63 do
+        let scalar = Logic_sim.eval c vectors.(k) in
+        for id = 0 to Circuit.num_nodes c - 1 do
+          if scalar.(id) <> bit words.(id) k then ok := false
+        done
+      done;
+      !ok)
+
+let tests =
+  [
+    Alcotest.test_case "pack/unpack" `Quick test_pack_unpack;
+    Alcotest.test_case "eval matches scalar" `Quick test_eval_matches_scalar_c17;
+    Alcotest.test_case "stuck node matches scalar" `Quick
+      test_stuck_node_matches_scalar;
+    Alcotest.test_case "stuck pin matches scalar" `Quick
+      test_stuck_pin_matches_scalar;
+    Alcotest.test_case "output diff" `Quick test_output_diff;
+    Alcotest.test_case "fault sim matches scalar" `Quick
+      test_fault_simulate_matches_scalar_detects;
+    QCheck_alcotest.to_alcotest qcheck_parallel_equals_scalar;
+  ]

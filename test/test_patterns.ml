@@ -1,0 +1,125 @@
+module Logic_sim = Iddq_patterns.Logic_sim
+module Pattern_gen = Iddq_patterns.Pattern_gen
+module Iscas = Iddq_netlist.Iscas
+module Circuit = Iddq_netlist.Circuit
+module Builder = Iddq_netlist.Builder
+module Gate = Iddq_netlist.Gate
+module Generator = Iddq_netlist.Generator
+module Rng = Iddq_util.Rng
+
+let test_eval_simple () =
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_input b "b";
+  Builder.add_gate b "x" Gate.Xor [ "a"; "b" ];
+  Builder.add_output b "x";
+  let c = Builder.freeze_exn b in
+  let check a bb expected =
+    let values = Logic_sim.eval c [| a; bb |] in
+    Alcotest.(check bool)
+      (Printf.sprintf "xor %b %b" a bb)
+      expected
+      (Logic_sim.output_values c values).(0)
+  in
+  check false false false;
+  check false true true;
+  check true false true;
+  check true true false
+
+let test_eval_length_check () =
+  let c = Iscas.c17 () in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Logic_sim.eval: input vector length mismatch") (fun () ->
+      ignore (Logic_sim.eval c [| true |]))
+
+let test_chain_parity () =
+  (* a NOT-chain of even length is the identity, odd length inverts *)
+  let even = Generator.chain ~length:8 () in
+  let odd = Generator.chain ~length:9 () in
+  let out c v =
+    (Logic_sim.output_values c (Logic_sim.eval c [| v |])).(0)
+  in
+  Alcotest.(check bool) "even chain identity" true (out even true);
+  Alcotest.(check bool) "odd chain inverts" false (out odd true)
+
+let test_toggles () =
+  let c = Generator.chain ~length:5 () in
+  let v0 = Logic_sim.eval c [| false |] in
+  let v1 = Logic_sim.eval c [| true |] in
+  Alcotest.(check int) "all gates toggle" 5 (Logic_sim.toggles c v0 v1);
+  Alcotest.(check int) "no toggle" 0 (Logic_sim.toggles c v0 v0);
+  Alcotest.(check int) "toggled gates listed" 5
+    (Array.length (Logic_sim.toggled_gates c v0 v1))
+
+let test_exhaustive () =
+  let c = Iscas.c17 () in
+  let vs = Pattern_gen.exhaustive c in
+  Alcotest.(check int) "2^5 vectors" 32 (Array.length vs);
+  (* all distinct *)
+  let as_int v =
+    Array.to_list v
+    |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+    |> List.fold_left ( + ) 0
+  in
+  let ints = Array.map as_int vs |> Array.to_list |> List.sort_uniq compare in
+  Alcotest.(check int) "all distinct" 32 (List.length ints)
+
+let test_exhaustive_limit () =
+  let rng = Rng.create 1 in
+  let big =
+    Generator.layered_dag ~rng ~name:"big" ~num_inputs:25 ~num_outputs:2
+      ~num_gates:30 ~depth:3 ()
+  in
+  Alcotest.check_raises "too many inputs"
+    (Invalid_argument "Pattern_gen.exhaustive: too many inputs") (fun () ->
+      ignore (Pattern_gen.exhaustive big))
+
+let test_random_patterns () =
+  let rng = Rng.create 3 in
+  let c = Iscas.c17 () in
+  let vs = Pattern_gen.random ~rng c ~count:40 in
+  Alcotest.(check int) "count" 40 (Array.length vs);
+  Array.iter
+    (fun v -> Alcotest.(check int) "width" 5 (Array.length v))
+    vs
+
+let test_lfsr () =
+  let c = Iscas.c17 () in
+  let vs = Pattern_gen.lfsr c ~seed:0xACE1 ~count:50 in
+  Alcotest.(check int) "count" 50 (Array.length vs);
+  (* an LFSR stream is not constant *)
+  let first = vs.(0) in
+  Alcotest.(check bool) "stream varies" true
+    (Array.exists (fun v -> v <> first) vs);
+  Alcotest.check_raises "zero seed" (Invalid_argument "Pattern_gen.lfsr: zero seed")
+    (fun () -> ignore (Pattern_gen.lfsr c ~seed:0 ~count:1))
+
+let qcheck_sim_matches_reference_for_tree =
+  QCheck.Test.make ~name:"tree of NANDs simulates correctly" ~count:100
+    QCheck.(array_of_size (Gen.return 8) bool)
+    (fun inputs ->
+      let c = Generator.balanced_tree ~depth:3 () in
+      let values = Logic_sim.eval c inputs in
+      let out = (Logic_sim.output_values c values).(0) in
+      let nand a b = not (a && b) in
+      let l1 =
+        [|
+          nand inputs.(0) inputs.(1); nand inputs.(2) inputs.(3);
+          nand inputs.(4) inputs.(5); nand inputs.(6) inputs.(7);
+        |]
+      in
+      let l2 = [| nand l1.(0) l1.(1); nand l1.(2) l1.(3) |] in
+      out = nand l2.(0) l2.(1))
+
+let tests =
+  [
+    Alcotest.test_case "eval xor" `Quick test_eval_simple;
+    Alcotest.test_case "eval length check" `Quick test_eval_length_check;
+    Alcotest.test_case "chain parity" `Quick test_chain_parity;
+    Alcotest.test_case "toggles" `Quick test_toggles;
+    Alcotest.test_case "exhaustive" `Quick test_exhaustive;
+    Alcotest.test_case "exhaustive limit" `Quick test_exhaustive_limit;
+    Alcotest.test_case "random patterns" `Quick test_random_patterns;
+    Alcotest.test_case "lfsr" `Quick test_lfsr;
+    QCheck_alcotest.to_alcotest qcheck_sim_matches_reference_for_tree;
+  ]

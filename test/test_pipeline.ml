@@ -1,0 +1,126 @@
+module Pipeline = Iddq.Pipeline
+module Report = Iddq.Report
+module Partition = Iddq_core.Partition
+module Cost = Iddq_core.Cost
+module Constraints = Iddq_core.Constraints
+module Iscas = Iddq_netlist.Iscas
+module Es = Iddq_evolution.Es
+
+let fast_config =
+  {
+    Pipeline.default_config with
+    Pipeline.es_params =
+      { Es.default_params with Es.max_generations = 40; stall_generations = 40 };
+  }
+
+let test_method_string_roundtrip () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Pipeline.method_to_string m)
+        true
+        (Pipeline.method_of_string (Pipeline.method_to_string m) = Some m))
+    [
+      Pipeline.Evolution; Pipeline.Standard; Pipeline.Random;
+      Pipeline.Annealing; Pipeline.Refined_standard;
+    ];
+  Alcotest.(check bool) "unknown" true (Pipeline.method_of_string "nope" = None)
+
+let run_method m =
+  Pipeline.run ~config:fast_config m (Iscas.c432_like ())
+
+let check_result name (r : Pipeline.t) =
+  Alcotest.(check (result unit string)) (name ^ " consistent") (Ok ())
+    (Partition.check_consistent r.Pipeline.partition);
+  Alcotest.(check bool) (name ^ " feasible") true
+    (Constraints.satisfied r.Pipeline.partition);
+  Alcotest.(check int)
+    (name ^ " one sensor per module")
+    (Partition.num_modules r.Pipeline.partition)
+    (List.length r.Pipeline.sensors);
+  Alcotest.(check bool) (name ^ " area positive") true
+    (r.Pipeline.breakdown.Cost.sensor_area > 0.0)
+
+let test_all_methods_run () =
+  List.iter
+    (fun m -> check_result (Pipeline.method_to_string m) (run_method m))
+    [
+      Pipeline.Evolution; Pipeline.Standard; Pipeline.Random;
+      Pipeline.Annealing; Pipeline.Refined_standard;
+    ]
+
+let test_compare_methods_shares_sizes () =
+  let results =
+    Pipeline.compare_methods ~config:fast_config (Iscas.c432_like ())
+      [ Pipeline.Evolution; Pipeline.Standard ]
+  in
+  match results with
+  | [ (Pipeline.Evolution, evo); (Pipeline.Standard, std) ] ->
+    (* the standard baseline runs at the evolution's module sizes *)
+    let sizes p =
+      List.sort compare
+        (List.map (Partition.size p.Pipeline.partition)
+           (Partition.module_ids p.Pipeline.partition))
+    in
+    Alcotest.(check (list int)) "same module sizes" (sizes evo) (sizes std)
+  | _ -> Alcotest.fail "unexpected result shape"
+
+let test_evolution_beats_standard_area () =
+  (* the paper's headline claim, on the small stand-in *)
+  let results =
+    Pipeline.compare_methods ~config:fast_config (Iscas.c432_like ())
+      [ Pipeline.Evolution; Pipeline.Standard ]
+  in
+  match results with
+  | [ (_, evo); (_, std) ] ->
+    let area r = r.Pipeline.breakdown.Cost.sensor_area in
+    Alcotest.(check bool)
+      (Printf.sprintf "evolution %.3e <= standard %.3e" (area evo) (area std))
+      true
+      (area evo <= area std *. 1.02)
+  | _ -> Alcotest.fail "unexpected result shape"
+
+let test_report_row () =
+  let results =
+    Pipeline.compare_methods ~config:fast_config (Iscas.c432_like ())
+      [ Pipeline.Evolution; Pipeline.Standard ]
+  in
+  match results with
+  | [ (_, evolution); (_, standard) ] ->
+    let row = Report.row_of_results ~circuit_name:"C432" ~standard ~evolution in
+    Alcotest.(check string) "name" "C432" row.Report.circuit_name;
+    Alcotest.(check (float 1e-6)) "overhead formula"
+      (100.0
+      *. (row.Report.area_standard -. row.Report.area_evolution)
+      /. row.Report.area_evolution)
+      row.Report.area_overhead_percent;
+    let table = Report.table [ row ] in
+    let rendered = Iddq_util.Table.render table in
+    Alcotest.(check bool) "table mentions the circuit" true
+      (String.length rendered > 0)
+  | _ -> Alcotest.fail "unexpected result shape"
+
+let test_deterministic_given_seed () =
+  let r1 = run_method Pipeline.Evolution in
+  let r2 = run_method Pipeline.Evolution in
+  Alcotest.(check bool) "same partition" true
+    (Partition.assignment r1.Pipeline.partition
+    = Partition.assignment r2.Pipeline.partition)
+
+let test_module_size_config () =
+  let config = { fast_config with Pipeline.module_size = Some 20 } in
+  let r = Pipeline.run ~config Pipeline.Standard (Iscas.c432_like ()) in
+  Alcotest.(check int) "160/20 = 8 modules" 8
+    (Partition.num_modules r.Pipeline.partition)
+
+let tests =
+  [
+    Alcotest.test_case "method strings" `Quick test_method_string_roundtrip;
+    Alcotest.test_case "all methods run" `Slow test_all_methods_run;
+    Alcotest.test_case "compare shares sizes" `Slow test_compare_methods_shares_sizes;
+    Alcotest.test_case "evolution beats standard" `Slow
+      test_evolution_beats_standard_area;
+    Alcotest.test_case "report row" `Slow test_report_row;
+    Alcotest.test_case "deterministic" `Slow test_deterministic_given_seed;
+    Alcotest.test_case "module size config" `Quick test_module_size_config;
+  ]

@@ -1,0 +1,129 @@
+module Podem = Iddq_atpg.Podem
+module Stuck_at = Iddq_defects.Stuck_at
+module Iscas = Iddq_netlist.Iscas
+module Circuit = Iddq_netlist.Circuit
+module Builder = Iddq_netlist.Builder
+module Gate = Iddq_netlist.Gate
+module Rng = Iddq_util.Rng
+
+let c17 = Iscas.c17 ()
+let node name = Option.get (Circuit.node_id_of_name c17 name)
+
+let check_cube_detects c fault = function
+  | Podem.Test cube ->
+    (* any concretization must detect (the cube is a test cube) *)
+    let rng = Rng.create 77 in
+    for _ = 1 to 5 do
+      let v = Podem.concretize ~rng cube in
+      Alcotest.(check bool) "cube detects" true (Stuck_at.detects c fault v)
+    done
+  | Podem.Untestable -> Alcotest.fail "expected a test, got Untestable"
+  | Podem.Aborted -> Alcotest.fail "expected a test, got Aborted"
+
+let test_c17_all_faults_testable () =
+  (* C17 is fully testable: PODEM must find a test for every fault *)
+  List.iter
+    (fun fault ->
+      check_cube_detects c17 fault (Podem.generate c17 fault))
+    (Stuck_at.full_fault_list c17)
+
+let test_stem_fault_on_input () =
+  let fault = Stuck_at.Stem (node "3", false) in
+  check_cube_detects c17 fault (Podem.generate c17 fault)
+
+let test_pin_fault () =
+  let fault = Stuck_at.Pin { gate = node "16"; pin = 1; value = true } in
+  check_cube_detects c17 fault (Podem.generate c17 fault)
+
+let test_redundant_fault_untestable () =
+  (* y = OR(a, NOT a) == 1: y/sa1 is undetectable *)
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_gate b "na" Gate.Not [ "a" ];
+  Builder.add_gate b "y" Gate.Or [ "a"; "na" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze_exn b in
+  let y = Option.get (Circuit.node_id_of_name c "y") in
+  (match Podem.generate c (Stuck_at.Stem (y, true)) with
+  | Podem.Untestable -> ()
+  | Podem.Test _ -> Alcotest.fail "redundant fault got a test"
+  | Podem.Aborted -> Alcotest.fail "tiny circuit aborted");
+  (* ... and y/sa0 is easy *)
+  check_cube_detects c (Stuck_at.Stem (y, false))
+    (Podem.generate c (Stuck_at.Stem (y, false)))
+
+let test_xor_propagation () =
+  (* propagation through XOR requires no side values: exercise the
+     parity paths *)
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_input b "b";
+  Builder.add_input b "c";
+  Builder.add_gate b "x1" Gate.Xor [ "a"; "b" ];
+  Builder.add_gate b "y" Gate.Xor [ "x1"; "c" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze_exn b in
+  let a = Option.get (Circuit.node_id_of_name c "a") in
+  check_cube_detects c (Stuck_at.Stem (a, true))
+    (Podem.generate c (Stuck_at.Stem (a, true)))
+
+let test_dont_cares_marked () =
+  (* a fault deep on one side should leave unrelated inputs as X *)
+  let fault = Stuck_at.Stem (node "22", true) in
+  match Podem.generate c17 fault with
+  | Podem.Test cube ->
+    Alcotest.(check int) "cube width" 5 (Array.length cube);
+    Alcotest.(check bool) "at least one assignment" true
+      (Array.exists (fun x -> x <> None) cube)
+  | Podem.Untestable | Podem.Aborted -> Alcotest.fail "no test for 22/sa1"
+
+let test_complete_set_c17 () =
+  let rng = Rng.create 13 in
+  let faults = Stuck_at.collapsed_fault_list c17 in
+  let r = Podem.complete_set ~rng c17 faults in
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0 r.Podem.coverage;
+  Alcotest.(check (float 1e-9)) "full efficiency" 1.0 r.Podem.efficiency;
+  Alcotest.(check int) "nothing untestable" 0 r.Podem.untestable;
+  Alcotest.(check int) "nothing aborted" 0 r.Podem.aborted;
+  Alcotest.(check bool) "set is small" true (Array.length r.Podem.vectors <= 16)
+
+let test_complete_set_tops_up_random () =
+  let rng = Rng.create 17 in
+  let circuit = Iscas.c432_like () in
+  let faults = Stuck_at.collapsed_fault_list circuit in
+  let initial = Iddq_patterns.Pattern_gen.random ~rng circuit ~count:32 in
+  let random_only = Stuck_at.fault_simulate circuit ~vectors:initial ~faults in
+  let r = Podem.complete_set ~rng ~initial circuit faults in
+  Alcotest.(check bool)
+    (Printf.sprintf "topped up %.1f%% -> %.1f%%"
+       (100.0 *. random_only.Stuck_at.coverage)
+       (100.0 *. r.Podem.coverage))
+    true
+    (r.Podem.coverage > random_only.Stuck_at.coverage);
+  Alcotest.(check bool)
+    (Printf.sprintf "high ATPG efficiency (%.1f%%)" (100.0 *. r.Podem.efficiency))
+    true
+    (r.Podem.efficiency > 0.9);
+  Alcotest.(check bool) "initial vectors kept" true
+    (Array.length r.Podem.vectors >= 32)
+
+let test_complete_set_empty_faults () =
+  let rng = Rng.create 1 in
+  let r = Podem.complete_set ~rng c17 [] in
+  Alcotest.(check (float 0.0)) "vacuous" 1.0 r.Podem.coverage;
+  Alcotest.(check int) "no vectors" 0 (Array.length r.Podem.vectors)
+
+let tests =
+  [
+    Alcotest.test_case "c17 all faults" `Quick test_c17_all_faults_testable;
+    Alcotest.test_case "input stem fault" `Quick test_stem_fault_on_input;
+    Alcotest.test_case "pin fault" `Quick test_pin_fault;
+    Alcotest.test_case "redundant untestable" `Quick
+      test_redundant_fault_untestable;
+    Alcotest.test_case "xor propagation" `Quick test_xor_propagation;
+    Alcotest.test_case "don't cares" `Quick test_dont_cares_marked;
+    Alcotest.test_case "complete set c17" `Quick test_complete_set_c17;
+    Alcotest.test_case "complete set top-up" `Slow
+      test_complete_set_tops_up_random;
+    Alcotest.test_case "complete set empty" `Quick test_complete_set_empty_faults;
+  ]

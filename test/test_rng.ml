@@ -1,0 +1,137 @@
+module Rng = Iddq_util.Rng
+
+let test_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a)
+    (Rng.bits64 b);
+  (* now they have the same state again; advancing only one diverges *)
+  let _ = Rng.bits64 a in
+  Alcotest.(check bool) "post-divergence" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let xs = Array.init 32 (fun _ -> Rng.bits64 a) in
+  let ys = Array.init 32 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_int_rejects_bad_bound () =
+  let rng = Rng.create 5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_covers_all_values () =
+  let rng = Rng.create 11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_int_in_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 500 do
+    let v = Rng.int_in_range rng ~min:(-5) ~max:5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done;
+  Alcotest.(check int) "degenerate range" 4 (Rng.int_in_range rng ~min:4 ~max:4)
+
+let test_float_range () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_gaussian_moments () =
+  let rng = Rng.create 17 in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng ~mu:3.0 ~sigma:2.0) in
+  let mean = Iddq_util.Stats.mean xs in
+  let sd = Iddq_util.Stats.stddev xs in
+  Alcotest.(check bool) "mean ~ 3" true (Float.abs (mean -. 3.0) < 0.1);
+  Alcotest.(check bool) "sd ~ 2" true (Float.abs (sd -. 2.0) < 0.1)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 19 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle_in_place rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 50 Fun.id);
+  Alcotest.(check bool) "actually shuffled" true (arr <> Array.init 50 Fun.id)
+
+let test_choose () =
+  let rng = Rng.create 23 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.mem (Rng.choose rng arr) arr)
+  done;
+  Alcotest.check_raises "empty array" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Rng.choose rng [||]))
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 29 in
+  let arr = Array.init 20 Fun.id in
+  let s = Rng.sample_without_replacement rng 8 arr in
+  Alcotest.(check int) "size" 8 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  let distinct =
+    Array.for_all Fun.id
+      (Array.mapi (fun i v -> i = 0 || sorted.(i - 1) <> v) sorted)
+  in
+  Alcotest.(check bool) "distinct" true distinct;
+  Alcotest.(check int) "oversample clips" 20
+    (Array.length (Rng.sample_without_replacement rng 100 arr))
+
+let qcheck_int_uniformish =
+  QCheck.Test.make ~name:"Rng.int stays in bounds for any bound/seed" ~count:500
+    QCheck.(pair small_int int)
+    (fun (bound, seed) ->
+      QCheck.assume (bound > 0);
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let tests =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int bad bound" `Quick test_int_rejects_bad_bound;
+    Alcotest.test_case "int covers values" `Quick test_int_covers_all_values;
+    Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "choose" `Quick test_choose;
+    Alcotest.test_case "sample without replacement" `Quick
+      test_sample_without_replacement;
+    QCheck_alcotest.to_alcotest qcheck_int_uniformish;
+  ]

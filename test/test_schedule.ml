@@ -1,0 +1,103 @@
+module Schedule = Iddq_bic.Schedule
+module Sensor = Iddq_bic.Sensor
+module Test_time = Iddq_bic.Test_time
+module Technology = Iddq_celllib.Technology
+
+let tech = Technology.default
+let d_bic = 50.0e-9
+
+let sensor peak =
+  Sensor.size ~technology:tech ~peak_current:peak ~module_rail_capacitance:5e-12
+
+let sensors peaks = List.mapi (fun i p -> (i, sensor p)) peaks
+
+let test_parallel_matches_test_time () =
+  let ss = sensors [ 0.01; 0.02; 0.005 ] in
+  let sched = Schedule.parallel ~technology:tech ~d_bic ss in
+  Alcotest.(check int) "one session" 1 (List.length sched.Schedule.sessions);
+  Alcotest.(check (float 1e-18)) "same as Test_time.per_vector"
+    (Test_time.per_vector tech ~d_bic (List.map snd ss))
+    sched.Schedule.vector_time
+
+let test_serial_sessions () =
+  let ss = sensors [ 0.01; 0.02; 0.005 ] in
+  let sched = Schedule.serial ~technology:tech ~d_bic ss in
+  Alcotest.(check int) "three sessions" 3 (List.length sched.Schedule.sessions);
+  let expected =
+    d_bic
+    +. List.fold_left (fun acc (_, s) -> acc +. Test_time.settling tech s) 0.0 ss
+  in
+  Alcotest.(check (float 1e-18)) "sum of settlings" expected
+    sched.Schedule.vector_time
+
+let test_budget_packs () =
+  let ss = sensors [ 0.010; 0.010; 0.010; 0.010 ] in
+  (* budget fits exactly two modules per session *)
+  let sched = Schedule.schedule ~technology:tech ~d_bic ~budget:0.020 ss in
+  Alcotest.(check int) "two sessions" 2 (List.length sched.Schedule.sessions);
+  (* every module appears exactly once *)
+  let all =
+    List.concat_map (fun s -> s.Schedule.members) sched.Schedule.sessions
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "cover" [ 0; 1; 2; 3 ] all
+
+let test_budget_respected () =
+  let peaks = [ 0.012; 0.007; 0.018; 0.003; 0.009 ] in
+  let ss = sensors peaks in
+  let budget = 0.02 in
+  let sched = Schedule.schedule ~technology:tech ~d_bic ~budget ss in
+  List.iter
+    (fun session ->
+      let total =
+        List.fold_left
+          (fun acc m -> acc +. (List.assoc m ss).Sensor.peak_current)
+          0.0 session.Schedule.members
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "session total %.3f within budget" total)
+        true (total <= budget +. 1e-12))
+    sched.Schedule.sessions
+
+let test_oversize_module_gets_own_session () =
+  let ss = sensors [ 0.05; 0.001 ] in
+  let sched = Schedule.schedule ~technology:tech ~d_bic ~budget:0.01 ss in
+  (* the 0.05 A module exceeds the budget: alone in a session *)
+  let solo =
+    List.exists
+      (fun s -> s.Schedule.members = [ 0 ])
+      sched.Schedule.sessions
+  in
+  Alcotest.(check bool) "oversize isolated" true solo
+
+let test_infinite_budget_is_parallel () =
+  let ss = sensors [ 0.01; 0.02; 0.005 ] in
+  let sched = Schedule.schedule ~technology:tech ~d_bic ~budget:infinity ss in
+  Alcotest.(check int) "one session" 1 (List.length sched.Schedule.sessions)
+
+let test_monotone_in_budget () =
+  let ss = sensors [ 0.012; 0.007; 0.018; 0.003; 0.009; 0.02 ] in
+  let time budget =
+    (Schedule.schedule ~technology:tech ~d_bic ~budget ss).Schedule.vector_time
+  in
+  Alcotest.(check bool) "tighter budget is never faster" true
+    (time 0.01 >= time 0.02 && time 0.02 >= time 1.0)
+
+let test_bad_budget () =
+  Alcotest.check_raises "zero budget"
+    (Invalid_argument "Schedule.schedule: budget must be positive") (fun () ->
+      ignore (Schedule.schedule ~technology:tech ~d_bic ~budget:0.0 (sensors [ 0.01 ])))
+
+let tests =
+  [
+    Alcotest.test_case "parallel matches test_time" `Quick
+      test_parallel_matches_test_time;
+    Alcotest.test_case "serial sessions" `Quick test_serial_sessions;
+    Alcotest.test_case "budget packs" `Quick test_budget_packs;
+    Alcotest.test_case "budget respected" `Quick test_budget_respected;
+    Alcotest.test_case "oversize isolated" `Quick
+      test_oversize_module_gets_own_session;
+    Alcotest.test_case "infinite budget" `Quick test_infinite_budget_is_parallel;
+    Alcotest.test_case "monotone in budget" `Quick test_monotone_in_budget;
+    Alcotest.test_case "bad budget" `Quick test_bad_budget;
+  ]

@@ -1,0 +1,170 @@
+module Scoap = Iddq_analysis.Scoap
+module Probability = Iddq_analysis.Probability
+module Charac = Iddq_analysis.Charac
+module Switching = Iddq_analysis.Switching
+module Builder = Iddq_netlist.Builder
+module Circuit = Iddq_netlist.Circuit
+module Gate = Iddq_netlist.Gate
+module Iscas = Iddq_netlist.Iscas
+module Generator = Iddq_netlist.Generator
+module Library = Iddq_celllib.Library
+module Rng = Iddq_util.Rng
+
+let node c name = Option.get (Circuit.node_id_of_name c name)
+
+(* y = AND(a, b); z = NOT(y) with z the output *)
+let and_not () =
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_input b "b";
+  Builder.add_gate b "y" Gate.And [ "a"; "b" ];
+  Builder.add_gate b "z" Gate.Not [ "y" ];
+  Builder.add_output b "z";
+  Builder.freeze_exn b
+
+let test_scoap_controllability () =
+  let c = and_not () in
+  let s = Scoap.compute c in
+  Alcotest.(check int) "input cc0" 1 (Scoap.cc0 s (node c "a"));
+  Alcotest.(check int) "input cc1" 1 (Scoap.cc1 s (node c "a"));
+  (* AND: cc1 = cc1(a)+cc1(b)+1 = 3; cc0 = min +1 = 2 *)
+  Alcotest.(check int) "and cc1" 3 (Scoap.cc1 s (node c "y"));
+  Alcotest.(check int) "and cc0" 2 (Scoap.cc0 s (node c "y"));
+  (* NOT inverts: cc1(z) = cc0(y)+1 = 3; cc0(z) = cc1(y)+1 = 4 *)
+  Alcotest.(check int) "not cc1" 3 (Scoap.cc1 s (node c "z"));
+  Alcotest.(check int) "not cc0" 4 (Scoap.cc0 s (node c "z"))
+
+let test_scoap_observability () =
+  let c = and_not () in
+  let s = Scoap.compute c in
+  Alcotest.(check int) "output co" 0 (Scoap.co s (node c "z"));
+  (* through the NOT: co(y) = 0 + 1 = 1 *)
+  Alcotest.(check int) "co through NOT" 1 (Scoap.co s (node c "y"));
+  (* a through the AND: co(y) + cc1(b) + 1 = 1 + 1 + 1 = 3 *)
+  Alcotest.(check int) "co of a" 3 (Scoap.co s (node c "a"))
+
+let test_scoap_xor () =
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_input b "b";
+  Builder.add_gate b "y" Gate.Xor [ "a"; "b" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze_exn b in
+  let s = Scoap.compute c in
+  (* XOR: cc1 = min(cc1+cc0, cc0+cc1)+1 = 3; cc0 = min(cc0+cc0, cc1+cc1)+1 = 3 *)
+  Alcotest.(check int) "xor cc1" 3 (Scoap.cc1 s (node c "y"));
+  Alcotest.(check int) "xor cc0" 3 (Scoap.cc0 s (node c "y"))
+
+let test_scoap_dead_end_unobservable () =
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_gate b "used" Gate.Not [ "a" ];
+  Builder.add_gate b "dead" Gate.Buff [ "a" ];
+  Builder.add_output b "used";
+  let c = Builder.freeze_exn b in
+  let s = Scoap.compute c in
+  Alcotest.(check bool) "dead-end co is huge" true
+    (Scoap.co s (node c "dead") > 1_000_000)
+
+let test_hardest_gates () =
+  let c = Iscas.c17 () in
+  let s = Scoap.compute c in
+  let hardest = Scoap.hardest_gates s c ~count:3 in
+  Alcotest.(check int) "three returned" 3 (Array.length hardest);
+  (* scores are non-increasing *)
+  let score g = Scoap.gate_testability s c g in
+  Alcotest.(check bool) "sorted hardest-first" true
+    (score hardest.(0) >= score hardest.(1)
+    && score hardest.(1) >= score hardest.(2))
+
+let test_signal_probabilities_known () =
+  let c = and_not () in
+  let p = Probability.signal_probabilities c in
+  Alcotest.(check (float 1e-12)) "P(and)" 0.25 p.(node c "y");
+  Alcotest.(check (float 1e-12)) "P(not)" 0.75 p.(node c "z")
+
+let test_signal_probabilities_xor () =
+  let b = Builder.create () in
+  Builder.add_input b "a";
+  Builder.add_input b "b";
+  Builder.add_input b "c";
+  Builder.add_gate b "y" Gate.Xor [ "a"; "b"; "c" ];
+  Builder.add_output b "y";
+  let c = Builder.freeze_exn b in
+  let p = Probability.signal_probabilities c in
+  Alcotest.(check (float 1e-12)) "parity of fair coins" 0.5 p.(node c "y")
+
+let test_probabilities_match_exhaustive () =
+  (* fanout-free regions: the independence approximation is exact;
+     C17 has reconvergence, so compare on a generated tree instead *)
+  let c = Generator.balanced_tree ~depth:3 () in
+  let p = Probability.signal_probabilities c in
+  let vectors = Iddq_patterns.Pattern_gen.exhaustive c in
+  let counts = Array.make (Circuit.num_nodes c) 0 in
+  Array.iter
+    (fun v ->
+      let values = Iddq_patterns.Logic_sim.eval c v in
+      Array.iteri (fun id b -> if b then counts.(id) <- counts.(id) + 1) values)
+    vectors;
+  for id = 0 to Circuit.num_nodes c - 1 do
+    let empirical = float_of_int counts.(id) /. float_of_int (Array.length vectors) in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "node %d" id)
+      empirical p.(id)
+  done
+
+let test_switching_probabilities_bounds () =
+  let c = Iscas.c1908_like () in
+  let sw = Probability.switching_probabilities c in
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "in [0, 0.5]" true (x >= 0.0 && x <= 0.5 +. 1e-12))
+    sw
+
+let test_expected_below_pessimistic () =
+  let circuit = Iscas.c432_like () in
+  let ch = Charac.make ~library:Library.default circuit in
+  let gates = Array.init (Charac.num_gates ch) Fun.id in
+  let expected = Probability.expected_max_current ch gates in
+  let pessimistic = Switching.max_transient_current ch gates in
+  Alcotest.(check bool)
+    (Printf.sprintf "expected %.3e < pessimistic %.3e" expected pessimistic)
+    true (expected < pessimistic);
+  Alcotest.(check bool) "positive" true (expected > 0.0)
+
+let qcheck_expected_profile_dominated =
+  QCheck.Test.make
+    ~name:"expected profile is dominated by the pessimistic profile"
+    ~count:25
+    QCheck.(pair (int_range 15 70) (int_range 1 100000))
+    (fun (gates, seed) ->
+      let rng = Rng.create seed in
+      let circuit =
+        Generator.layered_dag ~rng ~name:"q" ~num_inputs:6 ~num_outputs:3
+          ~num_gates:gates ~depth:(1 + (gates / 8)) ()
+      in
+      let ch = Charac.make ~library:Library.default circuit in
+      let group = Array.init gates Fun.id in
+      let expected = Probability.expected_profile ch group in
+      let pessimistic = Switching.current_profile ch group in
+      Array.for_all Fun.id
+        (Array.mapi (fun slot e -> e <= pessimistic.(slot) +. 1e-15) expected))
+
+let tests =
+  [
+    Alcotest.test_case "scoap controllability" `Quick test_scoap_controllability;
+    Alcotest.test_case "scoap observability" `Quick test_scoap_observability;
+    Alcotest.test_case "scoap xor" `Quick test_scoap_xor;
+    Alcotest.test_case "scoap dead end" `Quick test_scoap_dead_end_unobservable;
+    Alcotest.test_case "hardest gates" `Quick test_hardest_gates;
+    Alcotest.test_case "signal probabilities" `Quick
+      test_signal_probabilities_known;
+    Alcotest.test_case "xor probabilities" `Quick test_signal_probabilities_xor;
+    Alcotest.test_case "probabilities exact on trees" `Quick
+      test_probabilities_match_exhaustive;
+    Alcotest.test_case "switching probability bounds" `Quick
+      test_switching_probabilities_bounds;
+    Alcotest.test_case "expected below pessimistic" `Quick
+      test_expected_below_pessimistic;
+    QCheck_alcotest.to_alcotest qcheck_expected_profile_dominated;
+  ]

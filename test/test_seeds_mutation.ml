@@ -1,0 +1,145 @@
+module Charac = Iddq_analysis.Charac
+module Partition = Iddq_core.Partition
+module Constraints = Iddq_core.Constraints
+module Seeds = Iddq_evolution.Seeds
+module Part_iddq = Iddq_evolution.Part_iddq
+module Es = Iddq_evolution.Es
+module Iscas = Iddq_netlist.Iscas
+module Generator = Iddq_netlist.Generator
+module Library = Iddq_celllib.Library
+module Rng = Iddq_util.Rng
+
+let make circuit = Charac.make ~library:Library.default circuit
+
+let test_target_module_size () =
+  let ch = make (Iscas.c432_like ()) in
+  let s = Seeds.target_module_size ch in
+  Alcotest.(check bool)
+    (Printf.sprintf "size %d clipped to the circuit" s)
+    true
+    (s >= 1 && s <= Charac.num_gates ch);
+  let tighter = Seeds.target_module_size ~margin:0.3 ch in
+  Alcotest.(check bool) "smaller margin, smaller size" true (tighter <= s)
+
+let test_chain_partition_covers () =
+  let rng = Rng.create 5 in
+  let ch = make (Iscas.c432_like ()) in
+  let p = Seeds.chain_partition ~rng ~module_size:20 ch in
+  let total =
+    List.fold_left (fun acc m -> acc + Partition.size p m) 0
+      (Partition.module_ids p)
+  in
+  Alcotest.(check int) "covers all gates" (Charac.num_gates ch) total;
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "size within cap" true (Partition.size p m <= 20))
+    (Partition.module_ids p);
+  Alcotest.(check (result unit string)) "consistent" (Ok ())
+    (Partition.check_consistent p)
+
+let test_chain_partition_module_count () =
+  let rng = Rng.create 5 in
+  let ch = make (Iscas.c432_like ()) in
+  let p = Seeds.chain_partition ~rng ~module_size:20 ch in
+  (* 160 gates at cap 20: exactly 8 modules *)
+  Alcotest.(check int) "ceil(n/size) modules" 8 (Partition.num_modules p)
+
+let test_population_count () =
+  let rng = Rng.create 5 in
+  let ch = make (Iscas.c17 ()) in
+  let pop = Seeds.population ~rng ~module_size:3 ~count:5 ch in
+  Alcotest.(check int) "five partitions" 5 (List.length pop)
+
+let test_mutate_preserves_invariants () =
+  let rng = Rng.create 5 in
+  let ch = make (Iscas.c432_like ()) in
+  let p = Seeds.chain_partition ~rng ~module_size:20 ch in
+  for _ = 1 to 50 do
+    Part_iddq.mutate rng ~step:4 p
+  done;
+  Alcotest.(check (result unit string)) "still consistent" (Ok ())
+    (Partition.check_consistent p);
+  let total =
+    List.fold_left (fun acc m -> acc + Partition.size p m) 0
+      (Partition.module_ids p)
+  in
+  Alcotest.(check int) "still covers" (Charac.num_gates ch) total
+
+let test_monte_carlo_preserves_invariants () =
+  let rng = Rng.create 5 in
+  let ch = make (Iscas.c432_like ()) in
+  let p = Seeds.chain_partition ~rng ~module_size:20 ch in
+  for _ = 1 to 25 do
+    Part_iddq.monte_carlo rng p
+  done;
+  Alcotest.(check (result unit string)) "still consistent" (Ok ())
+    (Partition.check_consistent p)
+
+let test_mutate_single_module_noop () =
+  let ch = make (Iscas.c17 ()) in
+  let p = Partition.create ch ~assignment:(Array.make 6 0) in
+  let rng = Rng.create 1 in
+  Part_iddq.mutate rng ~step:3 p;
+  Part_iddq.monte_carlo rng p;
+  Alcotest.(check int) "still one module" 1 (Partition.num_modules p)
+
+let test_optimize_improves () =
+  let rng = Rng.create 42 in
+  let ch = make (Iscas.c432_like ()) in
+  let starts = Seeds.population ~rng ~module_size:40 ~count:3 ch in
+  let start_cost =
+    List.fold_left
+      (fun acc p -> Stdlib.min acc (Iddq_core.Cost.evaluate p).Iddq_core.Cost.penalized)
+      infinity starts
+  in
+  let params =
+    { Es.default_params with Es.max_generations = 60; stall_generations = 60 }
+  in
+  let best, trace = Part_iddq.optimize ~params ~rng ~starts () in
+  Alcotest.(check bool)
+    (Printf.sprintf "improved %.2f -> %.2f" start_cost best.Es.cost)
+    true
+    (best.Es.cost <= start_cost);
+  Alcotest.(check bool) "ran some generations" true (List.length trace > 0);
+  Alcotest.(check (result unit string)) "result consistent" (Ok ())
+    (Partition.check_consistent best.Es.solution)
+
+let test_optimize_feasible_result () =
+  let rng = Rng.create 42 in
+  let ch = make (Iscas.c432_like ()) in
+  let starts = Seeds.population ~rng ~count:3 ch in
+  let params =
+    { Es.default_params with Es.max_generations = 40; stall_generations = 40 }
+  in
+  let best, _ = Part_iddq.optimize ~params ~rng ~starts () in
+  Alcotest.(check bool) "feasible" true (Constraints.satisfied best.Es.solution)
+
+let qcheck_seed_feasibility =
+  QCheck.Test.make
+    ~name:"chain seeds at the estimated size are feasible" ~count:15
+    QCheck.(int_range 1 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let circuit =
+        Generator.layered_dag ~rng ~name:"q" ~num_inputs:8 ~num_outputs:4
+          ~num_gates:120 ~depth:12 ()
+      in
+      let ch = make circuit in
+      let p = Seeds.chain_partition ~rng ch in
+      Constraints.satisfied p)
+
+let tests =
+  [
+    Alcotest.test_case "target module size" `Quick test_target_module_size;
+    Alcotest.test_case "chain partition covers" `Quick test_chain_partition_covers;
+    Alcotest.test_case "chain partition count" `Quick
+      test_chain_partition_module_count;
+    Alcotest.test_case "population count" `Quick test_population_count;
+    Alcotest.test_case "mutate invariants" `Quick test_mutate_preserves_invariants;
+    Alcotest.test_case "monte carlo invariants" `Quick
+      test_monte_carlo_preserves_invariants;
+    Alcotest.test_case "single module noop" `Quick test_mutate_single_module_noop;
+    Alcotest.test_case "optimize improves" `Slow test_optimize_improves;
+    Alcotest.test_case "optimize feasible" `Slow test_optimize_feasible_result;
+    QCheck_alcotest.to_alcotest qcheck_seed_feasibility;
+  ]

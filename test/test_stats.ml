@@ -1,0 +1,85 @@
+module Stats = Iddq_util.Stats
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  feq "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  feq "empty" 0.0 (Stats.mean [||])
+
+let test_sum_kahan () =
+  (* many tiny values against one big one: naive summation loses them *)
+  let xs = Array.make 10_001 1e-12 in
+  xs.(0) <- 1.0;
+  feq "kahan" (1.0 +. (1e-12 *. 10_000.0)) (Stats.sum xs)
+
+let test_variance_stddev () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  feq "variance" 4.0 (Stats.variance xs);
+  feq "stddev" 2.0 (Stats.stddev xs);
+  feq "single" 0.0 (Stats.variance [| 42.0 |])
+
+let test_median () =
+  feq "odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
+  feq "even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  feq "empty" 0.0 (Stats.median [||]);
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  let _ = Stats.median xs in
+  Alcotest.(check bool) "input not mutated" true (xs = [| 3.0; 1.0; 2.0 |])
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 7.0 |] in
+  feq "min" (-1.0) lo;
+  feq "max" 7.0 hi;
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.min_max: empty")
+    (fun () -> ignore (Stats.min_max [||]))
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  feq "p0" 1.0 (Stats.percentile xs 0.0);
+  feq "p50" 3.0 (Stats.percentile xs 50.0);
+  feq "p100" 5.0 (Stats.percentile xs 100.0);
+  feq "p25" 2.0 (Stats.percentile xs 25.0)
+
+let test_ratio_percent () =
+  feq "20% larger" 20.0 (Stats.ratio_percent 1.2 1.0);
+  feq "smaller" (-50.0) (Stats.ratio_percent 0.5 1.0)
+
+let test_histogram () =
+  let h = Stats.histogram ~bins:2 [| 0.0; 0.1; 0.9; 1.0 |] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  Alcotest.(check int) "low bin" 2 (snd h.(0));
+  Alcotest.(check int) "high bin" 2 (snd h.(1));
+  Alcotest.check_raises "bad bins" (Invalid_argument "Stats.histogram: bins <= 0")
+    (fun () -> ignore (Stats.histogram ~bins:0 [| 1.0 |]))
+
+let qcheck_mean_bounded =
+  QCheck.Test.make ~name:"mean lies within [min,max]" ~count:300
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let lo, hi = Stats.min_max xs in
+      let m = Stats.mean xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let qcheck_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:300
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 1 30) (float_bound_exclusive 100.0))
+        (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun (xs, (p1, p2)) ->
+      let lo = Stdlib.min p1 p2 and hi = Stdlib.max p1 p2 in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+let tests =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "kahan sum" `Quick test_sum_kahan;
+    Alcotest.test_case "variance/stddev" `Quick test_variance_stddev;
+    Alcotest.test_case "median" `Quick test_median;
+    Alcotest.test_case "min_max" `Quick test_min_max;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "ratio_percent" `Quick test_ratio_percent;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    QCheck_alcotest.to_alcotest qcheck_mean_bounded;
+    QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
+  ]

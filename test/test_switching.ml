@@ -1,0 +1,135 @@
+module Charac = Iddq_analysis.Charac
+module Switching = Iddq_analysis.Switching
+module Iscas = Iddq_netlist.Iscas
+module Circuit = Iddq_netlist.Circuit
+module Generator = Iddq_netlist.Generator
+module Library = Iddq_celllib.Library
+module Cell = Iddq_celllib.Cell
+module Gate = Iddq_netlist.Gate
+
+let make circuit = Charac.make ~library:Library.default circuit
+
+let gate_of c name =
+  Circuit.gate_of_node c (Option.get (Circuit.node_id_of_name c name))
+
+let nand_peak = (Library.cell Library.default Gate.Nand).Cell.peak_current
+
+let test_c17_profile () =
+  let circuit = Iscas.c17 () in
+  let ch = make circuit in
+  let all = Array.init 6 Fun.id in
+  let profile = Switching.current_profile ch all in
+  (* T sets: slot 1 = {10,11,16,19}, slot 2 = {16,19,22,23},
+     slot 3 = {22,23} -> 4, 4, 2 NANDs *)
+  Alcotest.(check (float 1e-12)) "slot1" (4.0 *. nand_peak) profile.(1);
+  Alcotest.(check (float 1e-12)) "slot2" (4.0 *. nand_peak) profile.(2);
+  Alcotest.(check (float 1e-12)) "slot3" (2.0 *. nand_peak) profile.(3);
+  Alcotest.(check (float 1e-12)) "max" (4.0 *. nand_peak)
+    (Switching.max_transient_current ch all)
+
+let test_c17_counts () =
+  let circuit = Iscas.c17 () in
+  let ch = make circuit in
+  let counts = Switching.count_profile ch (Array.init 6 Fun.id) in
+  Alcotest.(check int) "slot1" 4 counts.(1);
+  Alcotest.(check int) "slot2" 4 counts.(2);
+  Alcotest.(check int) "slot3" 2 counts.(3)
+
+let test_subgroup_profile () =
+  let circuit = Iscas.c17 () in
+  let ch = make circuit in
+  (* module {10,16,22}: slot1 {10,16}, slot2 {16,22}, slot3 {22} *)
+  let m = Array.map (gate_of circuit) [| "10"; "16"; "22" |] in
+  let profile = Switching.current_profile ch m in
+  Alcotest.(check (float 1e-12)) "slot1" (2.0 *. nand_peak) profile.(1);
+  Alcotest.(check (float 1e-12)) "slot2" (2.0 *. nand_peak) profile.(2);
+  Alcotest.(check (float 1e-12)) "slot3" (1.0 *. nand_peak) profile.(3)
+
+let test_leakage_additive () =
+  let circuit = Iscas.c17 () in
+  let ch = make circuit in
+  let one = Switching.leakage ch [| 0 |] in
+  let all = Switching.leakage ch (Array.init 6 Fun.id) in
+  Alcotest.(check (float 1e-18)) "six gates" (6.0 *. one) all
+
+let test_discriminability () =
+  let circuit = Iscas.c17 () in
+  let ch = make circuit in
+  let tech = Charac.technology ch in
+  let d = Switching.discriminability ch [| 0; 1 |] in
+  let expected =
+    tech.Iddq_celllib.Technology.iddq_threshold
+    /. Switching.leakage ch [| 0; 1 |]
+  in
+  Alcotest.(check (float 1e-6)) "d" expected d;
+  Alcotest.(check bool) "empty group infinite" true
+    (Switching.discriminability ch [||] = infinity)
+
+let test_empty_group () =
+  let circuit = Iscas.c17 () in
+  let ch = make circuit in
+  Alcotest.(check (float 0.0)) "max current 0" 0.0
+    (Switching.max_transient_current ch [||]);
+  Alcotest.(check (float 0.0)) "leak 0" 0.0 (Switching.leakage ch [||])
+
+let test_cell_array_shapes () =
+  (* the Fig. 2 property: row modules never stack current, column
+     modules stack all of it *)
+  let rows = 5 and cols = 4 in
+  let circuit = Generator.cell_array ~rows ~cols in
+  let ch = make circuit in
+  let row r = Array.init cols (fun c -> Generator.cell_array_gate ~rows ~cols ~r ~c) in
+  let col c = Array.init rows (fun r -> Generator.cell_array_gate ~rows ~cols ~r ~c) in
+  let row_max = Switching.max_transient_current ch (row 0) in
+  let col_max = Switching.max_transient_current ch (col 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "columns stack current (%.2e vs %.2e)" col_max row_max)
+    true
+    (col_max > 3.0 *. row_max)
+
+let qcheck_union_monotone =
+  QCheck.Test.make
+    ~name:"merging groups never lowers max transient current" ~count:40
+    QCheck.(pair (int_range 10 80) (int_range 1 100000))
+    (fun (gates, seed) ->
+      let rng = Iddq_util.Rng.create seed in
+      let circuit =
+        Generator.layered_dag ~rng ~name:"q" ~num_inputs:5 ~num_outputs:2
+          ~num_gates:gates ~depth:(1 + (gates / 8)) ()
+      in
+      let ch = make circuit in
+      let a = Array.init (gates / 2) Fun.id in
+      let b = Array.init (gates - (gates / 2)) (fun i -> (gates / 2) + i) in
+      let union = Array.append a b in
+      let m x = Switching.max_transient_current ch x in
+      m union >= m a -. 1e-15 && m union >= m b -. 1e-15
+      && m union <= m a +. m b +. 1e-15)
+
+let qcheck_leakage_additive =
+  QCheck.Test.make ~name:"leakage of disjoint union adds" ~count:40
+    QCheck.(pair (int_range 10 60) (int_range 1 100000))
+    (fun (gates, seed) ->
+      let rng = Iddq_util.Rng.create seed in
+      let circuit =
+        Generator.layered_dag ~rng ~name:"q" ~num_inputs:5 ~num_outputs:2
+          ~num_gates:gates ~depth:(1 + (gates / 8)) ()
+      in
+      let ch = make circuit in
+      let a = Array.init (gates / 2) Fun.id in
+      let b = Array.init (gates - (gates / 2)) (fun i -> (gates / 2) + i) in
+      let union = Array.append a b in
+      let l x = Switching.leakage ch x in
+      Float.abs (l union -. (l a +. l b)) < 1e-15)
+
+let tests =
+  [
+    Alcotest.test_case "c17 profile" `Quick test_c17_profile;
+    Alcotest.test_case "c17 counts" `Quick test_c17_counts;
+    Alcotest.test_case "subgroup profile" `Quick test_subgroup_profile;
+    Alcotest.test_case "leakage additive" `Quick test_leakage_additive;
+    Alcotest.test_case "discriminability" `Quick test_discriminability;
+    Alcotest.test_case "empty group" `Quick test_empty_group;
+    Alcotest.test_case "cell array shapes" `Quick test_cell_array_shapes;
+    QCheck_alcotest.to_alcotest qcheck_union_monotone;
+    QCheck_alcotest.to_alcotest qcheck_leakage_additive;
+  ]

@@ -1,0 +1,45 @@
+module Table = Iddq_util.Table
+
+let test_render () =
+  let t = Table.create [ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "long-name"; "12345678" ];
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  (match lines with
+  | header :: rule :: _ ->
+    Alcotest.(check bool) "header mentions both columns" true
+      (String.length header >= String.length "name  value");
+    Alcotest.(check bool) "rule is dashes" true
+      (String.for_all (fun ch -> ch = '-') rule)
+  | _ -> Alcotest.fail "missing lines");
+  (* right alignment: the value column ends aligned *)
+  let row_a = List.nth lines 2 and row_b = List.nth lines 3 in
+  Alcotest.(check int) "rows equal width" (String.length row_b)
+    (String.length row_a)
+
+let test_arity_check () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_rows_in_order () =
+  let t = Table.create [ ("x", Table.Left) ] in
+  Table.add_row t [ "first" ];
+  Table.add_row t [ "second" ];
+  let s = Table.render t in
+  let first_at =
+    match String.index_opt s 'f' with Some i -> i | None -> max_int
+  in
+  let second_at =
+    match String.index_opt s 's' with Some i -> i | None -> -1
+  in
+  Alcotest.(check bool) "order preserved" true (first_at < second_at)
+
+let tests =
+  [
+    Alcotest.test_case "render" `Quick test_render;
+    Alcotest.test_case "arity check" `Quick test_arity_check;
+    Alcotest.test_case "row order" `Quick test_rows_in_order;
+  ]

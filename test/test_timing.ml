@@ -1,0 +1,111 @@
+module Charac = Iddq_analysis.Charac
+module Timing = Iddq_analysis.Timing
+module Generator = Iddq_netlist.Generator
+module Library = Iddq_celllib.Library
+module Cell = Iddq_celllib.Cell
+module Gate = Iddq_netlist.Gate
+
+let make circuit = Charac.make ~library:Library.default circuit
+
+let test_chain_nominal_delay () =
+  let length = 12 in
+  let circuit = Generator.chain ~length () in
+  let ch = make circuit in
+  let not_delay = (Library.cell Library.default Gate.Not).Cell.delay in
+  Alcotest.(check (float 1e-15)) "sum of NOT delays"
+    (float_of_int length *. not_delay)
+    (Timing.nominal_delay ch)
+
+let test_tree_nominal_delay () =
+  let circuit = Generator.balanced_tree ~depth:5 () in
+  let ch = make circuit in
+  let nand_delay = (Library.cell Library.default Gate.Nand).Cell.delay in
+  Alcotest.(check (float 1e-15)) "depth x NAND delay" (5.0 *. nand_delay)
+    (Timing.nominal_delay ch)
+
+let test_arrival_monotone_along_path () =
+  let circuit = Generator.chain ~length:6 () in
+  let ch = make circuit in
+  let arr = Timing.arrival_times ch ~gate_delay:(Charac.delay ch) in
+  for g = 1 to 5 do
+    Alcotest.(check bool) "arrival increases" true (arr.(g) > arr.(g - 1))
+  done
+
+let test_degradation_limits () =
+  let base ~rs ~i =
+    Timing.degradation_factor ~vdd:5.0 ~rs ~cs:10e-12 ~rg:4000.0 ~cg:0.2e-12
+      ~transient_current:i
+  in
+  Alcotest.(check (float 1e-12)) "rs=0 -> 1" 1.0 (base ~rs:0.0 ~i:0.01);
+  Alcotest.(check bool) "delta >= 1" true (base ~rs:20.0 ~i:0.01 >= 1.0);
+  Alcotest.(check bool) "grows with current" true
+    (base ~rs:20.0 ~i:0.02 > base ~rs:20.0 ~i:0.01);
+  (* sized sensors: rs * imax = r*, so the bounce is bounded by r*
+     and delta - 1 <= (r*/vdd)^2 *)
+  let r_star = 0.2 in
+  let d = base ~rs:(r_star /. 0.01) ~i:0.01 in
+  Alcotest.(check bool) "bounded by (r*/vdd)^2" true
+    (d -. 1.0 <= (r_star /. 5.0) ** 2.0 +. 1e-12)
+
+let test_bic_delay_at_least_nominal () =
+  let circuit = Generator.chain ~length:8 () in
+  let ch = make circuit in
+  let n = Charac.num_gates ch in
+  let module_of_gate = Array.make n 0 in
+  let d = Timing.nominal_delay ch in
+  let d_bic =
+    Timing.bic_delay ch ~module_of_gate
+      ~rs_of_module:(fun _ -> 50.0)
+      ~cs_of_module:(fun _ -> 5e-12)
+      ~module_current:(fun _ _ -> 0.004)
+  in
+  Alcotest.(check bool) "D_BIC >= D" true (d_bic >= d);
+  let d_free =
+    Timing.bic_delay ch ~module_of_gate
+      ~rs_of_module:(fun _ -> 0.0)
+      ~cs_of_module:(fun _ -> 5e-12)
+      ~module_current:(fun _ _ -> 0.004)
+  in
+  Alcotest.(check (float 1e-18)) "rs=0 recovers nominal" d d_free
+
+let test_bic_delay_overhead_scale () =
+  (* at the paper's operating point the overhead is far below 1% *)
+  let rng = Iddq_util.Rng.create 4 in
+  let circuit =
+    Generator.layered_dag ~rng ~name:"t" ~num_inputs:16 ~num_outputs:8
+      ~num_gates:300 ~depth:20 ()
+  in
+  let ch = make circuit in
+  let p =
+    Iddq_core.Partition.create ch
+      ~assignment:(Array.init 300 (fun g -> if g < 150 then 0 else 1))
+  in
+  let b = Iddq_core.Cost.evaluate p in
+  Alcotest.(check bool)
+    (Printf.sprintf "c2 = %.2e below 1e-2" b.Iddq_core.Cost.c2_delay)
+    true
+    (b.Iddq_core.Cost.c2_delay < 1e-2 && b.Iddq_core.Cost.c2_delay >= 0.0)
+
+let qcheck_degradation_monotone_rs =
+  QCheck.Test.make ~name:"degradation monotone in transient current" ~count:200
+    QCheck.(
+      triple (float_range 0.1 500.0) (float_range 1e-4 0.05)
+        (float_range 1e-4 0.05))
+    (fun (rs, i1, i2) ->
+      let f i =
+        Timing.degradation_factor ~vdd:5.0 ~rs ~cs:10e-12 ~rg:4000.0
+          ~cg:0.2e-12 ~transient_current:i
+      in
+      let lo = Stdlib.min i1 i2 and hi = Stdlib.max i1 i2 in
+      f lo <= f hi +. 1e-12)
+
+let tests =
+  [
+    Alcotest.test_case "chain nominal delay" `Quick test_chain_nominal_delay;
+    Alcotest.test_case "tree nominal delay" `Quick test_tree_nominal_delay;
+    Alcotest.test_case "arrival monotone" `Quick test_arrival_monotone_along_path;
+    Alcotest.test_case "degradation limits" `Quick test_degradation_limits;
+    Alcotest.test_case "bic delay >= nominal" `Quick test_bic_delay_at_least_nominal;
+    Alcotest.test_case "overhead scale" `Quick test_bic_delay_overhead_scale;
+    QCheck_alcotest.to_alcotest qcheck_degradation_monotone_rs;
+  ]

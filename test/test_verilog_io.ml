@@ -1,0 +1,154 @@
+module Verilog_io = Iddq_netlist.Verilog_io
+module Bench_io = Iddq_netlist.Bench_io
+module Circuit = Iddq_netlist.Circuit
+module Gate = Iddq_netlist.Gate
+module Iscas = Iddq_netlist.Iscas
+module Generator = Iddq_netlist.Generator
+module Logic_sim = Iddq_patterns.Logic_sim
+
+let parse_ok text =
+  match Verilog_io.parse_string text with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "verilog parse failed: %s" e
+
+let parse_err text =
+  match Verilog_io.parse_string text with
+  | Ok _ -> Alcotest.fail "expected a verilog parse error"
+  | Error e -> e
+
+let c17_verilog =
+  "module c17 (N1, N2, N3, N6, N7, N22, N23);\n\
+   \  input N1, N2, N3, N6, N7;\n\
+   \  output N22, N23;\n\
+   \  wire N10, N11, N16, N19;\n\
+   \  nand g1 (N10, N1, N3);\n\
+   \  nand g2 (N11, N3, N6);\n\
+   \  nand g3 (N16, N2, N11);\n\
+   \  nand g4 (N19, N11, N7);\n\
+   \  nand g5 (N22, N10, N16);\n\
+   \  nand g6 (N23, N16, N19);\n\
+   endmodule\n"
+
+let test_parse_c17 () =
+  let c = parse_ok c17_verilog in
+  Alcotest.(check string) "name" "c17" (Circuit.name c);
+  Alcotest.(check int) "inputs" 5 (Circuit.num_inputs c);
+  Alcotest.(check int) "outputs" 2 (Circuit.num_outputs c);
+  Alcotest.(check int) "gates" 6 (Circuit.num_gates c);
+  Alcotest.(check (result unit string)) "valid" (Ok ()) (Circuit.validate c)
+
+let test_parse_function_matches_bench () =
+  (* the same C17 through both formats computes the same function *)
+  let v = parse_ok c17_verilog in
+  let b = Iscas.c17 () in
+  for vec = 0 to 31 do
+    let bit i = (vec lsr i) land 1 = 1 in
+    let inputs = [| bit 0; bit 1; bit 2; bit 3; bit 4 |] in
+    let out c = Logic_sim.output_values c (Logic_sim.eval c inputs) in
+    Alcotest.(check bool)
+      (Printf.sprintf "vector %d" vec)
+      true
+      (out v = out b)
+  done
+
+let test_comments_and_instance_names () =
+  let c =
+    parse_ok
+      "// header\nmodule m (a, y); /* ports */\n  input a;\n  output y;\n\
+       \  not (y, a); // anonymous instance\nendmodule\n"
+  in
+  Alcotest.(check int) "gates" 1 (Circuit.num_gates c)
+
+let test_parse_errors () =
+  let check_mentions text frag =
+    let e = parse_err text in
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+      m = 0 || scan 0
+    in
+    Alcotest.(check bool) (frag ^ ": " ^ e) true (contains e frag)
+  in
+  check_mentions "module m (y); output y; frob (y, y); endmodule" "primitive";
+  check_mentions "module m (a); input a;" "endmodule";
+  check_mentions "module m (y); output y; not (y); endmodule" "no inputs";
+  check_mentions "module m (a, y); input a; output y; not (y, a) endmodule"
+    "';'";
+  check_mentions "/* unterminated" "comment"
+
+let test_roundtrip_c17 () =
+  let c = Iscas.c17 () in
+  let c' = parse_ok (Verilog_io.to_string c) in
+  Alcotest.(check int) "gates" (Circuit.num_gates c) (Circuit.num_gates c');
+  Alcotest.(check int) "inputs" (Circuit.num_inputs c) (Circuit.num_inputs c');
+  Alcotest.(check int) "outputs" (Circuit.num_outputs c) (Circuit.num_outputs c');
+  (* names like "10" are not Verilog identifiers: the escaped-name
+     path must preserve them *)
+  Alcotest.(check bool) "net 10 survives" true
+    (Circuit.node_id_of_name c' "10" <> None)
+
+let test_roundtrip_generated () =
+  let rng = Iddq_util.Rng.create 21 in
+  let c =
+    Generator.layered_dag ~rng ~name:"rt_v" ~num_inputs:7 ~num_outputs:3
+      ~num_gates:70 ~depth:9 ()
+  in
+  let c' = parse_ok (Verilog_io.to_string c) in
+  Alcotest.(check int) "gates" (Circuit.num_gates c) (Circuit.num_gates c');
+  Alcotest.(check (result unit string)) "valid" (Ok ()) (Circuit.validate c');
+  (* functional equivalence on a few vectors *)
+  for seed = 1 to 5 do
+    let r = Iddq_util.Rng.create seed in
+    let inputs = Array.init 7 (fun _ -> Iddq_util.Rng.bool r) in
+    let out c = Logic_sim.output_values c (Logic_sim.eval c inputs) in
+    Alcotest.(check bool) "same outputs" true (out c = out c')
+  done
+
+let test_bench_to_verilog_bridge () =
+  (* bench -> circuit -> verilog -> circuit -> bench survives *)
+  let c = Iscas.c17 () in
+  let v = parse_ok (Verilog_io.to_string c) in
+  match Bench_io.parse_string (Bench_io.to_string v) with
+  | Ok c' -> Alcotest.(check int) "gates" 6 (Circuit.num_gates c')
+  | Error e -> Alcotest.failf "bench reparse: %s" e
+
+let test_file_io () =
+  let path = Filename.temp_file "iddq_test" ".v" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Verilog_io.write_file path (Iscas.c17 ());
+      match Verilog_io.parse_file path with
+      | Ok c -> Alcotest.(check int) "gates" 6 (Circuit.num_gates c)
+      | Error e -> Alcotest.failf "parse_file: %s" e)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"verilog roundtrip preserves structure" ~count:25
+    QCheck.(pair (int_range 5 80) (int_range 1 60000))
+    (fun (gates, seed) ->
+      let rng = Iddq_util.Rng.create seed in
+      let c =
+        Generator.layered_dag ~rng ~name:"q" ~num_inputs:4 ~num_outputs:2
+          ~num_gates:gates ~depth:(1 + (gates / 10)) ()
+      in
+      match Verilog_io.parse_string (Verilog_io.to_string c) with
+      | Error _ -> false
+      | Ok c' ->
+        Circuit.num_gates c = Circuit.num_gates c'
+        && Circuit.num_inputs c = Circuit.num_inputs c'
+        && Circuit.num_outputs c = Circuit.num_outputs c')
+
+let tests =
+  [
+    Alcotest.test_case "parse c17" `Quick test_parse_c17;
+    Alcotest.test_case "function matches bench" `Quick
+      test_parse_function_matches_bench;
+    Alcotest.test_case "comments/instances" `Quick
+      test_comments_and_instance_names;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "roundtrip c17" `Quick test_roundtrip_c17;
+    Alcotest.test_case "roundtrip generated" `Quick test_roundtrip_generated;
+    Alcotest.test_case "bench bridge" `Quick test_bench_to_verilog_bridge;
+    Alcotest.test_case "file io" `Quick test_file_io;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]
