@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick examples doc clean
+.PHONY: all build test bench bench-quick bench-smoke ci examples doc clean
 
 all: build
 
@@ -17,6 +17,15 @@ bench:
 # Table 1 on a small stand-in only.
 bench-quick:
 	dune exec bench/main.exe -- quick
+
+# Delta-vs-full evaluation accounting: same annealing run through both
+# evaluators, Metrics counters for each, identical-final-cost and
+# >= 5x fewer evaluate-equivalents checks (seconds).
+bench-smoke:
+	dune exec bench/main.exe -- smoke
+
+# What a per-PR check runs: build, tests, evaluation-count smoke.
+ci: build test bench-smoke
 
 examples:
 	dune exec examples/quickstart.exe

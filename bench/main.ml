@@ -25,6 +25,8 @@ module Es = Iddq_evolution.Es
 module Seeds = Iddq_evolution.Seeds
 module Part_iddq = Iddq_evolution.Part_iddq
 module Standard = Iddq_baseline.Standard
+module Annealing = Iddq_baseline.Annealing
+module Metrics = Iddq_util.Metrics
 module Pipeline = Iddq.Pipeline
 module Report = Iddq.Report
 
@@ -1096,6 +1098,75 @@ let run_perf () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* Smoke: delta vs full cost evaluation accounting (make bench-smoke)  *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs the same annealing search twice with the same rng seed — once
+   through the full Cost.evaluate per proposal, once through the
+   incremental Cost_eval — and reports the Metrics counters of each.
+   Because delta evaluation reproduces the full evaluation exactly,
+   the two runs visit the same states and must end at the same cost;
+   the difference is the work accounted. *)
+let run_smoke () =
+  section "Smoke: incremental vs full cost evaluation (C7552 stand-in)";
+  let circuit = Iscas.c7552_like () in
+  let ch = Charac.make ~library:Library.default circuit in
+  let start = Seeds.chain_partition ~rng:(Rng.create 42) ~module_size:8 ch in
+  let params = { Annealing.default_params with Annealing.steps = 2_000 } in
+  Printf.printf "annealing: %d gates, %d start modules, %d steps\n\n"
+    (Circuit.num_gates circuit)
+    (Partition.num_modules start)
+    params.Annealing.steps;
+  let measured f =
+    let before = Metrics.snapshot Metrics.global in
+    let result = f () in
+    (result, Metrics.diff (Metrics.snapshot Metrics.global) before)
+  in
+  let (_, full_best), full_stats =
+    measured (fun () ->
+        Annealing.optimize ~params ~full_eval:true ~rng:(Rng.create 7) start)
+  in
+  let (_, delta_best), delta_stats =
+    measured (fun () -> Annealing.optimize ~params ~rng:(Rng.create 7) start)
+  in
+  print_endline "full-eval mode:";
+  Table.print (Report.metrics_table full_stats);
+  print_endline "\ndelta mode:";
+  Table.print (Report.metrics_table delta_stats);
+  let full_work = Metrics.equivalent_evals full_stats in
+  let delta_work = Metrics.equivalent_evals delta_stats in
+  let ratio = full_work /. delta_work in
+  Printf.printf
+    "\nfinal penalized cost: full=%.6f delta=%.6f (%s)\n"
+    full_best.Cost.penalized delta_best.Cost.penalized
+    (if delta_best.Cost.penalized <= full_best.Cost.penalized then
+       "delta equal or better"
+     else "REGRESSION");
+  Printf.printf
+    "evaluate-equivalents: full-mode %.1f, delta-mode %.1f -> %.1fx fewer (%s)\n"
+    full_work delta_work ratio
+    (if ratio >= 5.0 then "PASS >= 5x" else "FAIL < 5x");
+  (* a short ES run with parallel offspring evaluation, same counters *)
+  let es_params =
+    {
+      Es.default_params with
+      Es.max_generations = 15;
+      stall_generations = 15;
+      domains = 2;
+    }
+  in
+  let rng = Rng.create 11 in
+  let starts = Seeds.population ~rng ~module_size:8 ~count:4 ch in
+  let (best, _), es_stats =
+    measured (fun () ->
+        Part_iddq.optimize ~params:es_params ~rng ~starts ())
+  in
+  Printf.printf
+    "\nES (%d domains, %d generations): best cost %.6f\n"
+    es_params.Es.domains es_params.Es.max_generations best.Es.cost;
+  Table.print (Report.metrics_table es_stats)
+
+(* ------------------------------------------------------------------ *)
 
 let quick_suite () = [ ("C432", Iscas.c432_like ()) ]
 
@@ -1150,10 +1221,11 @@ let () =
         | "stability" -> run_stability ()
         | "cooptimize" -> run_cooptimize ()
         | "perf" -> run_perf ()
+        | "smoke" -> run_smoke ()
         | other ->
           Printf.eprintf
             "unknown experiment %S (try: table1 fig2 c17 fig1 ablation-opt \
-             ablation-weights ablation-es ablation-resynth validation tradeoff variants compaction logic-vs-iddq schedule routing atpg sizing stability cooptimize perf quick all)\n"
+             ablation-weights ablation-es ablation-resynth validation tradeoff variants compaction logic-vs-iddq schedule routing atpg sizing stability cooptimize perf smoke quick all)\n"
             other;
           exit 1)
       args

@@ -1,6 +1,22 @@
 module Circuit = Iddq_netlist.Circuit
 module Technology = Iddq_celllib.Technology
 
+(* Both passes below walk gates by increasing (or decreasing) id and
+   read values already written for neighbours, so they are only
+   correct when gate ids are topologically ordered — every fanin of a
+   gate has a smaller gate id.  [Builder.freeze] establishes this for
+   every circuit constructor in the library; [Circuit.unsafe_make]
+   trusts its caller.  Rather than silently producing wrong delays on
+   a violating circuit, the passes check the invariant on the edges
+   they traverse anyway (negligible cost) and fail loudly. *)
+let out_of_order ~where ~gate ~neighbour =
+  invalid_arg
+    (Printf.sprintf
+       "Timing.%s: circuit is not topologically ordered: gate %d reads gate \
+        %d, which does not precede it (was the circuit built with \
+        Circuit.unsafe_make? use Builder.freeze / Circuit.validate)"
+       where gate neighbour)
+
 let arrival_times ch ~gate_delay =
   let c = Charac.circuit ch in
   let arr = Array.make (Charac.num_gates ch) 0.0 in
@@ -9,7 +25,12 @@ let arrival_times ch ~gate_delay =
         Array.fold_left
           (fun acc src ->
             if Circuit.is_input c src then acc
-            else Stdlib.max acc arr.(Circuit.gate_of_node c src))
+            else begin
+              let h = Circuit.gate_of_node c src in
+              if h >= g then
+                out_of_order ~where:"arrival_times" ~gate:g ~neighbour:h;
+              Stdlib.max acc arr.(h)
+            end)
           0.0 fanins
       in
       arr.(g) <- latest +. gate_delay g);
@@ -82,6 +103,8 @@ let slacks ch ~gate_delay =
   for g = n - 1 downto 0 do
     Array.iter
       (fun reader ->
+        if reader <= g then
+          out_of_order ~where:"slacks" ~gate:g ~neighbour:reader;
         let candidate = required.(reader) -. gate_delay reader in
         if candidate < required.(g) then required.(g) <- candidate)
       (Circuit.gate_fanout_gates c g)

@@ -28,7 +28,14 @@
 val arrival_times : Charac.t -> gate_delay:(int -> float) -> float array
 (** Longest-path arrival time at each gate's output: [arr(g) =
     gate_delay g + max over gate fanins] (primary inputs arrive
-    at 0). *)
+    at 0).
+
+    The single forward pass requires gate ids to be topologically
+    ordered (every fanin gate id smaller than its reader's), which
+    [Builder.freeze] guarantees for all library-built circuits.  On a
+    violating circuit (hand-built via [Circuit.unsafe_make]) the pass
+    — and likewise {!slacks}' reverse pass — raises a descriptive
+    [Invalid_argument] instead of returning silently wrong delays. *)
 
 val longest_path : Charac.t -> gate_delay:(int -> float) -> float
 (** Maximum arrival over the primary outputs. *)

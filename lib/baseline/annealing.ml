@@ -1,6 +1,7 @@
 module Rng = Iddq_util.Rng
 module Partition = Iddq_core.Partition
 module Cost = Iddq_core.Cost
+module Cost_eval = Iddq_core.Cost_eval
 
 type params = { initial_temperature : float; cooling : float; steps : int }
 
@@ -13,8 +14,12 @@ let check_params p =
     invalid_arg "Annealing: cooling must be in (0,1)";
   if p.steps < 1 then invalid_arg "Annealing: steps < 1"
 
+type move = { gate : int; src : int; target : int }
+
 (* Propose moving one random boundary gate to a random neighbouring
-   module; returns the undo information, or None if no move exists. *)
+   module; returns the move without applying it, or None if none
+   exists.  The source module is filtered out of the candidate targets
+   so a proposal can never be a no-op counted as an accepted move. *)
 let propose rng p =
   if Partition.num_modules p < 2 then None
   else begin
@@ -28,37 +33,55 @@ let propose rng p =
           try_module (tries - 1)
         else begin
           let g = Rng.choose rng boundary in
-          match Partition.neighbour_modules p g with
+          match
+            List.filter (fun m -> m <> src) (Partition.neighbour_modules p g)
+          with
           | [] -> try_module (tries - 1)
           | targets ->
             let target = Rng.choose_list rng targets in
-            Partition.move_gate p g target;
-            Some (g, src)
+            Some { gate = g; src; target }
         end
       end
     in
     try_module 8
   end
 
-let optimize ?weights ?(params = default_params) ~rng start =
+let optimize ?weights ?(params = default_params) ?(full_eval = false) ?metrics
+    ?on_move ~rng start =
   check_params params;
-  let cost p = (Cost.evaluate ?weights p).Cost.penalized in
   let current = Partition.copy start in
-  let current_cost = ref (cost current) in
+  let eval =
+    if full_eval then None else Some (Cost_eval.create ?weights ?metrics current)
+  in
+  let apply g target =
+    match eval with
+    | Some e -> Cost_eval.move e ~gate:g ~target
+    | None -> Partition.move_gate current g target
+  in
+  let cost () =
+    match eval with
+    | Some e -> Cost_eval.penalized e
+    | None -> (Cost.evaluate ?weights current).Cost.penalized
+  in
+  let current_cost = ref (cost ()) in
   let best = ref (Partition.copy current) in
   let best_cost = ref !current_cost in
   let temperature = ref params.initial_temperature in
-  for _ = 1 to params.steps do
+  for step = 1 to params.steps do
     (match propose rng current with
     | None -> ()
-    | Some (g, src) ->
-      let candidate_cost = cost current in
+    | Some { gate; src; target } ->
+      apply gate target;
+      let candidate_cost = cost () in
       let delta = candidate_cost -. !current_cost in
-      let accept =
+      let accepted =
         delta <= 0.0
         || Rng.float rng 1.0 < exp (-.delta /. !temperature)
       in
-      if accept then begin
+      (match on_move with
+      | Some f -> f ~step ~gate ~src ~target ~accepted
+      | None -> ());
+      if accepted then begin
         current_cost := candidate_cost;
         if candidate_cost < !best_cost then begin
           best := Partition.copy current;
@@ -67,7 +90,7 @@ let optimize ?weights ?(params = default_params) ~rng start =
       end
       else
         (* undo; the proposal never empties the source, so it is alive *)
-        Partition.move_gate current g src);
+        apply gate src);
     temperature := !temperature *. params.cooling
   done;
   (!best, Cost.evaluate ?weights !best)

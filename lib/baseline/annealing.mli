@@ -2,7 +2,15 @@
     alternatives the paper lists (§4) for this class of problem, used
     here as an optimizer-ablation comparator.  Moves are single
     boundary-gate transfers (the same neighbourhood as the ES
-    mutation); acceptance follows Metropolis with geometric cooling. *)
+    mutation); acceptance follows Metropolis with geometric cooling.
+
+    Cost queries go through the incremental
+    {!Iddq_core.Cost_eval} by default: each proposal re-evaluates only
+    the two modules it touches instead of the whole circuit.  Because
+    delta evaluation reproduces {!Iddq_core.Cost.evaluate} exactly,
+    the search trajectory for a given rng is identical in both
+    modes — [full_eval] exists as the checked fallback and for
+    measuring the speedup. *)
 
 type params = {
   initial_temperature : float;
@@ -16,8 +24,21 @@ val default_params : params
 val optimize :
   ?weights:Iddq_core.Cost.weights ->
   ?params:params ->
+  ?full_eval:bool ->
+  ?metrics:Iddq_util.Metrics.t ->
+  ?on_move:
+    (step:int -> gate:int -> src:int -> target:int -> accepted:bool -> unit) ->
   rng:Iddq_util.Rng.t ->
   Iddq_core.Partition.t ->
   Iddq_core.Partition.t * Iddq_core.Cost.breakdown
 (** Starts from a copy of the given partition; returns the best
-    visited partition and its cost breakdown. *)
+    visited partition and its cost breakdown.
+
+    [full_eval] (default [false]) bypasses the incremental evaluator
+    and runs a complete {!Iddq_core.Cost.evaluate} per proposal — the
+    slow reference path; with the same [rng] it visits the same states
+    and returns the same result.  [metrics] receives the evaluator's
+    counters (default {!Iddq_util.Metrics.global}; full-mode
+    evaluations always land in the global instance).  [on_move] is
+    called for every {e proposed} move with its acceptance verdict; a
+    proposal never has [src = target]. *)

@@ -1,10 +1,11 @@
 module Partition = Iddq_core.Partition
 module Cost = Iddq_core.Cost
+module Cost_eval = Iddq_core.Cost_eval
 
-let optimize ?weights ?(max_passes = 20) start =
-  let cost p = (Cost.evaluate ?weights p).Cost.penalized in
-  let p = Partition.copy start in
-  let current = ref (cost p) in
+let optimize ?weights ?metrics ?(max_passes = 20) start =
+  let eval = Cost_eval.create ?weights ?metrics (Partition.copy start) in
+  let p = Cost_eval.partition eval in
+  let current = ref (Cost_eval.penalized eval) in
   let improved = ref true in
   let passes = ref 0 in
   while !improved && !passes < max_passes do
@@ -20,13 +21,13 @@ let optimize ?weights ?(max_passes = 20) start =
               List.iter
                 (fun target ->
                   if Partition.module_of_gate p g = m then begin
-                    Partition.move_gate p g target;
-                    let candidate = cost p in
+                    Cost_eval.move eval ~gate:g ~target;
+                    let candidate = Cost_eval.penalized eval in
                     if candidate < !current then begin
                       current := candidate;
                       improved := true
                     end
-                    else Partition.move_gate p g m
+                    else Cost_eval.move eval ~gate:g ~target:m
                   end)
                 (Partition.neighbour_modules p g))
           (Partition.boundary_gates p m))

@@ -50,33 +50,18 @@ let infeasibility_penalty = 1.0e7
 (* log clipped away from -inf for degenerate (empty/zero) values *)
 let safe_log x = if x <= 0.0 then 0.0 else log x
 
-let evaluate ?(weights = paper_weights) p =
-  let ch = Partition.charac p in
-  let tech = Charac.technology ch in
-  let sensors = Partition.sensors p in
+(* Assembly of the breakdown from the expensive pieces (the sensor
+   list and the two delays).  Shared — with identical operation order —
+   by the full [evaluate] below and the incremental [Cost_eval], so a
+   delta evaluation that reproduces the same components reproduces the
+   full evaluation's floats bit for bit. *)
+let of_components ?(weights = paper_weights) ~sensors ~bic_delay ~nominal_delay
+    p =
+  let tech = Charac.technology (Partition.charac p) in
   let sensor_area =
     List.fold_left (fun acc (_, s) -> acc +. s.Sensor.area) 0.0 sensors
   in
   let c1_area = safe_log sensor_area in
-  let nominal_delay = Timing.nominal_delay ch in
-  (* per-module sensor lookup tables for the degradation model *)
-  let max_id =
-    List.fold_left (fun acc (m, _) -> Stdlib.max acc m) 0 sensors
-  in
-  let rs_tab = Array.make (max_id + 1) Sensor.max_rs in
-  let cs_tab = Array.make (max_id + 1) 0.0 in
-  List.iter
-    (fun (m, s) ->
-      rs_tab.(m) <- s.Sensor.rs;
-      cs_tab.(m) <- s.Sensor.cs)
-    sensors;
-  let module_of_gate = Partition.assignment p in
-  let bic_delay =
-    Timing.bic_delay ch ~module_of_gate
-      ~rs_of_module:(fun m -> rs_tab.(m))
-      ~cs_of_module:(fun m -> cs_tab.(m))
-      ~module_current:(fun m slot -> Partition.transient_at p m slot)
-  in
   let c2_delay =
     if nominal_delay > 0.0 then (bic_delay -. nominal_delay) /. nominal_delay
     else 0.0
@@ -115,6 +100,35 @@ let evaluate ?(weights = paper_weights) p =
     test_time_per_vector = Test_time.per_vector tech ~d_bic:bic_delay sensor_list;
     min_discriminability = Partition.min_discriminability p;
   }
+
+let evaluate ?weights p =
+  let t0 = Sys.time () in
+  let ch = Partition.charac p in
+  let sensors = Partition.sensors p in
+  let nominal_delay = Timing.nominal_delay ch in
+  (* per-module sensor lookup tables for the degradation model *)
+  let max_id =
+    List.fold_left (fun acc (m, _) -> Stdlib.max acc m) 0 sensors
+  in
+  let rs_tab = Array.make (max_id + 1) Sensor.max_rs in
+  let cs_tab = Array.make (max_id + 1) 0.0 in
+  List.iter
+    (fun (m, s) ->
+      rs_tab.(m) <- s.Sensor.rs;
+      cs_tab.(m) <- s.Sensor.cs)
+    sensors;
+  let module_of_gate = Partition.assignment p in
+  let bic_delay =
+    Timing.bic_delay ch ~module_of_gate
+      ~rs_of_module:(fun m -> rs_tab.(m))
+      ~cs_of_module:(fun m -> cs_tab.(m))
+      ~module_current:(fun m slot -> Partition.transient_at p m slot)
+  in
+  let b = of_components ?weights ~sensors ~bic_delay ~nominal_delay p in
+  Iddq_util.Metrics.(
+    record_full global ~gates:(Charac.num_gates ch)
+      ~seconds:(Sys.time () -. t0));
+  b
 
 let pp_breakdown fmt b =
   Format.fprintf fmt

@@ -50,7 +50,25 @@ val evaluate : ?weights:weights -> Partition.t -> breakdown
 (** Cost of a partition.  Uses only the partition's incrementally
     maintained aggregates plus one longest-path pass, so it is cheap
     enough for the optimizer's inner loop.  Default weights:
-    {!paper_weights}. *)
+    {!paper_weights}.  Records one full evaluation in
+    {!Iddq_util.Metrics.global}. *)
+
+val of_components :
+  ?weights:weights ->
+  sensors:(int * Iddq_bic.Sensor.t) list ->
+  bic_delay:float ->
+  nominal_delay:float ->
+  Partition.t ->
+  breakdown
+(** Assemble a {!breakdown} from precomputed expensive components: the
+    per-module sensor sizings (in ascending module-id order, as
+    returned by {!Partition.sensors}) and the two critical-path delays.
+    [evaluate] is [of_components] applied to freshly computed
+    components; [Cost_eval] applies it to cached ones.  Because both
+    paths share this function — and assemble the same component values
+    in the same order — an up-to-date cache reproduces [evaluate]'s
+    result exactly, not merely approximately.  Records nothing in
+    {!Iddq_util.Metrics}; callers account for their own work. *)
 
 val infeasibility_penalty : float
 (** Scale of the penalty added per unit of constraint deficit. *)

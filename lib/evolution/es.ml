@@ -9,6 +9,7 @@ type params = {
   epsilon : float;
   max_generations : int;
   stall_generations : int;
+  domains : int;
 }
 
 let default_params =
@@ -21,6 +22,7 @@ let default_params =
     epsilon = 1.5;
     max_generations = 500;
     stall_generations = 60;
+    domains = 1;
   }
 
 type 'a problem = {
@@ -45,7 +47,35 @@ let check_params p =
   if p.lambda + p.chi = 0 then invalid_arg "Es.run: no offspring at all";
   if p.omega < 1 then invalid_arg "Es.run: omega < 1";
   if p.m_init < 1 then invalid_arg "Es.run: m_init < 1";
-  if p.epsilon < 0.0 then invalid_arg "Es.run: epsilon < 0"
+  if p.epsilon < 0.0 then invalid_arg "Es.run: epsilon < 0";
+  if p.domains < 1 then invalid_arg "Es.run: domains < 1"
+
+(* Evaluate [f] over the array on up to [domains] domains, work-stealing
+   by index.  [f] must not touch shared mutable state (the ES only maps
+   the cost function over freshly built, independent solutions). *)
+let parallel_map ~domains f xs =
+  let n = Array.length xs in
+  if domains <= 1 || n <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f xs.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init (Stdlib.min domains n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map (function Some r -> r | None -> assert false) results
+  end
 
 (* The child's step width is normally distributed around the parent's
    (variance epsilon), clipped to >= 1. *)
@@ -76,26 +106,38 @@ let run ?(on_generation = fun _ -> ()) params rng (problem : _ problem) starts =
   let continue_ = ref true in
   while !continue_ && !generation < params.max_generations do
     incr generation;
-    let children = ref [] in
+    (* Build every child first (all rng draws happen here, in the same
+       order whatever [domains] is), then evaluate the costs — the only
+       expensive, rng-free part — in parallel. *)
+    let specs = ref [] in
     List.iter
       (fun parent ->
         for _ = 1 to params.lambda do
           let sol = problem.copy parent.solution in
           let step = child_step rng params parent.step in
           problem.mutate rng ~step sol;
-          children :=
-            { solution = sol; cost = problem.cost sol; age = 0; step }
-            :: !children
+          specs := (sol, step) :: !specs
         done;
         for _ = 1 to params.chi do
           let sol = problem.copy parent.solution in
           problem.monte_carlo rng sol;
           let step = child_step rng params parent.step in
-          children :=
-            { solution = sol; cost = problem.cost sol; age = 0; step }
-            :: !children
+          specs := (sol, step) :: !specs
         done)
       !population;
+    (* [!specs] is in reverse creation order, matching the list an
+       interleaved cons loop would have produced. *)
+    let spec_arr = Array.of_list !specs in
+    let costs =
+      parallel_map ~domains:params.domains
+        (fun (sol, _) -> problem.cost sol)
+        spec_arr
+    in
+    let children = ref [] in
+    for i = Array.length spec_arr - 1 downto 0 do
+      let sol, step = spec_arr.(i) in
+      children := { solution = sol; cost = costs.(i); age = 0; step } :: !children
+    done;
     let aged_parents =
       List.filter_map
         (fun ind ->

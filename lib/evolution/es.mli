@@ -19,10 +19,19 @@ type params = {
   stall_generations : int;
       (** Stop after this many generations without improvement of the
           best cost ("until the results converged", §5.1). *)
+  domains : int;
+      (** Domains used to evaluate offspring costs in parallel (the
+          μ·(λ+χ) candidates of a generation are independent).  All
+          rng draws (copying and mutating) stay on the calling domain
+          in a fixed order, so the run is deterministic and identical
+          for every value of [domains].  With [domains > 1] the
+          problem's [cost] must be safe to call concurrently on
+          distinct solutions.  Default 1 (fully sequential). *)
 }
 
 val default_params : params
-(** μ=4, λ=7, χ=2, ω=5, m=4, ε=1.5, 500 generations max, stall 60. *)
+(** μ=4, λ=7, χ=2, ω=5, m=4, ε=1.5, 500 generations max, stall 60,
+    1 domain. *)
 
 type 'a problem = {
   copy : 'a -> 'a;

@@ -1,11 +1,16 @@
 module Rng = Iddq_util.Rng
 module Partition = Iddq_core.Partition
 module Cost = Iddq_core.Cost
+module Cost_eval = Iddq_core.Cost_eval
 
 let random_live_module rng p =
   Rng.choose_list rng (Partition.module_ids p)
 
-let mutate rng ~step p =
+(* The mutation cores are written against a read view [p] and a [move]
+   callback so the same logic drives both a bare partition and an
+   incremental evaluator (which must observe every move to stay
+   coherent). *)
+let mutate_with ~move rng ~step p =
   if Partition.num_modules p >= 2 then begin
     (* a source with boundary gates exists whenever K >= 2 and the
        partition covers a connected circuit; retry a few picks *)
@@ -28,11 +33,11 @@ let mutate rng ~step p =
         (fun g ->
           match Partition.neighbour_modules p g with
           | [] -> ()
-          | targets -> Partition.move_gate p g (Rng.choose_list rng targets))
+          | targets -> move g (Rng.choose_list rng targets))
         chosen
   end
 
-let monte_carlo rng p =
+let monte_carlo_with ~move rng p =
   if Partition.num_modules p >= 2 then begin
     let src = random_live_module rng p in
     let target =
@@ -45,17 +50,42 @@ let monte_carlo rng p =
     let gates = Partition.members p src in
     let count = 1 + Rng.int rng (Array.length gates) in
     let chosen = Rng.sample_without_replacement rng count gates in
-    Array.iter (fun g -> Partition.move_gate p g target) chosen
+    Array.iter (fun g -> move g target) chosen
   end
 
-let problem ?weights () =
+let mutate rng ~step p = mutate_with ~move:(Partition.move_gate p) rng ~step p
+let monte_carlo rng p = monte_carlo_with ~move:(Partition.move_gate p) rng p
+
+let problem () =
   {
-    Es.copy = Partition.copy;
-    cost = (fun p -> (Cost.evaluate ?weights p).Cost.penalized);
-    mutate;
-    monte_carlo;
+    Es.copy = Cost_eval.copy;
+    cost = Cost_eval.penalized;
+    mutate =
+      (fun rng ~step e ->
+        mutate_with
+          ~move:(fun gate target -> Cost_eval.move e ~gate ~target)
+          rng ~step (Cost_eval.partition e));
+    monte_carlo =
+      (fun rng e ->
+        monte_carlo_with
+          ~move:(fun gate target -> Cost_eval.move e ~gate ~target)
+          rng (Cost_eval.partition e));
   }
 
-let optimize ?weights ?(params = Es.default_params) ?on_generation ~rng ~starts
-    () =
-  Es.run ?on_generation params rng (problem ?weights ()) starts
+let optimize ?weights ?metrics ?(params = Es.default_params) ?on_generation
+    ~rng ~starts () =
+  let eval_starts =
+    List.map
+      (fun p -> Cost_eval.create ?weights ?metrics (Partition.copy p))
+      starts
+  in
+  let best, trace =
+    Es.run ?on_generation params rng (problem ()) eval_starts
+  in
+  ( {
+      Es.solution = Cost_eval.partition best.Es.solution;
+      cost = best.Es.cost;
+      age = best.Es.age;
+      step = best.Es.step;
+    },
+    trace )

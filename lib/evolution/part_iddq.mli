@@ -6,7 +6,16 @@
     connected with.  Monte-Carlo descendants move a random number of
     gates of a random module into a random module, deleting the source
     when emptied — a larger jump that keeps the search out of local
-    minima. *)
+    minima.
+
+    The ES evolves {!Iddq_core.Cost_eval.t} individuals: every move a
+    mutation makes flows through the evaluator, so a child's cost is a
+    delta evaluation touching only the modules the mutation changed
+    (one refresh per child, however many gates moved) instead of a
+    full {!Iddq_core.Cost.evaluate}.  Offspring evaluators are fully
+    independent (deep-copied partitions and caches; the shared
+    {!Iddq_util.Metrics.t} is atomic), so offspring costs may be
+    computed on parallel domains via {!Es.params.domains}. *)
 
 val mutate : Iddq_util.Rng.t -> step:int -> Iddq_core.Partition.t -> unit
 (** No-op when the partition has a single module or the chosen source
@@ -14,17 +23,41 @@ val mutate : Iddq_util.Rng.t -> step:int -> Iddq_core.Partition.t -> unit
 
 val monte_carlo : Iddq_util.Rng.t -> Iddq_core.Partition.t -> unit
 
-val problem :
-  ?weights:Iddq_core.Cost.weights -> unit -> Iddq_core.Partition.t Es.problem
-(** The {!Es.problem} instance: cost is the penalized weighted cost
-    ({!Iddq_core.Cost.evaluate}). *)
+val mutate_with :
+  move:(int -> int -> unit) ->
+  Iddq_util.Rng.t ->
+  step:int ->
+  Iddq_core.Partition.t ->
+  unit
+(** Core of {!mutate} against an explicit [move gate target] effect;
+    [p] is only read.  {!mutate} instantiates it with
+    {!Iddq_core.Partition.move_gate}, the ES problem with
+    {!Iddq_core.Cost_eval.move} so the evaluator observes every
+    move. *)
+
+val monte_carlo_with :
+  move:(int -> int -> unit) ->
+  Iddq_util.Rng.t ->
+  Iddq_core.Partition.t ->
+  unit
+(** Core of {!monte_carlo}, same convention as {!mutate_with}. *)
+
+val problem : unit -> Iddq_core.Cost_eval.t Es.problem
+(** The {!Es.problem} instance over incremental evaluators: [cost] is
+    {!Iddq_core.Cost_eval.penalized}; weights and metrics are carried
+    by each evaluator (set at {!Iddq_core.Cost_eval.create}, inherited
+    by copies). *)
 
 val optimize :
   ?weights:Iddq_core.Cost.weights ->
+  ?metrics:Iddq_util.Metrics.t ->
   ?params:Es.params ->
   ?on_generation:(Es.generation_report -> unit) ->
   rng:Iddq_util.Rng.t ->
   starts:Iddq_core.Partition.t list ->
   unit ->
   Iddq_core.Partition.t Es.individual * Es.generation_report list
-(** Runs the ES over partitions from the given start population. *)
+(** Runs the ES over partitions from the given start population (the
+    inputs are copied, not mutated) and returns the best individual
+    with its solution converted back to a plain partition.  [metrics]
+    defaults to {!Iddq_util.Metrics.global}. *)

@@ -3,8 +3,11 @@ module Gate = Iddq_netlist.Gate
 
 let pack vectors ~start =
   let n = Array.length vectors in
-  if start < 0 || start >= n then invalid_arg "Parallel_sim.pack: bad start";
-  let width = Array.length vectors.(start) in
+  if start < 0 || start > n then invalid_arg "Parallel_sim.pack: bad start";
+  (* [start = n] (in particular an empty vector set): a valid empty
+     block.  The vector width — the word count — comes from any
+     vector when one exists, and degenerates to 0 words otherwise. *)
+  let width = if n = 0 then 0 else Array.length vectors.(0) in
   let count = Stdlib.min 64 (n - start) in
   Array.init width (fun i ->
       let word = ref 0L in
@@ -18,7 +21,8 @@ let pack vectors ~start =
 
 let active_mask vectors ~start =
   let n = Array.length vectors in
-  if start < 0 || start >= n then invalid_arg "Parallel_sim.active_mask: bad start";
+  if start < 0 || start > n then
+    invalid_arg "Parallel_sim.active_mask: bad start";
   let count = Stdlib.min 64 (n - start) in
   if count = 64 then Int64.minus_one
   else Int64.sub (Int64.shift_left 1L count) 1L

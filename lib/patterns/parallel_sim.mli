@@ -10,13 +10,19 @@
 val pack : bool array array -> start:int -> int64 array
 (** [pack vectors ~start] packs vectors [start .. start+63] (fewer at
     the tail) into one word per circuit input: bit [k] of word [i] is
-    input [i] of vector [start + k].  Raises [Invalid_argument] if
-    [start] is out of range or the vectors have inconsistent
-    widths. *)
+    input [i] of vector [start + k].
+
+    [start] may equal the vector count: the block is empty and every
+    word is [0L] — in particular, packing an empty vector set at
+    [start = 0] is a valid no-op returning [[||]], so zero-pattern
+    simulation needs no special-casing in callers.  Raises
+    [Invalid_argument] if [start < 0], [start] exceeds the vector
+    count, or the vectors have inconsistent widths. *)
 
 val active_mask : bool array array -> start:int -> int64
 (** Bits corresponding to real vectors in the packed block (all-ones
-    except at the tail). *)
+    except at the tail; [0L] for an empty block — same [start] range
+    as {!pack}). *)
 
 val eval : Iddq_netlist.Circuit.t -> int64 array -> int64 array
 (** [eval c packed_inputs] returns one word per node.  The input array

@@ -1,0 +1,112 @@
+type t = {
+  full_evals : int Atomic.t;
+  delta_evals : int Atomic.t;
+  cache_hits : int Atomic.t;
+  moves : int Atomic.t;
+  gates_full : int Atomic.t;
+  gates_delta : int Atomic.t;
+  seconds_full : float Atomic.t;
+  seconds_delta : float Atomic.t;
+}
+
+let create () =
+  {
+    full_evals = Atomic.make 0;
+    delta_evals = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    moves = Atomic.make 0;
+    gates_full = Atomic.make 0;
+    gates_delta = Atomic.make 0;
+    seconds_full = Atomic.make 0.0;
+    seconds_delta = Atomic.make 0.0;
+  }
+
+let global = create ()
+
+(* lock-free add for the float accumulators *)
+let rec add_float cell x =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (cur +. x)) then add_float cell x
+
+let record_full t ~gates ~seconds =
+  ignore (Atomic.fetch_and_add t.full_evals 1);
+  ignore (Atomic.fetch_and_add t.gates_full gates);
+  add_float t.seconds_full seconds
+
+let record_delta t ~gates ~seconds =
+  ignore (Atomic.fetch_and_add t.delta_evals 1);
+  ignore (Atomic.fetch_and_add t.gates_delta gates);
+  add_float t.seconds_delta seconds
+
+let record_hit t = ignore (Atomic.fetch_and_add t.cache_hits 1)
+let record_move t = ignore (Atomic.fetch_and_add t.moves 1)
+
+type snapshot = {
+  full_evals : int;
+  delta_evals : int;
+  cache_hits : int;
+  moves : int;
+  gates_full : int;
+  gates_delta : int;
+  seconds_full : float;
+  seconds_delta : float;
+}
+
+let snapshot (t : t) =
+  {
+    full_evals = Atomic.get t.full_evals;
+    delta_evals = Atomic.get t.delta_evals;
+    cache_hits = Atomic.get t.cache_hits;
+    moves = Atomic.get t.moves;
+    gates_full = Atomic.get t.gates_full;
+    gates_delta = Atomic.get t.gates_delta;
+    seconds_full = Atomic.get t.seconds_full;
+    seconds_delta = Atomic.get t.seconds_delta;
+  }
+
+let reset (t : t) =
+  Atomic.set t.full_evals 0;
+  Atomic.set t.delta_evals 0;
+  Atomic.set t.cache_hits 0;
+  Atomic.set t.moves 0;
+  Atomic.set t.gates_full 0;
+  Atomic.set t.gates_delta 0;
+  Atomic.set t.seconds_full 0.0;
+  Atomic.set t.seconds_delta 0.0
+
+let diff after before =
+  {
+    full_evals = after.full_evals - before.full_evals;
+    delta_evals = after.delta_evals - before.delta_evals;
+    cache_hits = after.cache_hits - before.cache_hits;
+    moves = after.moves - before.moves;
+    gates_full = after.gates_full - before.gates_full;
+    gates_delta = after.gates_delta - before.gates_delta;
+    seconds_full = after.seconds_full -. before.seconds_full;
+    seconds_delta = after.seconds_delta -. before.seconds_delta;
+  }
+
+let evaluations s = s.full_evals + s.delta_evals + s.cache_hits
+
+let equivalent_evals s =
+  if s.full_evals = 0 then float_of_int (s.full_evals + s.delta_evals)
+  else begin
+    let gates_per_full =
+      float_of_int s.gates_full /. float_of_int s.full_evals
+    in
+    if gates_per_full <= 0.0 then float_of_int (s.full_evals + s.delta_evals)
+    else float_of_int s.full_evals +. (float_of_int s.gates_delta /. gates_per_full)
+  end
+
+let speedup s =
+  let eq = equivalent_evals s in
+  if eq <= 0.0 then 1.0 else float_of_int (evaluations s) /. eq
+
+let pp fmt s =
+  Format.fprintf fmt
+    "evaluations=%d (full=%d delta=%d cached=%d) moves=%d@ gate recomputes: \
+     full=%d delta=%d@ evaluate-equivalents=%.1f (%.1fx fewer than naive)@ cpu: \
+     full=%.3fs delta=%.3fs"
+    (evaluations s) s.full_evals s.delta_evals s.cache_hits s.moves s.gates_full
+    s.gates_delta (equivalent_evals s) (speedup s) s.seconds_full
+    s.seconds_delta

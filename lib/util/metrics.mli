@@ -1,0 +1,88 @@
+(** Search-observability counters for the cost evaluators.
+
+    Every optimizer in the library spends essentially all of its time
+    in cost evaluation, so the counters below make search throughput
+    (and regressions in it) visible: how many evaluations ran, how many
+    were full recomputations versus cache-assisted delta updates, how
+    many were served straight from a cache, and how much per-gate
+    degradation work each kind performed.
+
+    Counters are {!Stdlib.Atomic} values: evaluators running in
+    parallel [Domain]s (the ES offspring evaluation) may record into
+    one shared instance without tearing.  Timings are CPU seconds from
+    [Sys.time]. *)
+
+type t
+(** A mutable counter set. *)
+
+val create : unit -> t
+(** A fresh counter set, all zeros. *)
+
+val global : t
+(** The shared default instance.  {!val-Iddq_core.Cost.evaluate} and
+    (unless given an explicit instance) [Iddq_core.Cost_eval] record
+    here, so snapshots around a phase measure the whole library. *)
+
+(** {1 Recording} *)
+
+val record_full : t -> gates:int -> seconds:float -> unit
+(** One complete cost evaluation that recomputed the degradation of
+    [gates] gates. *)
+
+val record_delta : t -> gates:int -> seconds:float -> unit
+(** One cache-assisted evaluation that recomputed only [gates] gates
+    (the modules touched since the previous evaluation). *)
+
+val record_hit : t -> unit
+(** One evaluation served entirely from a valid cache. *)
+
+val record_move : t -> unit
+(** One gate move applied through an incremental evaluator. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  full_evals : int;  (** Complete recomputations. *)
+  delta_evals : int;  (** Cache-assisted recomputations. *)
+  cache_hits : int;  (** Evaluations served from a valid cache. *)
+  moves : int;  (** Moves applied through incremental evaluators. *)
+  gates_full : int;
+      (** Per-gate degradation recomputations done by full evaluations
+          (the sum of circuit sizes over {!field-full_evals}). *)
+  gates_delta : int;
+      (** Per-gate degradation recomputations done by delta
+          evaluations. *)
+  seconds_full : float;  (** CPU seconds spent in full evaluations. *)
+  seconds_delta : float;  (** CPU seconds spent in delta evaluations. *)
+}
+
+val snapshot : t -> snapshot
+(** A consistent-enough copy of the counters (each counter is read
+    atomically; the set is not read under one lock). *)
+
+val reset : t -> unit
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff after before] — counter increments between two snapshots of
+    the same instance. *)
+
+(** {1 Derived measures} *)
+
+val evaluations : snapshot -> int
+(** Cost queries answered: [full + delta + hits]. *)
+
+val equivalent_evals : snapshot -> float
+(** The work performed, in units of one full [Cost.evaluate]:
+    [full_evals + gates_delta / (gates_full / full_evals)].  The
+    normalizer is the mean circuit size seen by the full evaluations;
+    when no full evaluation was recorded the delta work cannot be
+    normalized and every delta evaluation is counted as a full one
+    (a pessimistic upper bound). *)
+
+val speedup : snapshot -> float
+(** [evaluations / equivalent_evals]: how many times fewer
+    full-evaluation equivalents were performed than a
+    recompute-everything evaluator answering the same queries. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** One-paragraph summary of a snapshot. *)

@@ -109,6 +109,38 @@ let test_annealing_param_validation () =
   Alcotest.(check bool) "steps < 1" true
     (bad { Annealing.default_params with Annealing.steps = 0 })
 
+let test_annealing_no_self_moves () =
+  (* regression: a proposal must never have src = target (a no-op that
+     would be counted as an accepted move and burn an evaluation) *)
+  let rng = Rng.create 41 in
+  let ch = make (Iscas.c432_like ()) in
+  let start = Random_part.partition ~rng ch ~num_modules:5 in
+  let params = { Annealing.default_params with Annealing.steps = 1500 } in
+  let proposals = ref 0 in
+  let self_moves = ref 0 in
+  let on_move ~step:_ ~gate:_ ~src ~target ~accepted:_ =
+    incr proposals;
+    if src = target then incr self_moves
+  in
+  let _ = Annealing.optimize ~params ~on_move ~rng start in
+  Alcotest.(check bool) "some proposals made" true (!proposals > 0);
+  Alcotest.(check int) "no src = target in the move trace" 0 !self_moves
+
+let test_annealing_delta_equals_full_eval () =
+  (* the incremental evaluator reproduces Cost.evaluate exactly, so
+     both modes follow the same trajectory from the same rng seed *)
+  let ch = make (Iscas.c432_like ()) in
+  let start =
+    Random_part.partition ~rng:(Rng.create 43) ch ~num_modules:5
+  in
+  let params = { Annealing.default_params with Annealing.steps = 1000 } in
+  let _, full =
+    Annealing.optimize ~params ~full_eval:true ~rng:(Rng.create 5) start
+  in
+  let _, delta = Annealing.optimize ~params ~rng:(Rng.create 5) start in
+  Alcotest.(check (float 0.0)) "identical final cost" full.Cost.penalized
+    delta.Cost.penalized
+
 let test_refine_monotone () =
   let rng = Rng.create 29 in
   let ch = make (Iscas.c432_like ()) in
@@ -142,6 +174,9 @@ let tests =
     Alcotest.test_case "random partition" `Quick test_random_partition;
     Alcotest.test_case "annealing improves" `Slow test_annealing_improves;
     Alcotest.test_case "annealing validation" `Quick test_annealing_param_validation;
+    Alcotest.test_case "annealing no self moves" `Slow test_annealing_no_self_moves;
+    Alcotest.test_case "annealing delta = full eval" `Slow
+      test_annealing_delta_equals_full_eval;
     Alcotest.test_case "refine monotone" `Slow test_refine_monotone;
     Alcotest.test_case "refine idempotent" `Quick test_refine_fixpoint_idempotent;
   ]

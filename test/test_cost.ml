@@ -2,6 +2,8 @@ module Charac = Iddq_analysis.Charac
 module Partition = Iddq_core.Partition
 module Constraints = Iddq_core.Constraints
 module Cost = Iddq_core.Cost
+module Cost_eval = Iddq_core.Cost_eval
+module Metrics = Iddq_util.Metrics
 module Iscas = Iddq_netlist.Iscas
 module Generator = Iddq_netlist.Generator
 module Library = Iddq_celllib.Library
@@ -153,6 +155,109 @@ let qcheck_incremental_cost_equals_fresh =
       let b = (Cost.evaluate fresh).Cost.penalized in
       Float.abs (a -. b) < 1e-9 *. Stdlib.max 1.0 (Float.abs a))
 
+let test_cost_eval_matches_evaluate () =
+  let ch = make (Iscas.c17 ()) in
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let eval = Cost_eval.create p in
+  let d = Cost_eval.breakdown eval in
+  let f = Cost.evaluate p in
+  Alcotest.(check (float 0.0)) "penalized exact" f.Cost.penalized d.Cost.penalized;
+  Alcotest.(check (float 0.0)) "bic exact" f.Cost.bic_delay d.Cost.bic_delay;
+  Alcotest.(check (float 0.0)) "area exact" f.Cost.sensor_area d.Cost.sensor_area
+
+let test_cost_eval_counters () =
+  let ch = make (Iscas.c17 ()) in
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let metrics = Metrics.create () in
+  let eval = Cost_eval.create ~metrics p in
+  let b1 = Cost_eval.breakdown eval in
+  let b2 = Cost_eval.breakdown eval in
+  Alcotest.(check (float 0.0)) "cache returns same value" b1.Cost.penalized
+    b2.Cost.penalized;
+  let s = Metrics.snapshot metrics in
+  Alcotest.(check int) "one full eval" 1 s.Metrics.full_evals;
+  Alcotest.(check int) "one cache hit" 1 s.Metrics.cache_hits;
+  Alcotest.(check int) "full eval visited every gate" 6 s.Metrics.gates_full;
+  Cost_eval.move eval ~gate:0 ~target:1;
+  ignore (Cost_eval.penalized eval);
+  let s = Metrics.snapshot metrics in
+  Alcotest.(check int) "one move" 1 s.Metrics.moves;
+  Alcotest.(check int) "one delta eval" 1 s.Metrics.delta_evals;
+  Alcotest.(check (result unit string)) "delta matches full" (Ok ())
+    (Cost_eval.self_check eval);
+  (* moving a gate to its own module is a no-op: nothing recorded *)
+  Cost_eval.move eval ~gate:0 ~target:(Partition.module_of_gate p 0);
+  ignore (Cost_eval.breakdown eval);
+  let s' = Metrics.snapshot metrics in
+  Alcotest.(check int) "no-op move not counted" s.Metrics.moves s'.Metrics.moves;
+  Cost_eval.invalidate eval;
+  ignore (Cost_eval.breakdown eval);
+  let s'' = Metrics.snapshot metrics in
+  Alcotest.(check int) "invalidate forces a full recompute" 2
+    s''.Metrics.full_evals
+
+let test_cost_eval_copy_independent () =
+  let ch = make (Iscas.c17 ()) in
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let eval = Cost_eval.create ~metrics:(Metrics.create ()) p in
+  let before = Cost_eval.penalized eval in
+  let dup = Cost_eval.copy eval in
+  Cost_eval.move dup ~gate:0 ~target:1;
+  Alcotest.(check (float 0.0)) "original untouched by copy's moves" before
+    (Cost_eval.penalized eval);
+  Alcotest.(check (result unit string)) "copy coherent" (Ok ())
+    (Cost_eval.self_check dup);
+  Alcotest.(check (result unit string)) "original coherent" (Ok ())
+    (Cost_eval.self_check eval)
+
+let test_cost_eval_module_death () =
+  let ch = make (Iscas.c17 ()) in
+  let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
+  let eval = Cost_eval.create ~metrics:(Metrics.create ()) p in
+  ignore (Cost_eval.breakdown eval);
+  (* empty module 1 one gate at a time, evaluating between moves *)
+  List.iter
+    (fun g ->
+      Cost_eval.move eval ~gate:g ~target:0;
+      Alcotest.(check (result unit string)) "coherent during death" (Ok ())
+        (Cost_eval.self_check eval))
+    [ 1; 3; 5 ];
+  Alcotest.(check int) "module 1 died" 1 (Partition.num_modules p)
+
+let qcheck_delta_equals_full =
+  QCheck.Test.make
+    ~name:"delta evaluation = full Cost.evaluate over random move sequences"
+    ~count:20
+    QCheck.(triple (int_range 20 60) (int_range 2 6) (int_range 1 100000))
+    (fun (gates, k, seed) ->
+      let rng = Rng.create seed in
+      let circuit =
+        Generator.layered_dag ~rng ~name:"q" ~num_inputs:6 ~num_outputs:3
+          ~num_gates:gates ~depth:(1 + (gates / 8)) ()
+      in
+      let ch = make circuit in
+      let p =
+        Partition.create ch ~assignment:(Array.init gates (fun g -> g mod k))
+      in
+      let eval = Cost_eval.create ~metrics:(Metrics.create ()) p in
+      let ok = ref true in
+      (* random walk with bursts of moves between evaluations; sources
+         empty out along the way, covering module death *)
+      for step = 1 to 60 do
+        if Partition.num_modules p >= 2 then begin
+          let g = Rng.int rng gates in
+          let target = Rng.choose_list rng (Partition.module_ids p) in
+          Cost_eval.move eval ~gate:g ~target;
+          if step mod 3 = 0 then begin
+            let d = (Cost_eval.breakdown eval).Cost.penalized in
+            let f = (Cost.evaluate p).Cost.penalized in
+            if Float.abs (d -. f) > 1e-9 *. Stdlib.max 1.0 (Float.abs f) then
+              ok := false
+          end
+        end
+      done;
+      !ok && Cost_eval.self_check eval = Ok ())
+
 let tests =
   [
     Alcotest.test_case "constraints feasible" `Quick test_constraints_feasible_default;
@@ -165,4 +270,12 @@ let tests =
     Alcotest.test_case "merge lowers c5" `Quick test_merge_lowers_module_count_cost;
     QCheck_alcotest.to_alcotest qcheck_cost_invariant_under_move_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_incremental_cost_equals_fresh;
+    Alcotest.test_case "cost_eval matches evaluate" `Quick
+      test_cost_eval_matches_evaluate;
+    Alcotest.test_case "cost_eval counters" `Quick test_cost_eval_counters;
+    Alcotest.test_case "cost_eval copy independent" `Quick
+      test_cost_eval_copy_independent;
+    Alcotest.test_case "cost_eval module death" `Quick
+      test_cost_eval_module_death;
+    QCheck_alcotest.to_alcotest qcheck_delta_equals_full;
   ]

@@ -103,6 +103,32 @@ let test_on_generation_callback () =
   in
   Alcotest.(check int) "called each generation" 13 !calls
 
+let test_domains_equivalent () =
+  (* offspring are built sequentially and only their costs are
+     evaluated in parallel, so the run is identical whatever the
+     domain count *)
+  let run domains =
+    let rng = Rng.create 11 in
+    let best, trace =
+      Es.run
+        { params with Es.max_generations = 60; domains }
+        rng toy_problem (start ())
+    in
+    (best.Es.cost, best.Es.solution, trace)
+  in
+  let c1, s1, t1 = run 1 and c4, s4, t4 = run 4 in
+  Alcotest.(check (float 0.0)) "same best cost" c1 c4;
+  Alcotest.(check bool) "same best solution" true (s1 = s4);
+  Alcotest.(check bool) "same trace" true (t1 = t4)
+
+let test_domains_validation () =
+  let rng = Rng.create 1 in
+  Alcotest.(check bool) "domains < 1" true
+    (try
+       ignore (Es.run { params with Es.domains = 0 } rng toy_problem (start ()));
+       false
+     with Invalid_argument _ -> true)
+
 let test_aging_turnover () =
   (* with omega = 1 every parent dies after one generation, so the run
      still progresses purely on children *)
@@ -123,4 +149,6 @@ let tests =
     Alcotest.test_case "param validation" `Quick test_param_validation;
     Alcotest.test_case "generation callback" `Quick test_on_generation_callback;
     Alcotest.test_case "aging turnover" `Quick test_aging_turnover;
+    Alcotest.test_case "domains equivalent" `Quick test_domains_equivalent;
+    Alcotest.test_case "domains validation" `Quick test_domains_validation;
   ]

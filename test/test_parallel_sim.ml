@@ -120,9 +120,37 @@ let qcheck_parallel_equals_scalar =
       done;
       !ok)
 
+let test_empty_vector_set_is_noop () =
+  (* zero-pattern simulation: packing an empty set is a valid no-op,
+     not a crash *)
+  let empty : bool array array = [||] in
+  Alcotest.(check int) "no words" 0 (Array.length (P.pack empty ~start:0));
+  Alcotest.(check int64) "no active bits" 0L (P.active_mask empty ~start:0);
+  (* fault simulation over zero vectors detects nothing and survives *)
+  let c = Iscas.c17 () in
+  let report =
+    Stuck_at.fault_simulate c ~vectors:empty
+      ~faults:(Stuck_at.collapsed_fault_list c)
+  in
+  Alcotest.(check int) "nothing detected" 0 report.Stuck_at.detected;
+  (* start may equal the vector count: an empty tail block *)
+  let vectors = [| [| true; false |]; [| false; true |] |] in
+  let tail = P.pack vectors ~start:2 in
+  Alcotest.(check int) "tail block keeps the width" 2 (Array.length tail);
+  Array.iter (fun w -> Alcotest.(check int64) "tail words zero" 0L w) tail;
+  Alcotest.(check int64) "tail mask zero" 0L (P.active_mask vectors ~start:2);
+  (* out-of-range starts still rejected *)
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "negative start rejected" true
+    (raises (fun () -> P.pack vectors ~start:(-1)));
+  Alcotest.(check bool) "start past the end rejected" true
+    (raises (fun () -> P.active_mask vectors ~start:3))
+
 let tests =
   [
     Alcotest.test_case "pack/unpack" `Quick test_pack_unpack;
+    Alcotest.test_case "empty vector set no-op" `Quick
+      test_empty_vector_set_is_noop;
     Alcotest.test_case "eval matches scalar" `Quick test_eval_matches_scalar_c17;
     Alcotest.test_case "stuck node matches scalar" `Quick
       test_stuck_node_matches_scalar;

@@ -99,6 +99,42 @@ let qcheck_degradation_monotone_rs =
       let lo = Stdlib.min i1 i2 and hi = Stdlib.max i1 i2 in
       f lo <= f hi +. 1e-12)
 
+let test_non_topological_circuit_rejected () =
+  (* gate node 1 reads gate node 2: a violation of the topological
+     gate-id invariant that Builder.freeze establishes.  The timing
+     passes must fail loudly rather than return wrong delays. *)
+  let module Circuit = Iddq_netlist.Circuit in
+  let bad =
+    Circuit.unsafe_make ~name:"bad-topo"
+      ~nodes:
+        [|
+          Circuit.Input;
+          Circuit.Gate (Gate.Not, [| 2 |]);
+          Circuit.Gate (Gate.Not, [| 0 |]);
+        |]
+      ~node_names:[| "i"; "g1"; "g0" |] ~num_inputs:1 ~outputs:[| 1 |]
+  in
+  Alcotest.(check bool) "validate flags it" true
+    (Result.is_error (Circuit.validate bad));
+  let ch = make bad in
+  let descriptive f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument msg ->
+      (* the error must say what is wrong, not just that something is *)
+      let has needle =
+        let ln = String.length needle and lm = String.length msg in
+        let rec scan i = i + ln <= lm && (String.sub msg i ln = needle || scan (i + 1)) in
+        scan 0
+      in
+      has "topologically"
+  in
+  Alcotest.(check bool) "arrival_times raises descriptively" true
+    (descriptive (fun () -> Timing.arrival_times ch ~gate_delay:(Charac.delay ch)));
+  Alcotest.(check bool) "slacks raises descriptively" true
+    (descriptive (fun () -> Timing.slacks ch ~gate_delay:(Charac.delay ch)))
+
 let tests =
   [
     Alcotest.test_case "chain nominal delay" `Quick test_chain_nominal_delay;
@@ -108,4 +144,6 @@ let tests =
     Alcotest.test_case "bic delay >= nominal" `Quick test_bic_delay_at_least_nominal;
     Alcotest.test_case "overhead scale" `Quick test_bic_delay_overhead_scale;
     QCheck_alcotest.to_alcotest qcheck_degradation_monotone_rs;
+    Alcotest.test_case "non-topological circuit rejected" `Quick
+      test_non_topological_circuit_rejected;
   ]
