@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke ci examples doc clean
+.PHONY: all build test bench bench-quick bench-smoke campaign-smoke ci examples doc clean
 
 all: build
 
@@ -24,8 +24,24 @@ bench-quick:
 bench-smoke:
 	dune exec bench/main.exe -- smoke
 
-# What a per-PR check runs: build, tests, evaluation-count smoke.
-ci: build test bench-smoke
+# Checkpoint/resume check: a tiny campaign run twice against the same
+# store.  The first run executes every job on a 2-domain pool; the
+# second must find them all on disk and execute nothing (seconds).
+campaign-smoke:
+	rm -f /tmp/iddq-campaign-smoke.jsonl
+	dune exec bin/iddq_synth.exe -- campaign \
+	  --circuits C17,C432 --methods evolution,standard --seeds 1,2 \
+	  --generations 40 --domains 2 --out /tmp/iddq-campaign-smoke.jsonl
+	dune exec bin/iddq_synth.exe -- campaign \
+	  --circuits C17,C432 --methods evolution,standard --seeds 1,2 \
+	  --generations 40 --domains 2 --out /tmp/iddq-campaign-smoke.jsonl \
+	  | grep -q "executed 0, skipped 8"
+	@rm -f /tmp/iddq-campaign-smoke.jsonl
+	@echo "campaign-smoke: resume executed 0 jobs - PASS"
+
+# What a per-PR check runs: build, tests, evaluation-count smoke,
+# campaign resume smoke.
+ci: build test bench-smoke campaign-smoke
 
 examples:
 	dune exec examples/quickstart.exe

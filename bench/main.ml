@@ -8,7 +8,7 @@
 
    Experiments: table1 fig2 c17 fig1 ablation-opt ablation-weights
    ablation-es ablation-resynth validation tradeoff variants compaction
-   logic-vs-iddq schedule routing atpg sizing stability perf *)
+   logic-vs-iddq schedule routing atpg sizing stability perf campaign *)
 
 module Table = Iddq_util.Table
 module Rng = Iddq_util.Rng
@@ -1167,6 +1167,56 @@ let run_smoke () =
   Table.print (Report.metrics_table es_stats)
 
 (* ------------------------------------------------------------------ *)
+(* Campaign: Table 1 through the resumable job runner                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The same Table-1 suite as [run_table1], but executed as a campaign:
+   every (circuit, method, seed) is an isolated job on a domain pool,
+   results land in an append-only JSONL store, and re-running the
+   experiment resumes from whatever the store already holds.  Kill it
+   mid-run and run it again: only the missing jobs execute. *)
+let campaign_store = "bench-campaign.jsonl"
+
+let run_campaign () =
+  section "Campaign: Table 1 via the resumable domain-pool runner";
+  let module Spec = Iddq_campaign.Spec in
+  let module Store = Iddq_campaign.Store in
+  let module Runner = Iddq_campaign.Runner in
+  let module Summary = Iddq_campaign.Summary in
+  let module Job_result = Iddq_campaign.Job_result in
+  let spec =
+    {
+      Spec.default with
+      Spec.seeds = [ 1; 7; 42 ];
+      max_generations = Some bench_es_params.Es.max_generations;
+    }
+  in
+  let store = Store.open_ campaign_store in
+  let total = List.length (Spec.jobs spec) in
+  if Store.dropped store > 0 then
+    Printf.printf "note: skipped %d corrupt line(s) in %s\n%!"
+      (Store.dropped store) campaign_store;
+  let seen = ref 0 in
+  let on_result (job : Spec.job) (r : Job_result.t) ~fresh =
+    incr seen;
+    Printf.printf "[%d/%d] %-28s %s%s\n%!" !seen total job.Spec.id
+      (match r.Job_result.status with
+      | Job_result.Done -> Printf.sprintf "ok (%.2f s)" r.Job_result.elapsed
+      | Job_result.Failed msg -> "failed: " ^ msg
+      | Job_result.Timeout l -> Printf.sprintf "timeout (> %.1f s)" l)
+      (if fresh then "" else "  [stored]")
+  in
+  let outcome = Runner.run ~domains:2 ~on_result ~store spec in
+  Store.close store;
+  print_newline ();
+  Format.printf "%a" Summary.pp outcome.Runner.results;
+  Printf.printf
+    "\ncampaign: %d jobs, executed %d, skipped %d (resume) -> %s\n\
+     (delete %s to start fresh)\n"
+    total outcome.Runner.executed outcome.Runner.skipped campaign_store
+    campaign_store
+
+(* ------------------------------------------------------------------ *)
 
 let quick_suite () = [ ("C432", Iscas.c432_like ()) ]
 
@@ -1222,10 +1272,11 @@ let () =
         | "cooptimize" -> run_cooptimize ()
         | "perf" -> run_perf ()
         | "smoke" -> run_smoke ()
+        | "campaign" -> run_campaign ()
         | other ->
           Printf.eprintf
             "unknown experiment %S (try: table1 fig2 c17 fig1 ablation-opt \
-             ablation-weights ablation-es ablation-resynth validation tradeoff variants compaction logic-vs-iddq schedule routing atpg sizing stability cooptimize perf smoke quick all)\n"
+             ablation-weights ablation-es ablation-resynth validation tradeoff variants compaction logic-vs-iddq schedule routing atpg sizing stability cooptimize perf smoke campaign quick all)\n"
             other;
           exit 1)
       args

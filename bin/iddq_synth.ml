@@ -17,23 +17,15 @@ module Report = Iddq.Report
 
 open Cmdliner
 
-let named_circuit = function
-  | "c17" | "C17" -> Some (Iscas.c17 ())
-  | "c432" | "C432" -> Some (Iscas.c432_like ())
-  | "c1908" | "C1908" -> Some (Iscas.c1908_like ())
-  | "c2670" | "C2670" -> Some (Iscas.c2670_like ())
-  | "c3540" | "C3540" -> Some (Iscas.c3540_like ())
-  | "c5315" | "C5315" -> Some (Iscas.c5315_like ())
-  | "c6288" | "C6288" -> Some (Iscas.c6288_like ())
-  | "c7552" | "C7552" -> Some (Iscas.c7552_like ())
-  | _ -> None
-
 let load_circuit ~circuit ~bench =
   match circuit, bench with
   | Some name, None -> begin
-    match named_circuit name with
+    match Iscas.by_name name with
     | Some c -> Ok c
-    | None -> Error (Printf.sprintf "unknown circuit %S (try C17, C432, C1908..C7552)" name)
+    | None ->
+      Error
+        (Printf.sprintf "unknown circuit %S (try %s)" name
+           (String.concat ", " Iscas.names))
   end
   | None, Some path -> Bench_io.parse_file path
   | Some _, Some _ -> Error "give either --circuit or --bench, not both"
@@ -357,6 +349,171 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Generate a random layered netlist as .bench.")
     Term.(const run $ gates $ depth $ inputs $ outputs $ seed_arg $ out)
 
+(* ------------------------------------------------------------------ *)
+(* campaign: the resumable domain-pool sweep                           *)
+(* ------------------------------------------------------------------ *)
+
+module Spec = Iddq_campaign.Spec
+module Store = Iddq_campaign.Store
+module Runner = Iddq_campaign.Runner
+module Summary = Iddq_campaign.Summary
+module Job_result = Iddq_campaign.Job_result
+
+let campaign_cmd =
+  let csv name ~doc =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ name ] ~docv:"LIST" ~doc)
+  in
+  let spec_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:"Campaign spec file (key = values lines; see the README).  \
+                Grid flags below override its entries.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "campaign.jsonl"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Append-only JSONL result store.  Re-running with the same \
+                store resumes: completed jobs are skipped, failures re-run.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ] ~docv:"N" ~doc:"Worker domains in the pool.")
+  in
+  let generations =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "generations" ] ~docv:"N" ~doc:"Cap on ES generations per job.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-job wall-clock budget; a job past it records a timeout \
+                result instead of a measurement.")
+  in
+  let fresh =
+    Arg.(
+      value & flag
+      & info [ "fresh" ]
+          ~doc:"Delete the result store first instead of resuming from it.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-job progress lines.")
+  in
+  let parse_csv parse_one what = function
+    | None -> Ok None
+    | Some s ->
+      let parts =
+        String.split_on_char ',' s |> List.map String.trim
+        |> List.filter (fun x -> x <> "")
+      in
+      let rec go acc = function
+        | [] -> Ok (Some (List.rev acc))
+        | x :: tl -> begin
+          match parse_one x with
+          | Some v -> go (v :: acc) tl
+          | None -> Error (Printf.sprintf "invalid %s %S" what x)
+        end
+      in
+      go [] parts
+  in
+  let build_spec ~spec_file ~circuits ~methods ~seeds ~sizes ~generations
+      ~timeout =
+    let ( let* ) = Result.bind in
+    let* base =
+      match spec_file with
+      | None -> Ok Spec.default
+      | Some path -> Spec.parse_file path
+    in
+    let* circuits =
+      parse_csv (fun s -> Some (String.uppercase_ascii s)) "circuit" circuits
+    in
+    let* methods = parse_csv Pipeline.method_of_string "method" methods in
+    let* seeds = parse_csv int_of_string_opt "seed" seeds in
+    let* sizes =
+      parse_csv
+        (function
+          | "default" | "auto" | "-" -> Some None
+          | s -> Option.map (fun i -> Some i) (int_of_string_opt s))
+        "module size" sizes
+    in
+    let with_ opt f spec = match opt with None -> spec | Some v -> f spec v in
+    let spec =
+      base
+      |> with_ circuits (fun s v -> { s with Spec.circuits = v })
+      |> with_ methods (fun s v -> { s with Spec.methods = v })
+      |> with_ seeds (fun s v -> { s with Spec.seeds = v })
+      |> with_ sizes (fun s v -> { s with Spec.module_sizes = v })
+      |> with_ generations (fun s v -> { s with Spec.max_generations = Some v })
+      |> with_ timeout (fun s v -> { s with Spec.timeout = Some v })
+    in
+    let* () = Spec.validate spec in
+    Ok spec
+  in
+  let run spec_file circuits methods seeds sizes generations timeout out
+      domains fresh quiet =
+    match
+      build_spec ~spec_file ~circuits ~methods ~seeds ~sizes ~generations
+        ~timeout
+    with
+    | Error e -> exit_err e
+    | Ok spec ->
+      if fresh && Sys.file_exists out then Sys.remove out;
+      let store = Store.open_ out in
+      if Store.dropped store > 0 then
+        Format.printf
+          "note: %d corrupt line(s) in %s ignored (interrupted write)@."
+          (Store.dropped store) out;
+      let total = List.length (Spec.jobs spec) in
+      let seen = ref 0 in
+      let on_result (job : Spec.job) (r : Job_result.t) ~fresh =
+        incr seen;
+        if not quiet then begin
+          let what =
+            match r.Job_result.status with
+            | Job_result.Done when not fresh -> "stored (skipped)"
+            | Job_result.Done ->
+              Printf.sprintf "ok    %d modules  cost %.2f  %.1fs"
+                r.Job_result.num_modules r.Job_result.cost r.Job_result.elapsed
+            | Job_result.Failed msg -> "FAILED " ^ msg
+            | Job_result.Timeout l -> Printf.sprintf "TIMEOUT > %.1fs" l
+          in
+          Format.printf "[%d/%d] %-32s %s@." !seen total job.Spec.id what
+        end
+      in
+      let outcome = Runner.run ~domains ~on_result ~store spec in
+      Store.close store;
+      Format.printf "@.%a@." Summary.pp outcome.Runner.results;
+      Format.printf
+        "campaign: %d jobs, executed %d, skipped %d (resume), ok %d, failed \
+         %d, timeout %d -> %s@."
+        total outcome.Runner.executed outcome.Runner.skipped outcome.Runner.ok
+        outcome.Runner.failed outcome.Runner.timed_out out;
+      if outcome.Runner.failed + outcome.Runner.timed_out > 0 then exit 3
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run a circuits x methods x seeds x module-sizes sweep over a \
+             domain pool with a resumable JSONL result store.")
+    Term.(
+      const run $ spec_file
+      $ csv "circuits" ~doc:"Comma-separated built-in circuit names."
+      $ csv "methods" ~doc:"Comma-separated methods (evolution, standard, ...)."
+      $ csv "seeds" ~doc:"Comma-separated integer grid seeds."
+      $ csv "module-sizes"
+          ~doc:"Comma-separated target module sizes; 'default' = estimated."
+      $ generations $ timeout $ out $ domains $ fresh $ quiet)
+
 let () =
   let info =
     Cmd.info "iddq_synth" ~version:"0.1.0"
@@ -364,4 +521,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ partition_cmd; compare_cmd; simulate_cmd; atpg_cmd; dump_library_cmd;
-         stats_cmd; generate_cmd ]))
+         stats_cmd; generate_cmd; campaign_cmd ]))

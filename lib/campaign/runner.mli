@@ -1,0 +1,51 @@
+(** Work-queue scheduler: a campaign's jobs over a [Domain] pool.
+
+    Jobs whose latest stored result is [Done] are skipped (checkpoint
+    /resume); failed and timed-out jobs re-run.  Each executed job
+
+    - draws its configuration seed from {!derived_seed} — a pure
+      function of the job identity, so results are reproducible
+      whatever the domain count or scheduling order;
+    - records its cost-evaluation counters in a private
+      {!Iddq_util.Metrics.t} instance;
+    - is isolated: an exception becomes a [Failed] record, a run past
+      the spec's wall-clock budget a [Timeout] record, and the
+      campaign carries on.  (The budget is checked when the job
+      returns — OCaml domains cannot be preempted — so a hung job
+      stalls its worker but never corrupts the store.)
+
+    [Standard]/[Refined_standard] jobs with an evolution dependency
+    are held back until the dependency's result exists (fresh or from
+    the store) and then run with its module sizes as reference sizes —
+    the paper's protocol, preserved across resume boundaries. *)
+
+type outcome = {
+  results : Job_result.t list;  (** One per job, in spec expansion order. *)
+  executed : int;  (** Jobs actually run this invocation. *)
+  skipped : int;  (** Jobs satisfied by the store (resume). *)
+  ok : int;  (** Jobs whose final status is [Done]. *)
+  failed : int;
+  timed_out : int;
+}
+
+val derived_seed : Spec.job -> int
+(** Non-negative per-job seed: the job's grid seed stream-split by a
+    hash of its id ({!Iddq_util.Rng.derive}).  Depends only on the job
+    identity — never on the grid shape, scheduling order or store
+    contents. *)
+
+val run :
+  ?domains:int ->
+  ?resolve:(string -> Iddq_netlist.Circuit.t option) ->
+  ?on_result:(Spec.job -> Job_result.t -> fresh:bool -> unit) ->
+  store:Store.t ->
+  Spec.t ->
+  outcome
+(** Execute the campaign.  [domains] (default 1, clamped to the job
+    count) sizes the worker pool.  [resolve] maps circuit names to
+    netlists (default {!Iddq_netlist.Iscas.by_name}; a test hook and
+    the place to plug file-loaded netlists in).  [on_result] observes
+    every job outcome in completion order, including skipped stored
+    results ([fresh:false]); it is called with the scheduler lock held
+    from worker domains, so keep it brief.  Raises [Invalid_argument]
+    on an invalid spec. *)

@@ -1,0 +1,168 @@
+module Table = Iddq_util.Table
+module Pipeline = Iddq.Pipeline
+module Report = Iddq.Report
+
+type method_agg = {
+  method_ : Pipeline.method_;
+  runs : int;
+  ok : int;
+  failed : int;
+  timed_out : int;
+  mean_modules : float;
+  mean_cost : float;
+  mean_area : float;
+  mean_delay_overhead_pct : float;
+  mean_test_overhead_pct : float;
+  mean_elapsed : float;
+}
+
+let mean f l =
+  match l with
+  | [] -> 0.0
+  | l -> List.fold_left (fun acc x -> acc +. f x) 0.0 l /. float_of_int (List.length l)
+
+(* first-appearance order of [key] over [l] *)
+let appearance_order key l =
+  List.rev
+    (List.fold_left
+       (fun acc x ->
+         let k = key x in
+         if List.mem k acc then acc else k :: acc)
+       [] l)
+
+let by_method results =
+  List.map
+    (fun m ->
+      let of_m = List.filter (fun (r : Job_result.t) -> r.Job_result.method_ = m) results in
+      let done_ = List.filter Job_result.is_ok of_m in
+      let count p = List.length (List.filter p of_m) in
+      {
+        method_ = m;
+        runs = List.length of_m;
+        ok = List.length done_;
+        failed =
+          count (fun r ->
+              match r.Job_result.status with
+              | Job_result.Failed _ -> true
+              | _ -> false);
+        timed_out =
+          count (fun r ->
+              match r.Job_result.status with
+              | Job_result.Timeout _ -> true
+              | _ -> false);
+        mean_modules =
+          mean (fun (r : Job_result.t) -> float_of_int r.Job_result.num_modules) done_;
+        mean_cost = mean (fun (r : Job_result.t) -> r.Job_result.cost) done_;
+        mean_area = mean (fun (r : Job_result.t) -> r.Job_result.sensor_area) done_;
+        mean_delay_overhead_pct = mean Job_result.delay_overhead_percent done_;
+        mean_test_overhead_pct = mean Job_result.test_time_overhead_percent done_;
+        mean_elapsed = mean (fun (r : Job_result.t) -> r.Job_result.elapsed) done_;
+      })
+    (appearance_order (fun (r : Job_result.t) -> r.Job_result.method_) results)
+
+let method_table aggs =
+  let t =
+    Table.create
+      [
+        ("method", Table.Left);
+        ("ok/runs", Table.Right);
+        ("failed", Table.Right);
+        ("timeout", Table.Right);
+        ("mean modules", Table.Right);
+        ("mean cost", Table.Right);
+        ("mean area", Table.Right);
+        ("mean delay ovh %", Table.Right);
+        ("mean test ovh %", Table.Right);
+        ("mean wall (s)", Table.Right);
+      ]
+  in
+  List.iter
+    (fun a ->
+      Table.add_row t
+        [
+          Pipeline.method_to_string a.method_;
+          Printf.sprintf "%d/%d" a.ok a.runs;
+          string_of_int a.failed;
+          string_of_int a.timed_out;
+          Printf.sprintf "%.1f" a.mean_modules;
+          Printf.sprintf "%.2f" a.mean_cost;
+          Printf.sprintf "%.3e" a.mean_area;
+          Printf.sprintf "%.2e" a.mean_delay_overhead_pct;
+          Printf.sprintf "%.2f" a.mean_test_overhead_pct;
+          Printf.sprintf "%.2f" a.mean_elapsed;
+        ])
+    aggs;
+  t
+
+let table1_rows results =
+  let circuits = appearance_order (fun (r : Job_result.t) -> r.Job_result.circuit) results in
+  List.filter_map
+    (fun circuit ->
+      let done_of m =
+        List.filter
+          (fun (r : Job_result.t) ->
+            r.Job_result.circuit = circuit
+            && r.Job_result.method_ = m
+            && Job_result.is_ok r)
+          results
+      in
+      let evolution = done_of Pipeline.Evolution in
+      let standard = done_of Pipeline.Standard in
+      if evolution = [] || standard = [] then None
+      else begin
+        let area_e = mean (fun (r : Job_result.t) -> r.Job_result.sensor_area) evolution in
+        let area_s = mean (fun (r : Job_result.t) -> r.Job_result.sensor_area) standard in
+        let modules l =
+          int_of_float
+            (Float.round
+               (mean (fun (r : Job_result.t) -> float_of_int r.Job_result.num_modules) l))
+        in
+        Some
+          {
+            Report.circuit_name = circuit;
+            num_modules_standard = modules standard;
+            num_modules_evolution = modules evolution;
+            area_standard = area_s;
+            area_evolution = area_e;
+            area_overhead_percent =
+              (if area_e > 0.0 then 100.0 *. (area_s -. area_e) /. area_e
+               else 0.0);
+            delay_overhead_standard_percent =
+              mean Job_result.delay_overhead_percent standard;
+            delay_overhead_evolution_percent =
+              mean Job_result.delay_overhead_percent evolution;
+            test_time_overhead_standard_percent =
+              mean Job_result.test_time_overhead_percent standard;
+            test_time_overhead_evolution_percent =
+              mean Job_result.test_time_overhead_percent evolution;
+          }
+      end)
+    circuits
+
+let failures results =
+  List.filter (fun r -> not (Job_result.is_ok r)) results
+
+let pp fmt results =
+  let aggs = by_method results in
+  Format.fprintf fmt "per-method summary (means over completed runs):@.%s@."
+    (Table.render (method_table aggs));
+  (match table1_rows results with
+  | [] -> ()
+  | rows ->
+    Format.fprintf fmt
+      "@.Table-1 comparison (means over seeds and module sizes):@.%s@."
+      (Table.render (Report.table rows)));
+  match failures results with
+  | [] -> ()
+  | fs ->
+    Format.fprintf fmt "@.%d job(s) not completed:@." (List.length fs);
+    List.iter
+      (fun (r : Job_result.t) ->
+        let what =
+          match r.Job_result.status with
+          | Job_result.Failed msg -> "failed: " ^ msg
+          | Job_result.Timeout l -> Printf.sprintf "timeout (> %.1f s)" l
+          | Job_result.Done -> assert false
+        in
+        Format.fprintf fmt "  %s  %s@." r.Job_result.job_id what)
+      fs

@@ -101,7 +101,7 @@ let of_components ?(weights = paper_weights) ~sensors ~bic_delay ~nominal_delay
     min_discriminability = Partition.min_discriminability p;
   }
 
-let evaluate ?weights p =
+let evaluate ?weights ?(metrics = Iddq_util.Metrics.global) p =
   let t0 = Sys.time () in
   let ch = Partition.charac p in
   let sensors = Partition.sensors p in
@@ -125,9 +125,8 @@ let evaluate ?weights p =
       ~module_current:(fun m slot -> Partition.transient_at p m slot)
   in
   let b = of_components ?weights ~sensors ~bic_delay ~nominal_delay p in
-  Iddq_util.Metrics.(
-    record_full global ~gates:(Charac.num_gates ch)
-      ~seconds:(Sys.time () -. t0));
+  Iddq_util.Metrics.record_full metrics ~gates:(Charac.num_gates ch)
+    ~seconds:(Sys.time () -. t0);
   b
 
 let pp_breakdown fmt b =

@@ -46,12 +46,13 @@ type breakdown = {
   min_discriminability : float;
 }
 
-val evaluate : ?weights:weights -> Partition.t -> breakdown
+val evaluate :
+  ?weights:weights -> ?metrics:Iddq_util.Metrics.t -> Partition.t -> breakdown
 (** Cost of a partition.  Uses only the partition's incrementally
     maintained aggregates plus one longest-path pass, so it is cheap
     enough for the optimizer's inner loop.  Default weights:
-    {!paper_weights}.  Records one full evaluation in
-    {!Iddq_util.Metrics.global}. *)
+    {!paper_weights}.  Records one full evaluation in [metrics]
+    (default {!Iddq_util.Metrics.global}). *)
 
 val of_components :
   ?weights:weights ->

@@ -44,6 +44,7 @@ type config = {
   seed : int;
   module_size : int option;
   reference_sizes : int list option;
+  metrics : Iddq_util.Metrics.t;
 }
 
 let default_config =
@@ -54,13 +55,15 @@ let default_config =
     seed = 42;
     module_size = None;
     reference_sizes = None;
+    metrics = Iddq_util.Metrics.global;
   }
 
 let finish ~config ~method_used ~generations ch partition =
   {
     charac = ch;
     partition;
-    breakdown = Cost.evaluate ~weights:config.weights partition;
+    breakdown =
+      Cost.evaluate ~weights:config.weights ~metrics:config.metrics partition;
     sensors = Partition.sensors partition;
     method_used;
     generations;
@@ -96,8 +99,8 @@ let run_charac ?(config = default_config) method_ ch =
         ~count:config.es_params.Es.mu ch
     in
     let best, trace =
-      Part_iddq.optimize ~weights:config.weights ~params:config.es_params ~rng
-        ~starts ()
+      Part_iddq.optimize ~weights:config.weights ~metrics:config.metrics
+        ~params:config.es_params ~rng ~starts ()
     in
     finish ~config ~method_used:Evolution ~generations:(List.length trace) ch
       best.Es.solution
@@ -110,13 +113,18 @@ let run_charac ?(config = default_config) method_ ch =
     finish ~config ~method_used:Random ~generations:0 ch p
   | Annealing ->
     let start = Seeds.chain_partition ~rng ?module_size:config.module_size ch in
-    let p, _ = Annealing.optimize ~weights:config.weights ~rng start in
+    let p, _ =
+      Annealing.optimize ~weights:config.weights ~metrics:config.metrics ~rng
+        start
+    in
     finish ~config ~method_used:Annealing ~generations:0 ch p
   | Refined_standard ->
     let start =
       Standard.partition ch ~module_sizes:(standard_sizes ~config ch)
     in
-    let p, _ = Refine.optimize ~weights:config.weights start in
+    let p, _ =
+      Refine.optimize ~weights:config.weights ~metrics:config.metrics start
+    in
     finish ~config ~method_used:Refined_standard ~generations:0 ch p
 
 let run ?(config = default_config) method_ circuit =

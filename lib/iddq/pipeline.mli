@@ -34,6 +34,11 @@ type config = {
       (** Module sizes for [Standard] ("we take the numbers obtained
           by the evolution based algorithm"); [None] = near-equal
           sizes at the estimated module count. *)
+  metrics : Iddq_util.Metrics.t;
+      (** Where the run's cost-evaluation counters are recorded
+          (default {!Iddq_util.Metrics.global}).  Give each job of a
+          concurrent campaign its own instance so its counters are not
+          polluted by jobs running in other domains. *)
 }
 
 val default_config : config

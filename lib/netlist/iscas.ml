@@ -93,3 +93,27 @@ let table1_suite () =
     ("C6288", c6288_like ());
     ("C7552", c7552_like ());
   ]
+
+(* The single place the built-in circuit list lives; the CLI and the
+   campaign spec parser both resolve names through [by_name]. *)
+let builtins =
+  [
+    ("C17", c17);
+    ("C432", c432_like);
+    ("C499", c499_like);
+    ("C880", c880_like);
+    ("C1355", c1355_like);
+    ("C1908", c1908_like);
+    ("C2670", c2670_like);
+    ("C3540", c3540_like);
+    ("C5315", c5315_like);
+    ("C6288", c6288_like);
+    ("C7552", c7552_like);
+  ]
+
+let names = List.map fst builtins
+
+let by_name name =
+  Option.map
+    (fun f -> f ())
+    (List.assoc_opt (String.uppercase_ascii name) builtins)

@@ -42,3 +42,12 @@ val table1_suite : unit -> (string * Circuit.t) list
 (** The six circuits of the paper's Table 1 in publication order,
     under their paper names (the paper's "C7522" is the well-known
     typo for C7552). *)
+
+val names : string list
+(** Canonical names of every built-in circuit, [c17] plus the ten
+    stand-ins, in size order. *)
+
+val by_name : string -> Circuit.t option
+(** Case-insensitive lookup of a built-in circuit by its {!names}
+    entry; [None] for unknown names.  Each call constructs a fresh
+    (deterministic) netlist. *)

@@ -1,0 +1,45 @@
+(** Minimal JSON reader/writer for the campaign result store.
+
+    Covers exactly what an append-only JSONL file of measurement
+    records needs: the seven JSON value forms, a compact one-line
+    printer whose floats round-trip exactly, and a strict
+    recursive-descent parser with character-offset error reporting.
+    No streaming, no Unicode beyond pass-through UTF-8 bytes, no
+    dependency beyond the standard library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** Insertion-ordered; keys should be unique. *)
+
+val to_string : t -> string
+(** Compact single-line rendering (no newlines — safe for JSONL).
+    Floats print with enough digits to round-trip bit-exactly and
+    always carry a ['.'] or exponent so they re-parse as [Float];
+    non-finite floats render as [null]. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error.  Errors
+    carry the byte offset of the failure.  Numbers with a fraction or
+    exponent parse as [Float], others as [Int]. *)
+
+(** {1 Accessors}
+
+    Total lookups for decoding records; all return [None] on a shape
+    mismatch rather than raising. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] is the value under the first binding of [k]. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] accepts both [Float] and [Int]. *)
+
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

@@ -23,6 +23,15 @@ let split t =
   let s = bits64 t in
   { state = mix64 s }
 
+(* Pure stream derivation: unlike [split], the parent state is read but
+   not advanced, so [derive t i] depends only on (state, i).  Adding a
+   distinct multiple of the (odd) golden gamma per index keeps the
+   pre-mix keys distinct; two finalizer rounds decorrelate children
+   from the parent's own output sequence. *)
+let derive t i =
+  let key = Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1))) in
+  { state = mix64 (mix64 key) }
+
 (* Uniform int in [0, n) by rejection on the top of the range, to avoid
    modulo bias.  [n] fits an OCaml int, so working on 62 bits of the
    64-bit output is safe. *)

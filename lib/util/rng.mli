@@ -23,6 +23,14 @@ val split : t -> t
 (** [split t] derives a statistically independent generator and
     advances [t].  Use it to give sub-components their own streams. *)
 
+val derive : t -> int -> t
+(** [derive t i] is an independent child stream keyed by [i].  Unlike
+    {!split} it does {e not} advance [t]: the child depends only on
+    [t]'s current state and [i], so [derive (create seed) i] is a pure
+    function of [(seed, i)].  Distinct indices give distinct streams.
+    Use it to hand the [i]-th job of a campaign its own reproducible
+    generator regardless of the order jobs are scheduled in. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

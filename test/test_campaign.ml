@@ -1,0 +1,447 @@
+module Json = Iddq_util.Json
+module Iscas = Iddq_netlist.Iscas
+module Pipeline = Iddq.Pipeline
+module Spec = Iddq_campaign.Spec
+module Job_result = Iddq_campaign.Job_result
+module Store = Iddq_campaign.Store
+module Runner = Iddq_campaign.Runner
+module Summary = Iddq_campaign.Summary
+
+let with_temp_store f =
+  let path = Filename.temp_file "iddq-campaign-test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("int", Json.Int (-42));
+        ("floats", Json.List [ Json.Float 0.1; Json.Float 1.0e-9; Json.Float (-3.5) ]);
+        ("string", Json.String "plain");
+        ("nested", Json.Obj [ ("empty", Json.List []); ("o", Json.Obj []) ]);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "roundtrip equal" true (v = v')
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let test_json_float_fidelity () =
+  (* floats must re-parse bit-exactly and stay floats (never collapse
+     to Int), whatever the value *)
+  List.iter
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%.17g survives" f)
+          true
+          (Int64.bits_of_float f = Int64.bits_of_float f')
+      | Ok _ -> Alcotest.fail "float did not re-parse as Float"
+      | Error e -> Alcotest.fail e)
+    [ 0.1; 1.0; -0.0; 2.32e-3; 1.08e6; 4.163915816625631e-9; Float.pi ];
+  (* non-finite floats degrade to null rather than emitting invalid JSON *)
+  Alcotest.(check string) "nan -> null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check bool) "int stays int" true
+    (Json.parse "12345" = Ok (Json.Int 12345))
+
+let test_json_string_escapes () =
+  List.iter
+    (fun s ->
+      match Json.parse (Json.to_string (Json.String s)) with
+      | Ok (Json.String s') -> Alcotest.(check string) "escaped string" s s'
+      | Ok _ -> Alcotest.fail "string did not re-parse as String"
+      | Error e -> Alcotest.fail e)
+    [ "quotes \" and \\ backslash"; "tab\tnewline\ncr\r"; "ctrl \x01\x1f"; "" ]
+
+let test_json_parse_errors () =
+  let is_error s =
+    match Json.parse s with Ok _ -> false | Error _ -> true
+  in
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "%S rejected" s) true (is_error s))
+    [
+      ""; "{"; "[1,"; "\"unterminated"; "tru"; "{\"a\" 1}"; "1 2";
+      "{\"a\":1,}"; "nul"; "[1] trailing";
+    ];
+  (* accessors are total *)
+  Alcotest.(check bool) "member miss" true (Json.member "x" (Json.Obj []) = None);
+  Alcotest.(check bool) "to_int of string" true (Json.to_int (Json.String "3") = None);
+  Alcotest.(check bool) "to_float of int" true
+    (Json.to_float (Json.Int 3) = Some 3.0)
+
+(* ------------------------------------------------------------------ *)
+(* Spec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let grid_spec =
+  {
+    Spec.default with
+    Spec.circuits = [ "C17"; "C432" ];
+    methods = [ Pipeline.Standard; Pipeline.Evolution ];
+    seeds = [ 1; 2 ];
+    module_sizes = [ None; Some 8 ];
+  }
+
+let test_spec_expansion () =
+  let jobs = Spec.jobs grid_spec in
+  Alcotest.(check int) "2x2x2x2 grid" 16 (List.length jobs);
+  let ids = List.map (fun (j : Spec.job) -> j.Spec.id) jobs in
+  Alcotest.(check int) "ids unique" 16 (List.length (List.sort_uniq compare ids));
+  (* evolution is hoisted ahead of the standard job it feeds *)
+  List.iter
+    (fun (j : Spec.job) ->
+      match j.Spec.depends_on with
+      | None ->
+        Alcotest.(check bool) "only standard depends" true
+          (j.Spec.method_ = Pipeline.Evolution)
+      | Some dep ->
+        let dep_index =
+          (List.find (fun (d : Spec.job) -> d.Spec.id = dep) jobs).Spec.index
+        in
+        Alcotest.(check bool) "dependency precedes dependent" true
+          (dep_index < j.Spec.index))
+    jobs
+
+let test_spec_no_deps_variants () =
+  (* without seed_reference_sizes, or without an evolution leg, no job
+     waits on another *)
+  let independent spec =
+    List.for_all
+      (fun (j : Spec.job) -> j.Spec.depends_on = None)
+      (Spec.jobs spec)
+  in
+  Alcotest.(check bool) "seeding disabled" true
+    (independent { grid_spec with Spec.seed_reference_sizes = false });
+  Alcotest.(check bool) "no evolution leg" true
+    (independent
+       { grid_spec with Spec.methods = [ Pipeline.Standard; Pipeline.Random ] });
+  (* duplicate grid entries collapse *)
+  let doubled =
+    { grid_spec with Spec.circuits = [ "C17"; "C17"; "C432" ]; seeds = [ 1; 1; 2 ] }
+  in
+  Alcotest.(check int) "duplicates collapsed" 16 (List.length (Spec.jobs doubled))
+
+let test_spec_parse_roundtrip () =
+  (match Spec.parse (Spec.to_string grid_spec) with
+  | Ok s -> Alcotest.(check bool) "to_string/parse roundtrip" true (s = grid_spec)
+  | Error e -> Alcotest.fail e);
+  match
+    Spec.parse
+      "# comment\n\
+       circuits = c17, C432\n\
+       methods = evolution, standard\n\
+       seeds = 3, 4\n\
+       module-sizes = default, 12\n\
+       max-generations = 50\n\
+       timeout = 1.5\n"
+  with
+  | Ok s ->
+    Alcotest.(check (list string)) "circuits" [ "C17"; "C432" ] s.Spec.circuits;
+    Alcotest.(check bool) "sizes" true (s.Spec.module_sizes = [ None; Some 12 ]);
+    Alcotest.(check bool) "generations" true (s.Spec.max_generations = Some 50);
+    Alcotest.(check bool) "timeout" true (s.Spec.timeout = Some 1.5)
+  | Error e -> Alcotest.fail e
+
+let test_spec_errors () =
+  let rejects text =
+    match Spec.parse text with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "unknown key" true (rejects "frobnicate = 3\n");
+  Alcotest.(check bool) "unknown circuit" true (rejects "circuits = C999\n");
+  Alcotest.(check bool) "unknown method" true (rejects "methods = magic\n");
+  Alcotest.(check bool) "empty list" true (rejects "seeds =\n");
+  Alcotest.(check bool) "validate empty circuits" true
+    (Result.is_error (Spec.validate { grid_spec with Spec.circuits = [] }));
+  Alcotest.(check bool) "validate bad size" true
+    (Result.is_error
+       (Spec.validate { grid_spec with Spec.module_sizes = [ Some 0 ] }))
+
+(* ------------------------------------------------------------------ *)
+(* Job_result codec                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sample_job () = List.hd (Spec.jobs { grid_spec with Spec.circuits = [ "C17" ] })
+
+let sample_metrics () =
+  let m = Iddq_util.Metrics.create () in
+  Iddq_util.Metrics.record_full m ~gates:30 ~seconds:1e-4;
+  Iddq_util.Metrics.snapshot m
+
+let test_result_codec_roundtrip () =
+  let job = sample_job () in
+  let metrics = sample_metrics () in
+  let check_roundtrip label r =
+    match Job_result.of_line (Job_result.to_line r) with
+    | Ok r' -> Alcotest.(check bool) (label ^ " roundtrip") true (r = r')
+    | Error e -> Alcotest.fail (label ^ ": " ^ e)
+  in
+  check_roundtrip "failed"
+    (Job_result.failure ~job ~derived_seed:17 ~elapsed:0.25 ~metrics
+       "Invalid_argument(\"weird \\ chars\n\ttab\")");
+  check_roundtrip "timeout"
+    (Job_result.timed_out ~job ~derived_seed:17 ~elapsed:2.0 ~metrics ~limit:1.5);
+  (* a real Done record, through the pipeline *)
+  let circuit = Option.get (Iscas.by_name "C17") in
+  let run = Pipeline.run Pipeline.Standard circuit in
+  let done_ =
+    Job_result.of_run ~job ~derived_seed:17 ~elapsed:0.1 ~metrics run
+  in
+  check_roundtrip "done" done_;
+  Alcotest.(check bool) "done is_ok" true (Job_result.is_ok done_);
+  Alcotest.(check bool) "to_line is one line" true
+    (not (String.contains (Job_result.to_line done_) '\n'))
+
+let test_result_bad_lines () =
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" line) true
+        (Result.is_error (Job_result.of_line line)))
+    [ ""; "{}"; "[1,2]"; "{\"job\":\"x\""; "not json at all" ]
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_latest_wins () =
+  with_temp_store (fun path ->
+      let job = sample_job () in
+      let metrics = sample_metrics () in
+      let failed =
+        Job_result.failure ~job ~derived_seed:1 ~elapsed:0.0 ~metrics "boom"
+      in
+      let circuit = Option.get (Iscas.by_name "C17") in
+      let ok =
+        Job_result.of_run ~job ~derived_seed:1 ~elapsed:0.0 ~metrics
+          (Pipeline.run Pipeline.Standard circuit)
+      in
+      let s = Store.open_ path in
+      Store.append s failed;
+      Store.append s ok;
+      Store.close s;
+      let s = Store.open_ path in
+      Alcotest.(check int) "one id" 1 (Store.count s);
+      Alcotest.(check int) "nothing dropped" 0 (Store.dropped s);
+      (match Store.find s job.Spec.id with
+      | Some r -> Alcotest.(check bool) "last line wins" true (Job_result.is_ok r)
+      | None -> Alcotest.fail "record lost");
+      Store.close s)
+
+let test_store_tolerates_truncation () =
+  with_temp_store (fun path ->
+      let job = sample_job () in
+      let metrics = sample_metrics () in
+      let s = Store.open_ path in
+      Store.append s
+        (Job_result.failure ~job ~derived_seed:1 ~elapsed:0.0 ~metrics "kept");
+      Store.close s;
+      (* simulate a kill mid-write: a half line with no newline *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"job\":\"C17:evolution";
+      close_out oc;
+      let s = Store.open_ path in
+      Alcotest.(check int) "good record kept" 1 (Store.count s);
+      Alcotest.(check int) "torn line dropped" 1 (Store.dropped s);
+      (* appending after a torn tail still yields parseable lines *)
+      Store.append s
+        (Job_result.failure ~job ~derived_seed:1 ~elapsed:0.0 ~metrics "after");
+      Store.close s;
+      let s = Store.open_ path in
+      (match Store.find s job.Spec.id with
+      | Some { Job_result.status = Job_result.Failed m; _ } ->
+        Alcotest.(check string) "append after tear wins" "after" m
+      | _ -> Alcotest.fail "lost the post-tear record");
+      Store.close s)
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_spec =
+  {
+    Spec.default with
+    Spec.circuits = [ "C17"; "C432" ];
+    methods = [ Pipeline.Evolution; Pipeline.Standard ];
+    seeds = [ 1; 2 ];
+    max_generations = Some 20;
+  }
+
+let run_spec ?domains ?resolve path spec =
+  let store = Store.open_ path in
+  Fun.protect
+    ~finally:(fun () -> Store.close store)
+    (fun () -> Runner.run ?domains ?resolve ~store spec)
+
+let signature (results : Job_result.t list) =
+  results
+  |> List.map (fun r -> Job_result.to_line (Job_result.strip_timing r))
+  |> List.sort compare
+
+let test_runner_completes_and_resumes () =
+  with_temp_store (fun path ->
+      let first = run_spec ~domains:2 path tiny_spec in
+      Alcotest.(check int) "all executed" 8 first.Runner.executed;
+      Alcotest.(check int) "all ok" 8 first.Runner.ok;
+      Alcotest.(check int) "none skipped" 0 first.Runner.skipped;
+      let again = run_spec ~domains:2 path tiny_spec in
+      Alcotest.(check int) "resume executes nothing" 0 again.Runner.executed;
+      Alcotest.(check int) "resume skips all" 8 again.Runner.skipped;
+      Alcotest.(check (list string)) "resume returns identical results"
+        (signature first.Runner.results)
+        (signature again.Runner.results))
+
+let test_runner_deterministic_across_domains () =
+  with_temp_store (fun path1 ->
+      with_temp_store (fun path3 ->
+          let r1 = run_spec ~domains:1 path1 tiny_spec in
+          let r3 = run_spec ~domains:3 path3 tiny_spec in
+          Alcotest.(check (list string))
+            "1 domain and 3 domains agree modulo timing"
+            (signature r1.Runner.results)
+            (signature r3.Runner.results)))
+
+let test_runner_seeds_standard_from_evolution () =
+  with_temp_store (fun path ->
+      let outcome = run_spec ~domains:2 path tiny_spec in
+      let find method_ circuit =
+        List.find
+          (fun (r : Job_result.t) ->
+            r.Job_result.method_ = method_
+            && r.Job_result.circuit = circuit
+            && r.Job_result.seed = 1)
+          outcome.Runner.results
+      in
+      let evo = find Pipeline.Evolution "C432" in
+      let std = find Pipeline.Standard "C432" in
+      Alcotest.(check (list int)) "standard runs at evolution's sizes"
+        (List.sort compare evo.Job_result.module_sizes)
+        (List.sort compare std.Job_result.module_sizes))
+
+let test_runner_derived_seeds () =
+  let jobs = Spec.jobs tiny_spec in
+  List.iter
+    (fun (j : Spec.job) ->
+      Alcotest.(check bool) "non-negative" true (Runner.derived_seed j >= 0);
+      Alcotest.(check int) "stable" (Runner.derived_seed j) (Runner.derived_seed j))
+    jobs;
+  let seeds = List.map Runner.derived_seed jobs in
+  Alcotest.(check int) "all distinct" (List.length jobs)
+    (List.length (List.sort_uniq compare seeds))
+
+let test_runner_isolates_crash_and_recovers () =
+  (* a resolver that raises for one circuit: those jobs record Failed,
+     the rest complete; a later run with a healthy resolver re-runs
+     only the failures and converges to the uninterrupted aggregate *)
+  let crashing name =
+    if name = "C432" then failwith "injected resolver crash"
+    else Iscas.by_name name
+  in
+  with_temp_store (fun broken_path ->
+      with_temp_store (fun clean_path ->
+          let broken = run_spec ~domains:2 ~resolve:crashing broken_path tiny_spec in
+          Alcotest.(check int) "campaign survives the crashes" 8
+            broken.Runner.executed;
+          Alcotest.(check int) "C432 jobs failed" 4 broken.Runner.failed;
+          Alcotest.(check int) "C17 jobs unaffected" 4 broken.Runner.ok;
+          List.iter
+            (fun (r : Job_result.t) ->
+              match r.Job_result.status with
+              | Job_result.Failed msg ->
+                Alcotest.(check bool) "exception text recorded" true
+                  (String.length msg > 0)
+              | _ -> ())
+            broken.Runner.results;
+          (* recovery run: only the 4 failures re-execute *)
+          let recovered = run_spec ~domains:2 broken_path tiny_spec in
+          Alcotest.(check int) "only failures re-run" 4 recovered.Runner.executed;
+          Alcotest.(check int) "healthy jobs resumed" 4 recovered.Runner.skipped;
+          Alcotest.(check int) "all ok after recovery" 8 recovered.Runner.ok;
+          let clean = run_spec ~domains:2 clean_path tiny_spec in
+          Alcotest.(check (list string)) "same results as uninterrupted"
+            (signature clean.Runner.results)
+            (signature recovered.Runner.results);
+          Alcotest.(check bool) "same Table-1 aggregate" true
+            (Summary.table1_rows recovered.Runner.results
+            = Summary.table1_rows clean.Runner.results)))
+
+let test_runner_resumes_after_torn_store () =
+  with_temp_store (fun torn_path ->
+      with_temp_store (fun clean_path ->
+          let clean = run_spec ~domains:2 clean_path tiny_spec in
+          let _ = run_spec ~domains:2 torn_path tiny_spec in
+          (* kill simulation: chop the file mid-way through its last line *)
+          let size = (Unix.stat torn_path).Unix.st_size in
+          let fd = Unix.openfile torn_path [ Unix.O_WRONLY ] 0o644 in
+          Unix.ftruncate fd (size - 40);
+          Unix.close fd;
+          let resumed = run_spec ~domains:2 torn_path tiny_spec in
+          Alcotest.(check bool) "only the torn job re-ran" true
+            (resumed.Runner.executed >= 1 && resumed.Runner.executed < 8);
+          Alcotest.(check int) "complete again" 8 resumed.Runner.ok;
+          Alcotest.(check (list string)) "aggregate matches uninterrupted"
+            (signature clean.Runner.results)
+            (signature resumed.Runner.results)))
+
+let test_runner_timeout_records_and_reruns () =
+  let spec = { tiny_spec with Spec.circuits = [ "C17" ]; Spec.timeout = Some 0.0 } in
+  with_temp_store (fun path ->
+      let strict = run_spec ~domains:2 path spec in
+      Alcotest.(check int) "every job over a zero budget" 4
+        strict.Runner.timed_out;
+      Alcotest.(check int) "none ok" 0 strict.Runner.ok;
+      (* timeouts are not checkpoints: lifting the budget re-runs them *)
+      let relaxed = run_spec ~domains:2 path { spec with Spec.timeout = None } in
+      Alcotest.(check int) "timed-out jobs re-ran" 4 relaxed.Runner.executed;
+      Alcotest.(check int) "now ok" 4 relaxed.Runner.ok)
+
+let test_runner_rejects_invalid_spec () =
+  with_temp_store (fun path ->
+      let store = Store.open_ path in
+      Fun.protect
+        ~finally:(fun () -> Store.close store)
+        (fun () ->
+          Alcotest.(check bool) "invalid spec raises" true
+            (try
+               ignore
+                 (Runner.run ~store { tiny_spec with Spec.circuits = [ "C999" ] });
+               false
+             with Invalid_argument _ -> true)))
+
+let tests =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json float fidelity" `Quick test_json_float_fidelity;
+    Alcotest.test_case "json string escapes" `Quick test_json_string_escapes;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "spec expansion" `Quick test_spec_expansion;
+    Alcotest.test_case "spec dependency variants" `Quick test_spec_no_deps_variants;
+    Alcotest.test_case "spec parse roundtrip" `Quick test_spec_parse_roundtrip;
+    Alcotest.test_case "spec errors" `Quick test_spec_errors;
+    Alcotest.test_case "result codec roundtrip" `Quick test_result_codec_roundtrip;
+    Alcotest.test_case "result bad lines" `Quick test_result_bad_lines;
+    Alcotest.test_case "store latest wins" `Quick test_store_latest_wins;
+    Alcotest.test_case "store tolerates truncation" `Quick
+      test_store_tolerates_truncation;
+    Alcotest.test_case "runner completes and resumes" `Slow
+      test_runner_completes_and_resumes;
+    Alcotest.test_case "runner deterministic across domains" `Slow
+      test_runner_deterministic_across_domains;
+    Alcotest.test_case "runner seeds standard from evolution" `Slow
+      test_runner_seeds_standard_from_evolution;
+    Alcotest.test_case "runner derived seeds" `Quick test_runner_derived_seeds;
+    Alcotest.test_case "runner isolates crashes" `Slow
+      test_runner_isolates_crash_and_recovers;
+    Alcotest.test_case "runner resumes after torn store" `Slow
+      test_runner_resumes_after_torn_store;
+    Alcotest.test_case "runner timeout semantics" `Slow
+      test_runner_timeout_records_and_reruns;
+    Alcotest.test_case "runner rejects invalid spec" `Quick
+      test_runner_rejects_invalid_spec;
+  ]

@@ -86,6 +86,23 @@ let test_table1_suite_order () =
     [ "C1908"; "C2670"; "C3540"; "C5315"; "C6288"; "C7552" ]
     names
 
+let test_by_name () =
+  (match Iscas.by_name "c432" with
+  | Some c ->
+    Alcotest.(check string) "case-insensitive lookup"
+      (Iddq_netlist.Bench_io.to_string (Iscas.c432_like ()))
+      (Iddq_netlist.Bench_io.to_string c)
+  | None -> Alcotest.fail "c432 should resolve");
+  Alcotest.(check bool) "unknown name" true (Iscas.by_name "C9999" = None)
+
+let test_names_catalog () =
+  Alcotest.(check int) "eleven circuits" 11 (List.length Iscas.names);
+  Alcotest.(check bool) "C17 listed" true (List.mem "C17" Iscas.names);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " resolves") true (Iscas.by_name n <> None))
+    Iscas.names
+
 let tests =
   [
     Alcotest.test_case "c17 structure" `Quick test_c17_structure;
@@ -95,4 +112,6 @@ let tests =
     Alcotest.test_case "suite large members" `Slow test_suite_large_members;
     Alcotest.test_case "suite deterministic" `Quick test_suite_deterministic;
     Alcotest.test_case "table1 order" `Quick test_table1_suite_order;
+    Alcotest.test_case "by_name lookup" `Quick test_by_name;
+    Alcotest.test_case "names catalog" `Slow test_names_catalog;
   ]

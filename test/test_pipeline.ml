@@ -100,6 +100,39 @@ let test_report_row () =
       (String.length rendered > 0)
   | _ -> Alcotest.fail "unexpected result shape"
 
+let test_compare_methods_preserves_order () =
+  (* evolution executes first even when listed last, but the returned
+     association list preserves the caller's order *)
+  let methods = [ Pipeline.Standard; Pipeline.Evolution; Pipeline.Random ] in
+  let results =
+    Pipeline.compare_methods ~config:fast_config (Iscas.c432_like ()) methods
+  in
+  Alcotest.(check (list string)) "caller order preserved"
+    (List.map Pipeline.method_to_string methods)
+    (List.map (fun (m, _) -> Pipeline.method_to_string m) results)
+
+let test_compare_methods_equals_seeded_run () =
+  (* the standard leg of compare_methods is exactly a direct Standard
+     run whose reference_sizes are the evolution result's sizes *)
+  let circuit = Iscas.c432_like () in
+  let results =
+    Pipeline.compare_methods ~config:fast_config circuit
+      [ Pipeline.Evolution; Pipeline.Standard ]
+  in
+  match results with
+  | [ (_, evo); (_, std) ] ->
+    let sizes =
+      List.map
+        (Partition.size evo.Pipeline.partition)
+        (Partition.module_ids evo.Pipeline.partition)
+    in
+    let config = { fast_config with Pipeline.reference_sizes = Some sizes } in
+    let direct = Pipeline.run ~config Pipeline.Standard circuit in
+    Alcotest.(check bool) "same partition as a directly seeded run" true
+      (Partition.assignment std.Pipeline.partition
+      = Partition.assignment direct.Pipeline.partition)
+  | _ -> Alcotest.fail "unexpected result shape"
+
 let test_deterministic_given_seed () =
   let r1 = run_method Pipeline.Evolution in
   let r2 = run_method Pipeline.Evolution in
@@ -121,6 +154,10 @@ let tests =
     Alcotest.test_case "evolution beats standard" `Slow
       test_evolution_beats_standard_area;
     Alcotest.test_case "report row" `Slow test_report_row;
+    Alcotest.test_case "compare preserves order" `Slow
+      test_compare_methods_preserves_order;
+    Alcotest.test_case "compare equals seeded run" `Slow
+      test_compare_methods_equals_seeded_run;
     Alcotest.test_case "deterministic" `Slow test_deterministic_given_seed;
     Alcotest.test_case "module size config" `Quick test_module_size_config;
   ]

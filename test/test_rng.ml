@@ -31,6 +31,33 @@ let test_split_independent () =
   let ys = Array.init 32 (fun _ -> Rng.bits64 b) in
   Alcotest.(check bool) "split streams differ" true (xs <> ys)
 
+let test_derive_pure_and_nonadvancing () =
+  let a = Rng.create 101 in
+  let d1 = Rng.derive a 5 in
+  let d2 = Rng.derive a 5 in
+  Alcotest.(check int64) "derive is a pure function" (Rng.bits64 d1)
+    (Rng.bits64 d2);
+  (* deriving did not advance the parent *)
+  let fresh = Rng.create 101 in
+  Alcotest.(check int64) "parent unchanged" (Rng.bits64 fresh) (Rng.bits64 a)
+
+let test_derive_distinct_streams () =
+  let a = Rng.create 101 in
+  let streams = List.init 16 (fun i -> Rng.bits64 (Rng.derive a i)) in
+  Alcotest.(check int) "16 distinct streams" 16
+    (List.length (List.sort_uniq compare streams))
+
+let test_derive_depends_on_state () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different parents derive differently" true
+    (Rng.bits64 (Rng.derive a 3) <> Rng.bits64 (Rng.derive b 3));
+  (* advancing the parent changes what it derives *)
+  let c = Rng.create 1 in
+  let before = Rng.bits64 (Rng.derive c 3) in
+  let _ = Rng.bits64 c in
+  Alcotest.(check bool) "derivation tracks parent state" true
+    (Rng.bits64 (Rng.derive c 3) <> before)
+
 let test_int_range () =
   let rng = Rng.create 5 in
   for _ = 1 to 1000 do
@@ -123,6 +150,11 @@ let tests =
     Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
     Alcotest.test_case "copy independence" `Quick test_copy_independent;
     Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "derive purity" `Quick test_derive_pure_and_nonadvancing;
+    Alcotest.test_case "derive distinct streams" `Quick
+      test_derive_distinct_streams;
+    Alcotest.test_case "derive state dependence" `Quick
+      test_derive_depends_on_state;
     Alcotest.test_case "int range" `Quick test_int_range;
     Alcotest.test_case "int bad bound" `Quick test_int_rejects_bad_bound;
     Alcotest.test_case "int covers values" `Quick test_int_covers_all_values;
