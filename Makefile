@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke campaign-smoke ci examples doc clean
+.PHONY: all build test bench bench-quick bench-smoke campaign-smoke faultsim-smoke ci examples doc clean
 
 all: build
 
@@ -39,9 +39,17 @@ campaign-smoke:
 	@rm -f /tmp/iddq-campaign-smoke.jsonl
 	@echo "campaign-smoke: resume executed 0 jobs - PASS"
 
+# Packed fault-simulation gate: the 64-way engine must produce a
+# detection matrix identical to the scalar oracle and be >= 10x
+# faster on the >= 1k-gate circuits; numbers land in
+# BENCH_faultsim.json (seconds).
+faultsim-smoke:
+	dune exec bench/main.exe -- faultsim | grep -q "PASS >= 10x"
+	@echo "faultsim-smoke: packed engine >= 10x, matrices identical - PASS"
+
 # What a per-PR check runs: build, tests, evaluation-count smoke,
-# campaign resume smoke.
-ci: build test bench-smoke campaign-smoke
+# campaign resume smoke, packed fault-sim speedup gate.
+ci: build test bench-smoke campaign-smoke faultsim-smoke
 
 examples:
 	dune exec examples/quickstart.exe

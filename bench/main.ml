@@ -8,7 +8,8 @@
 
    Experiments: table1 fig2 c17 fig1 ablation-opt ablation-weights
    ablation-es ablation-resynth validation tradeoff variants compaction
-   logic-vs-iddq schedule routing atpg sizing stability perf campaign *)
+   logic-vs-iddq schedule routing atpg sizing stability faultsim perf
+   campaign *)
 
 module Table = Iddq_util.Table
 module Rng = Iddq_util.Rng
@@ -1167,6 +1168,140 @@ let run_smoke () =
   Table.print (Report.metrics_table es_stats)
 
 (* ------------------------------------------------------------------ *)
+(* faultsim: scalar vs 64-way packed (PPSFP) IDDQ fault simulation     *)
+(* ------------------------------------------------------------------ *)
+
+(* The campaign grid re-runs IDDQ fault simulation thousands of times;
+   this experiment measures what the packed engine buys on one run:
+   the same detection matrix, scalar vector-at-a-time vs 64 vectors
+   per word with a shared good machine.  Equality of the two matrices
+   is asserted (the bench doubles as a coarse differential test); the
+   per-circuit numbers land in BENCH_faultsim.json so successive PRs
+   can track the perf trajectory. *)
+let faultsim_json = "BENCH_faultsim.json"
+
+let run_faultsim () =
+  section "faultsim: scalar vs 64-way packed (PPSFP) IDDQ fault simulation";
+  let module Coverage = Iddq_defects.Coverage in
+  let module Fault_sim = Iddq_defects.Fault_sim in
+  let module Fault = Iddq_defects.Fault in
+  let module Json = Iddq_util.Json in
+  let time_best f =
+    (* best of 3 shaves scheduler noise off wall-clock *)
+    let best = ref infinity and result = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let t =
+    Table.create
+      [
+        ("circuit", Table.Left);
+        ("gates", Table.Right);
+        ("vectors", Table.Right);
+        ("faults", Table.Right);
+        ("scalar", Table.Right);
+        ("packed", Table.Right);
+        ("speedup", Table.Right);
+        ("packed 4-dom", Table.Right);
+        ("drop (1st det)", Table.Right);
+        ("equal", Table.Left);
+      ]
+  in
+  let ms s = Printf.sprintf "%.2f ms" (1000.0 *. s) in
+  let all_pass = ref true in
+  let min_speedup = ref infinity in
+  let records =
+    List.map
+      (fun (name, circuit) ->
+        let n_vectors = 1024 and n_faults = 600 in
+        let ch = Charac.make ~library:Library.default circuit in
+        let n = Charac.num_gates ch in
+        let p =
+          Partition.create ch ~assignment:(Array.init n (fun g -> g mod 8))
+        in
+        let rng = Rng.create 42 in
+        let faults =
+          Fault.random_population ~rng circuit ~count:n_faults
+            ~defect_current:2e-6
+        in
+        let vectors =
+          Iddq_patterns.Pattern_gen.random ~rng circuit ~count:n_vectors
+        in
+        let scalar, t_scalar =
+          time_best (fun () ->
+              Coverage.detection_matrix_scalar p ~vectors ~faults)
+        in
+        let packed, t_packed =
+          time_best (fun () -> Coverage.detection_matrix p ~vectors ~faults)
+        in
+        let _, t_packed4 =
+          time_best (fun () ->
+              Coverage.detection_matrix ~domains:4 p ~vectors ~faults)
+        in
+        let _, t_drop =
+          time_best (fun () -> Fault_sim.first_detections p ~vectors ~faults)
+        in
+        let same = Coverage.equal scalar packed in
+        let speedup = t_scalar /. t_packed in
+        let gated = n >= 1000 in
+        if gated then min_speedup := Stdlib.min !min_speedup speedup;
+        let pass = same && ((not gated) || speedup >= 10.0) in
+        if not pass then all_pass := false;
+        Table.add_row t
+          [
+            name;
+            string_of_int n;
+            string_of_int n_vectors;
+            string_of_int n_faults;
+            ms t_scalar;
+            ms t_packed;
+            Printf.sprintf "%.1fx" speedup;
+            ms t_packed4;
+            ms t_drop;
+            (if same then "yes" else "NO");
+          ];
+        Json.Obj
+          [
+            ("circuit", Json.String name);
+            ("gates", Json.Int n);
+            ("vectors", Json.Int n_vectors);
+            ("faults", Json.Int n_faults);
+            ("scalar_s", Json.Float t_scalar);
+            ("packed_s", Json.Float t_packed);
+            ("packed_domains4_s", Json.Float t_packed4);
+            ("first_detections_s", Json.Float t_drop);
+            ("speedup", Json.Float speedup);
+            ("matrices_equal", Json.Bool same);
+            ("pass", Json.Bool pass);
+          ])
+      [ ("C1908", Iscas.c1908_like ()); ("C3540", Iscas.c3540_like ()) ]
+  in
+  Table.print t;
+  let doc =
+    Json.Obj
+      [
+        ("experiment", Json.String "faultsim");
+        ("records", Json.List records);
+        ("pass", Json.Bool !all_pass);
+      ]
+  in
+  let oc = open_out faultsim_json in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" faultsim_json;
+  Printf.printf "faultsim: min speedup %.1fx on >=1k-gate circuits -> %s\n"
+    (if !min_speedup = infinity then 0.0 else !min_speedup)
+    (if !all_pass then "PASS >= 10x, matrices identical"
+     else "FAIL (needs >= 10x with identical matrices)")
+
+(* ------------------------------------------------------------------ *)
 (* Campaign: Table 1 through the resumable job runner                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1241,6 +1376,7 @@ let run_all ~quick =
   run_sizing ();
   run_stability ();
   run_cooptimize ();
+  run_faultsim ();
   run_perf ()
 
 let () =
@@ -1272,11 +1408,12 @@ let () =
         | "cooptimize" -> run_cooptimize ()
         | "perf" -> run_perf ()
         | "smoke" -> run_smoke ()
+        | "faultsim" -> run_faultsim ()
         | "campaign" -> run_campaign ()
         | other ->
           Printf.eprintf
             "unknown experiment %S (try: table1 fig2 c17 fig1 ablation-opt \
-             ablation-weights ablation-es ablation-resynth validation tradeoff variants compaction logic-vs-iddq schedule routing atpg sizing stability cooptimize perf smoke campaign quick all)\n"
+             ablation-weights ablation-es ablation-resynth validation tradeoff variants compaction logic-vs-iddq schedule routing atpg sizing stability cooptimize faultsim perf smoke campaign quick all)\n"
             other;
           exit 1)
       args

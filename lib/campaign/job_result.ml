@@ -116,6 +116,9 @@ let metrics_json (m : Metrics.snapshot) =
       ("gates_delta", Json.Int m.Metrics.gates_delta);
       ("sec_full", Json.Float m.Metrics.seconds_full);
       ("sec_delta", Json.Float m.Metrics.seconds_delta);
+      ("sim_blocks", Json.Int m.Metrics.sim_blocks);
+      ("sim_fault_blocks", Json.Int m.Metrics.sim_fault_blocks);
+      ("sim_dropped", Json.Int m.Metrics.sim_faults_dropped);
     ]
 
 let to_json r =
@@ -221,6 +224,15 @@ let of_json j =
   let* gates_delta = mfield "gates_delta" Json.to_int in
   let* seconds_full = mfield "sec_full" Json.to_float in
   let* seconds_delta = mfield "sec_delta" Json.to_float in
+  (* fault-sim counters postdate the first stores: absent means 0 *)
+  let mfield_default name =
+    match Option.bind (Json.member name mj) Json.to_int with
+    | Some v -> v
+    | None -> 0
+  in
+  let sim_blocks = mfield_default "sim_blocks" in
+  let sim_fault_blocks = mfield_default "sim_fault_blocks" in
+  let sim_faults_dropped = mfield_default "sim_dropped" in
   Ok
     {
       job_id;
@@ -251,6 +263,9 @@ let of_json j =
           gates_delta;
           seconds_full;
           seconds_delta;
+          sim_blocks;
+          sim_fault_blocks;
+          sim_faults_dropped;
         };
     }
 

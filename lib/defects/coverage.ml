@@ -1,112 +1,97 @@
-module Circuit = Iddq_netlist.Circuit
-module Charac = Iddq_analysis.Charac
-module Technology = Iddq_celllib.Technology
-module Logic_sim = Iddq_patterns.Logic_sim
-module Partition = Iddq_core.Partition
+module Bitvec = Iddq_util.Bitvec
 
-type detection_matrix = {
-  n_vectors : int;
-  detects : bool array array; (* fault -> vector -> detected *)
-}
+type detection_matrix = Fault_sim.matrix
 
-let detection_matrix p ~vectors ~faults =
-  let ch = Partition.charac p in
-  let c = Charac.circuit ch in
-  let tech = Charac.technology ch in
-  let evaluated = Array.map (Logic_sim.eval c) vectors in
-  let detects =
-    List.map
-      (fun (inj : Fault.injected) ->
-        let g = Fault.location c inj.Fault.fault in
-        let m = Partition.module_of_gate p g in
-        let measurable =
-          Partition.leakage p m +. inj.Fault.defect_current
-          >= tech.Technology.iddq_threshold
-        in
-        if not measurable then Array.make (Array.length vectors) false
-        else
-          Array.map (Fault.activated c inj.Fault.fault) evaluated)
-      faults
-  in
-  { n_vectors = Array.length vectors; detects = Array.of_list detects }
+let detection_matrix ?domains ?metrics p ~vectors ~faults =
+  Fault_sim.detection_matrix ?domains ?metrics p ~vectors ~faults
 
-let num_faults m = Array.length m.detects
+let detection_matrix_scalar = Fault_sim.detection_matrix_scalar
+let equal = Fault_sim.equal
+let num_faults (m : detection_matrix) = Array.length m.Fault_sim.rows
+let num_vectors (m : detection_matrix) = m.Fault_sim.n_vectors
 
-let num_detectable m =
+let detects (m : detection_matrix) ~fault ~vector =
+  Bitvec.get m.Fault_sim.rows.(fault) vector
+
+let num_detectable (m : detection_matrix) =
   Array.fold_left
-    (fun acc row -> if Array.exists Fun.id row then acc + 1 else acc)
-    0 m.detects
+    (fun acc row -> if Bitvec.is_empty row then acc else acc + 1)
+    0 m.Fault_sim.rows
 
-let coverage_curve m =
+let first_detection (m : detection_matrix) =
+  Array.map Bitvec.first_set m.Fault_sim.rows
+
+let coverage_curve (m : detection_matrix) =
   let nf = num_faults m in
-  let caught = Array.make nf false in
-  let curve = Array.make m.n_vectors 0.0 in
+  let nv = m.Fault_sim.n_vectors in
+  (* Fault dropping collapses the curve to a histogram of first
+     detections followed by a prefix sum: O(faults x words + vectors)
+     instead of the old O(faults x vectors) boxed-bool sweep. *)
+  let firsts = Array.make nv 0 in
+  Array.iter
+    (fun row ->
+      let v = Bitvec.first_set row in
+      if v >= 0 then firsts.(v) <- firsts.(v) + 1)
+    m.Fault_sim.rows;
+  let curve = Array.make nv 0.0 in
   let hit = ref 0 in
-  for v = 0 to m.n_vectors - 1 do
-    Array.iteri
-      (fun f row ->
-        (* fault dropping: a caught fault is never re-simulated *)
-        if (not caught.(f)) && row.(v) then begin
-          caught.(f) <- true;
-          incr hit
-        end)
-      m.detects;
-    curve.(v) <-
-      (if nf = 0 then 1.0 else float_of_int !hit /. float_of_int nf)
+  for v = 0 to nv - 1 do
+    hit := !hit + firsts.(v);
+    curve.(v) <- (if nf = 0 then 1.0 else float_of_int !hit /. float_of_int nf)
   done;
   curve
 
-let first_detection m =
-  Array.map
-    (fun row ->
-      let rec scan v =
-        if v >= Array.length row then -1 else if row.(v) then v else scan (v + 1)
-      in
-      scan 0)
-    m.detects
+let selection_mask (m : detection_matrix) selection =
+  let sel = Bitvec.create m.Fault_sim.n_vectors in
+  Array.iter (fun v -> Bitvec.set sel v) selection;
+  sel
 
-let coverage_of_selection m selection =
+let coverage_of_selection (m : detection_matrix) selection =
   let nf = num_faults m in
   if nf = 0 then 1.0
   else begin
+    let sel = selection_mask m selection in
     let hit =
       Array.fold_left
-        (fun acc row ->
-          if Array.exists (fun v -> row.(v)) selection then acc + 1 else acc)
-        0 m.detects
+        (fun acc row -> if Bitvec.intersects row sel then acc + 1 else acc)
+        0 m.Fault_sim.rows
     in
     float_of_int hit /. float_of_int nf
   end
 
-let compact m =
+(* Greedy set cover on popcount.  The fault-major rows are transposed
+   once into vector-major columns (a fault bit-set per vector); each
+   pass then scores a candidate vector as
+   [popcount (column AND uncovered)] — word operations instead of the
+   old O(vectors x faults) boxed-bool inner loop per pass.  Tie-break
+   (first vector with the strictly largest gain) matches the original
+   scalar loop, so selections are identical. *)
+let compact (m : detection_matrix) =
   let nf = num_faults m in
-  let covered = Array.make nf false in
-  let target = num_detectable m in
+  let nv = m.Fault_sim.n_vectors in
+  let columns = Array.init nv (fun _ -> Bitvec.create nf) in
+  let uncovered = Bitvec.create nf in
+  Array.iteri
+    (fun f row ->
+      if not (Bitvec.is_empty row) then begin
+        Bitvec.set uncovered f;
+        Bitvec.iter_set row (fun v -> Bitvec.set columns.(v) f)
+      end)
+    m.Fault_sim.rows;
   let kept = ref [] in
-  let covered_count = ref 0 in
-  while !covered_count < target do
-    (* the vector catching the most still-uncovered faults *)
+  while not (Bitvec.is_empty uncovered) do
     let best = ref (-1) and best_gain = ref 0 in
-    for v = 0 to m.n_vectors - 1 do
-      let gain = ref 0 in
-      Array.iteri
-        (fun f row -> if (not covered.(f)) && row.(v) then incr gain)
-        m.detects;
-      if !gain > !best_gain then begin
-        best_gain := !gain;
+    for v = 0 to nv - 1 do
+      let gain = Bitvec.inter_count columns.(v) uncovered in
+      if gain > !best_gain then begin
+        best_gain := gain;
         best := v
       end
     done;
-    (* target counts only detectable faults, so a useful vector exists *)
+    (* every uncovered fault is detectable, so a useful vector exists *)
     assert (!best >= 0);
     kept := !best :: !kept;
-    Array.iteri
-      (fun f row ->
-        if (not covered.(f)) && row.(!best) then begin
-          covered.(f) <- true;
-          incr covered_count
-        end)
-      m.detects
+    Bitvec.diff_inplace uncovered columns.(!best)
   done;
   let arr = Array.of_list !kept in
   Array.sort compare arr;

@@ -1,0 +1,164 @@
+module Circuit = Iddq_netlist.Circuit
+module Charac = Iddq_analysis.Charac
+module Technology = Iddq_celllib.Technology
+module Logic_sim = Iddq_patterns.Logic_sim
+module P = Iddq_patterns.Parallel_sim
+module Partition = Iddq_core.Partition
+module Bitvec = Iddq_util.Bitvec
+module Metrics = Iddq_util.Metrics
+
+type matrix = { n_vectors : int; rows : Bitvec.t array }
+
+let equal a b =
+  a.n_vectors = b.n_vectors
+  && Array.length a.rows = Array.length b.rows
+  && Array.for_all2 Bitvec.equal a.rows b.rows
+
+let activation_word fault ~good =
+  match fault with
+  | Fault.Bridge (a, b) -> Int64.logxor good.(a) good.(b)
+  | Fault.Gate_oxide_short (id, polarity) ->
+    if polarity then good.(id) else Int64.lognot good.(id)
+  | Fault.Floating_gate _ -> Int64.minus_one
+
+let measurable p (inj : Fault.injected) =
+  let ch = Partition.charac p in
+  let c = Charac.circuit ch in
+  let tech = Charac.technology ch in
+  let m = Partition.module_of_gate p (Fault.location c inj.Fault.fault) in
+  Partition.leakage p m +. inj.Fault.defect_current
+  >= tech.Technology.iddq_threshold
+
+let parallel_ranges ~domains n f =
+  let d = Stdlib.max 1 (Stdlib.min domains n) in
+  if d <= 1 then begin
+    if n > 0 then f 0 n
+  end
+  else begin
+    let per = (n + d - 1) / d in
+    let spawned =
+      List.init (d - 1) (fun i ->
+          let lo = (i + 1) * per in
+          let hi = Stdlib.min n (lo + per) in
+          Domain.spawn (fun () -> if lo < hi then f lo hi))
+    in
+    f 0 (Stdlib.min n per);
+    List.iter Domain.join spawned
+  end
+
+let good_values ?(domains = 1) ?metrics c packed =
+  let nb = P.num_blocks packed in
+  let goods = Array.make nb [||] in
+  parallel_ranges ~domains nb (fun lo hi ->
+      for b = lo to hi - 1 do
+        goods.(b) <- P.eval c (P.block packed b)
+      done);
+  Option.iter
+    (fun m -> Metrics.record_fault_sim m ~blocks:nb ~fault_blocks:0 ~dropped:0)
+    metrics;
+  goods
+
+(* Full matrix: every measurable fault visits every block (no
+   dropping — callers want the complete detection sets).  Writes are
+   disjoint per fault, so the fault chunks need no synchronization. *)
+let detection_matrix_with ?(domains = 1) ?metrics c ~measurable ~vectors
+    ~faults =
+  let packed = P.pack_all vectors in
+  let goods = good_values ~domains ?metrics c packed in
+  let faults = Array.of_list faults in
+  let nf = Array.length faults in
+  let nb = P.num_blocks packed in
+  let nv = P.n_vectors packed in
+  let rows = Array.init nf (fun _ -> Bitvec.create nv) in
+  parallel_ranges ~domains nf (fun lo hi ->
+      let fault_blocks = ref 0 in
+      for f = lo to hi - 1 do
+        let inj = faults.(f) in
+        if measurable inj then begin
+          let row = rows.(f) in
+          for b = 0 to nb - 1 do
+            Bitvec.set_word row b
+              (Int64.logand
+                 (activation_word inj.Fault.fault ~good:goods.(b))
+                 (P.block_mask packed b))
+          done;
+          fault_blocks := !fault_blocks + nb
+        end
+      done;
+      Option.iter
+        (fun m ->
+          Metrics.record_fault_sim m ~blocks:0 ~fault_blocks:!fault_blocks
+            ~dropped:0)
+        metrics);
+  { n_vectors = nv; rows }
+
+(* First detections only: fault dropping — a detected fault never
+   touches another block. *)
+let first_detections_with ?(domains = 1) ?metrics c ~measurable ~vectors
+    ~faults =
+  let packed = P.pack_all vectors in
+  let goods = good_values ~domains ?metrics c packed in
+  let faults = Array.of_list faults in
+  let nf = Array.length faults in
+  let nb = P.num_blocks packed in
+  let first = Array.make nf (-1) in
+  parallel_ranges ~domains nf (fun lo hi ->
+      let fault_blocks = ref 0 and dropped = ref 0 in
+      for f = lo to hi - 1 do
+        let inj = faults.(f) in
+        if measurable inj then begin
+          let rec scan b =
+            if b < nb then begin
+              incr fault_blocks;
+              let act =
+                Int64.logand
+                  (activation_word inj.Fault.fault ~good:goods.(b))
+                  (P.block_mask packed b)
+              in
+              if act <> 0L then begin
+                first.(f) <- (b * 64) + Bitvec.ctz64 act;
+                incr dropped
+              end
+              else scan (b + 1)
+            end
+          in
+          scan 0
+        end
+      done;
+      Option.iter
+        (fun m ->
+          Metrics.record_fault_sim m ~blocks:0 ~fault_blocks:!fault_blocks
+            ~dropped:!dropped)
+        metrics);
+  first
+
+let circuit_of p = Charac.circuit (Partition.charac p)
+
+let detection_matrix ?domains ?metrics p ~vectors ~faults =
+  detection_matrix_with ?domains ?metrics (circuit_of p)
+    ~measurable:(measurable p) ~vectors ~faults
+
+let first_detections ?domains ?metrics p ~vectors ~faults =
+  first_detections_with ?domains ?metrics (circuit_of p)
+    ~measurable:(measurable p) ~vectors ~faults
+
+(* The original vector-at-a-time path, verbatim semantics: one full
+   logic simulation per vector, one activation query per (fault,
+   vector).  The differential tests pin the packed engine to this. *)
+let detection_matrix_scalar p ~vectors ~faults =
+  let c = circuit_of p in
+  let evaluated = Array.map (Logic_sim.eval c) vectors in
+  let nv = Array.length vectors in
+  let rows =
+    List.map
+      (fun (inj : Fault.injected) ->
+        let row = Bitvec.create nv in
+        if measurable p inj then
+          Array.iteri
+            (fun v values ->
+              if Fault.activated c inj.Fault.fault values then Bitvec.set row v)
+            evaluated;
+        row)
+      faults
+  in
+  { n_vectors = nv; rows = Array.of_list rows }

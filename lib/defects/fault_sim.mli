@@ -1,0 +1,126 @@
+(** 64-way bit-parallel IDDQ fault simulation (PPSFP).
+
+    The scalar pipeline ({!Iddq_sim}, the original {!Coverage}) walks
+    every fault over every vector with one {!Iddq_patterns.Logic_sim}
+    evaluation per vector — O(faults x vectors x gates) on the
+    campaign grid's hottest path.  This engine applies the classic
+    parallel-pattern single-fault-propagation recipe to the IDDQ
+    defect models:
+
+    - the vector set is packed {e once} into 64-wide blocks
+      ({!Iddq_patterns.Parallel_sim.pack_all});
+    - the {e good machine} is evaluated once per block and shared
+      across all faults — IDDQ activation needs no faulty
+      re-simulation, every defect model reduces to pure [Int64] word
+      operations over good-machine node words (a bridge activates
+      where the two nets differ: one [XOR]; a gate-oxide short where
+      the node carries the short's polarity: the node word or its
+      complement; a floating gate everywhere: the block mask);
+    - {e fault dropping}: a detected fault never touches another
+      block;
+    - fault chunks are distributed over a [Domain] pool (the
+      [lib/campaign] runner pattern), the good machine being shared
+      read-only.
+
+    The scalar path survives as {!detection_matrix_scalar}, the
+    reference oracle for the differential tests. *)
+
+module Bitvec = Iddq_util.Bitvec
+module Metrics = Iddq_util.Metrics
+
+type matrix = {
+  n_vectors : int;
+  rows : Bitvec.t array;
+      (** One packed row per fault: bit [v] set iff vector [v] detects
+          it (activation and current threshold both checked). *)
+}
+
+val equal : matrix -> matrix -> bool
+
+val activation_word : Fault.t -> good:int64 array -> int64
+(** Bit [k] set iff the defect draws current under vector [k] of the
+    block, given the good-machine node words.  The caller masks with
+    the block's active mask. *)
+
+val measurable : Iddq_core.Partition.t -> Fault.injected -> bool
+(** Does the defect current, on top of its module's fault-free
+    leakage, reach the technology's IDDQ threshold at that module's
+    sensor? *)
+
+val good_values :
+  ?domains:int ->
+  ?metrics:Metrics.t ->
+  Iddq_netlist.Circuit.t ->
+  Iddq_patterns.Parallel_sim.packed ->
+  int64 array array
+(** Good-machine node words for every block, evaluated in parallel
+    over the [Domain] pool.  Shared read-only by all fault chunks
+    (also by {!Stuck_at.fault_simulate}). *)
+
+(** {1 Partition-thresholded entry points}
+
+    These mirror the scalar {!Iddq_sim.run_partitioned} semantics:
+    detection = activation and the module sensor crossing threshold. *)
+
+val detection_matrix :
+  ?domains:int ->
+  ?metrics:Metrics.t ->
+  Iddq_core.Partition.t ->
+  vectors:bool array array ->
+  faults:Fault.injected list ->
+  matrix
+(** The {e full} matrix (no dropping — every detecting vector of every
+    fault), for coverage curves and compaction. *)
+
+val first_detections :
+  ?domains:int ->
+  ?metrics:Metrics.t ->
+  Iddq_core.Partition.t ->
+  vectors:bool array array ->
+  faults:Fault.injected list ->
+  int array
+(** Per fault, the index of its first detecting vector ([-1] when
+    undetected) — with fault dropping, so a detected fault never
+    touches another block. *)
+
+(** {1 Custom-threshold entry points}
+
+    Same engine under an arbitrary measurability predicate (e.g. the
+    single-sensor guard-banded threshold of
+    {!Iddq_sim.run_single_sensor}). *)
+
+val detection_matrix_with :
+  ?domains:int ->
+  ?metrics:Metrics.t ->
+  Iddq_netlist.Circuit.t ->
+  measurable:(Fault.injected -> bool) ->
+  vectors:bool array array ->
+  faults:Fault.injected list ->
+  matrix
+
+val first_detections_with :
+  ?domains:int ->
+  ?metrics:Metrics.t ->
+  Iddq_netlist.Circuit.t ->
+  measurable:(Fault.injected -> bool) ->
+  vectors:bool array array ->
+  faults:Fault.injected list ->
+  int array
+
+(** {1 Scalar reference oracle} *)
+
+val detection_matrix_scalar :
+  Iddq_core.Partition.t ->
+  vectors:bool array array ->
+  faults:Fault.injected list ->
+  matrix
+(** Vector-at-a-time {!Iddq_patterns.Logic_sim.eval} +
+    {!Fault.activated} — bit-for-bit what the packed engine must
+    reproduce.  Kept (and benchmarked against, see the [faultsim]
+    experiment) as the differential-test oracle. *)
+
+val parallel_ranges : domains:int -> int -> (int -> int -> unit) -> unit
+(** [parallel_ranges ~domains n f] splits [0..n-1] into contiguous
+    chunks and runs [f lo hi] on each, one chunk per [Domain] (the
+    calling domain takes the first).  [f] must only write disjoint
+    state per chunk.  Exposed for {!Stuck_at} and the benches. *)

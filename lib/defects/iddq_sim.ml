@@ -1,8 +1,6 @@
-module Circuit = Iddq_netlist.Circuit
 module Charac = Iddq_analysis.Charac
 module Timing = Iddq_analysis.Timing
 module Technology = Iddq_celllib.Technology
-module Logic_sim = Iddq_patterns.Logic_sim
 module Partition = Iddq_core.Partition
 module Cost = Iddq_core.Cost
 module Sensor = Iddq_bic.Sensor
@@ -29,27 +27,16 @@ let coverage_of detections =
     let hit = List.length (List.filter (fun d -> d.detected) l) in
     float_of_int hit /. float_of_int (List.length l)
 
-let run_partitioned p ~vectors ~faults =
+let run_partitioned ?domains ?metrics p ~vectors ~faults =
   let ch = Partition.charac p in
   let c = Charac.circuit ch in
   let tech = Charac.technology ch in
-  let evaluated = Array.map (Logic_sim.eval c) vectors in
+  let first = Fault_sim.first_detections ?domains ?metrics p ~vectors ~faults in
   let detections =
-    List.map
-      (fun (inj : Fault.injected) ->
-        let g = Fault.location c inj.Fault.fault in
-        let m = Partition.module_of_gate p g in
-        let base = Partition.leakage p m in
-        let rec scan i =
-          if i >= Array.length evaluated then None
-          else if
-            Fault.activated c inj.Fault.fault evaluated.(i)
-            && base +. inj.Fault.defect_current
-               >= tech.Technology.iddq_threshold
-          then Some i
-          else scan (i + 1)
-        in
-        let hit = scan 0 in
+    List.mapi
+      (fun f (inj : Fault.injected) ->
+        let hit = if first.(f) >= 0 then Some first.(f) else None in
+        let m = Partition.module_of_gate p (Fault.location c inj.Fault.fault) in
         {
           injected = inj;
           detected = hit <> None;
@@ -71,7 +58,8 @@ let run_partitioned p ~vectors ~faults =
     test_time;
   }
 
-let run_single_sensor ?(guard_band = 2.0) ch ~vectors ~faults =
+let run_single_sensor ?(guard_band = 2.0) ?domains ?metrics ch ~vectors ~faults
+    =
   let c = Charac.circuit ch in
   let tech = Charac.technology ch in
   let all_gates = Array.init (Charac.num_gates ch) Fun.id in
@@ -79,19 +67,17 @@ let run_single_sensor ?(guard_band = 2.0) ch ~vectors ~faults =
   let threshold =
     Stdlib.max tech.Technology.iddq_threshold (guard_band *. total_leak)
   in
-  let evaluated = Array.map (Logic_sim.eval c) vectors in
+  let measurable (inj : Fault.injected) =
+    total_leak +. inj.Fault.defect_current >= threshold
+  in
+  let first =
+    Fault_sim.first_detections_with ?domains ?metrics c ~measurable ~vectors
+      ~faults
+  in
   let detections =
-    List.map
-      (fun (inj : Fault.injected) ->
-        let rec scan i =
-          if i >= Array.length evaluated then None
-          else if
-            Fault.activated c inj.Fault.fault evaluated.(i)
-            && total_leak +. inj.Fault.defect_current >= threshold
-          then Some i
-          else scan (i + 1)
-        in
-        let hit = scan 0 in
+    List.mapi
+      (fun f (inj : Fault.injected) ->
+        let hit = if first.(f) >= 0 then Some first.(f) else None in
         { injected = inj; detected = hit <> None; detecting_vector = hit; module_id = None })
       faults
   in

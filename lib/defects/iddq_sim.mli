@@ -24,16 +24,24 @@ type result = {
 }
 
 val run_partitioned :
+  ?domains:int ->
+  ?metrics:Iddq_util.Metrics.t ->
   Iddq_core.Partition.t ->
   vectors:bool array array ->
   faults:Fault.injected list ->
   result
 (** Each defect is simulated independently (single-fault assumption):
     a vector detects it when the defect is activated and the module
-    sensor's measured current reaches the technology threshold. *)
+    sensor's measured current reaches the technology threshold.
+
+    Runs on the 64-way packed {!Fault_sim} engine with fault dropping;
+    [domains] (default 1) distributes fault chunks over a [Domain]
+    pool, [metrics] receives the engine's block counters. *)
 
 val run_single_sensor :
   ?guard_band:float ->
+  ?domains:int ->
+  ?metrics:Iddq_util.Metrics.t ->
   Iddq_analysis.Charac.t ->
   vectors:bool array array ->
   faults:Fault.injected list ->

@@ -88,46 +88,53 @@ type sim_result = {
 }
 
 (* Bit-parallel (64 vectors per pass) serial fault simulation with
-   fault dropping. *)
-let fault_simulate c ~vectors ~faults =
+   fault dropping: the vector set is packed once, the good machine is
+   shared across all faults ({!Fault_sim.good_values}), and fault
+   chunks are distributed over a [Domain] pool. *)
+let fault_simulate ?(domains = 1) ?metrics c ~vectors ~faults =
   let module P = Iddq_patterns.Parallel_sim in
+  let module Metrics = Iddq_util.Metrics in
   let fault_arr = Array.of_list faults in
   let nf = Array.length fault_arr in
   let first_vector = Array.make nf (-1) in
-  let live = ref nf in
-  let nv = Array.length vectors in
-  let lowest_bit word =
-    let rec scan k =
-      if k >= 64 then assert false
-      else if Int64.logand (Int64.shift_right_logical word k) 1L = 1L then k
-      else scan (k + 1)
-    in
-    scan 0
-  in
-  let start = ref 0 in
-  while !live > 0 && !start < nv do
-    let packed = P.pack vectors ~start:!start in
-    let mask = P.active_mask vectors ~start:!start in
-    let good = P.eval c packed in
-    Array.iteri
-      (fun f fault ->
-        if first_vector.(f) < 0 then begin
-          let bad =
-            match fault with
-            | Stem (node, value) -> P.eval_with_stuck_node c ~node ~value packed
-            | Pin { gate; pin; value } ->
-              P.eval_with_stuck_pin c ~gate ~pin ~value packed
-          in
-          let diff = Int64.logand (P.output_diff c good bad) mask in
-          if diff <> 0L then begin
-            first_vector.(f) <- !start + lowest_bit diff;
-            decr live
+  let packed = P.pack_all vectors in
+  let nb = P.num_blocks packed in
+  let goods = Fault_sim.good_values ~domains ?metrics c packed in
+  Fault_sim.parallel_ranges ~domains nf (fun lo hi ->
+      let fault_blocks = ref 0 and dropped = ref 0 in
+      for f = lo to hi - 1 do
+        let fault = fault_arr.(f) in
+        (* dropping: stop at the first detecting block *)
+        let rec scan b =
+          if b < nb then begin
+            incr fault_blocks;
+            let words = P.block packed b in
+            let bad =
+              match fault with
+              | Stem (node, value) -> P.eval_with_stuck_node c ~node ~value words
+              | Pin { gate; pin; value } ->
+                P.eval_with_stuck_pin c ~gate ~pin ~value words
+            in
+            let diff =
+              Int64.logand (P.output_diff c goods.(b) bad) (P.block_mask packed b)
+            in
+            if diff <> 0L then begin
+              first_vector.(f) <- (b * 64) + Iddq_util.Bitvec.ctz64 diff;
+              incr dropped
+            end
+            else scan (b + 1)
           end
-        end)
-      fault_arr;
-    start := !start + 64
-  done;
-  let detected = nf - !live in
+        in
+        scan 0
+      done;
+      Option.iter
+        (fun m ->
+          Metrics.record_fault_sim m ~blocks:0 ~fault_blocks:!fault_blocks
+            ~dropped:!dropped)
+        metrics);
+  let detected =
+    Array.fold_left (fun acc v -> if v >= 0 then acc + 1 else acc) 0 first_vector
+  in
   {
     total = nf;
     detected;
@@ -135,6 +142,6 @@ let fault_simulate c ~vectors ~faults =
     first_vector;
   }
 
-let undetected c ~vectors ~faults =
-  let r = fault_simulate c ~vectors ~faults in
+let undetected ?domains ?metrics c ~vectors ~faults =
+  let r = fault_simulate ?domains ?metrics c ~vectors ~faults in
   List.filteri (fun f _ -> r.first_vector.(f) < 0) faults

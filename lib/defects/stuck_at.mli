@@ -42,9 +42,21 @@ type sim_result = {
 }
 
 val fault_simulate :
-  Iddq_netlist.Circuit.t -> vectors:bool array array -> faults:fault list -> sim_result
-(** Serial fault simulation with fault dropping (a detected fault is
-    not re-simulated). *)
+  ?domains:int ->
+  ?metrics:Iddq_util.Metrics.t ->
+  Iddq_netlist.Circuit.t ->
+  vectors:bool array array ->
+  faults:fault list ->
+  sim_result
+(** 64-way bit-parallel serial fault simulation with fault dropping (a
+    detected fault is not re-simulated): vectors packed once, the good
+    machine shared across faults, fault chunks over [domains] (default
+    1) [Domain]s. *)
 
 val undetected :
-  Iddq_netlist.Circuit.t -> vectors:bool array array -> faults:fault list -> fault list
+  ?domains:int ->
+  ?metrics:Iddq_util.Metrics.t ->
+  Iddq_netlist.Circuit.t ->
+  vectors:bool array array ->
+  faults:fault list ->
+  fault list

@@ -92,6 +92,9 @@ let metrics_table (s : Iddq_util.Metrics.snapshot) =
         ("gate work delta", Table.Right);
         ("eval-equivalents", Table.Right);
         ("speedup", Table.Right);
+        ("sim blocks", Table.Right);
+        ("sim fault-blocks", Table.Right);
+        ("sim dropped", Table.Right);
       ]
   in
   Table.add_row t
@@ -105,6 +108,9 @@ let metrics_table (s : Iddq_util.Metrics.snapshot) =
       string_of_int s.Iddq_util.Metrics.gates_delta;
       Printf.sprintf "%.1f" (Iddq_util.Metrics.equivalent_evals s);
       Printf.sprintf "%.1fx" (Iddq_util.Metrics.speedup s);
+      string_of_int s.Iddq_util.Metrics.sim_blocks;
+      string_of_int s.Iddq_util.Metrics.sim_fault_blocks;
+      string_of_int s.Iddq_util.Metrics.sim_faults_dropped;
     ];
   t
 

@@ -27,7 +27,34 @@ let active_mask vectors ~start =
   if count = 64 then Int64.minus_one
   else Int64.sub (Int64.shift_left 1L count) 1L
 
+type packed = {
+  n_vectors : int;
+  blocks : int64 array array; (* block -> one word per circuit input *)
+  masks : int64 array; (* block -> bits backed by real vectors *)
+}
+
+let pack_all vectors =
+  let n = Array.length vectors in
+  let n_blocks = (n + 63) / 64 in
+  {
+    n_vectors = n;
+    blocks = Array.init n_blocks (fun b -> pack vectors ~start:(b * 64));
+    masks = Array.init n_blocks (fun b -> active_mask vectors ~start:(b * 64));
+  }
+
+let n_vectors p = p.n_vectors
+let num_blocks p = Array.length p.blocks
+let block p b = p.blocks.(b)
+let block_mask p b = p.masks.(b)
+
 let eval_word kind words =
+  (* An [And]/[Nand] fold over zero fanins would silently yield
+     all-ones (and [Or]/[Nor] all-zeros): reject bad arities exactly
+     like the scalar [Gate.eval]. *)
+  if not (Gate.arity_ok kind (Array.length words)) then
+    invalid_arg
+      (Printf.sprintf "Parallel_sim.eval_word: %s with %d inputs"
+         (Gate.to_string kind) (Array.length words));
   let fold f init = Array.fold_left f init words in
   match kind with
   | Gate.And -> fold Int64.logand Int64.minus_one

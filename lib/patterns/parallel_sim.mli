@@ -24,6 +24,35 @@ val active_mask : bool array array -> start:int -> int64
     except at the tail; [0L] for an empty block — same [start] range
     as {!pack}). *)
 
+(** {1 Whole-set packing}
+
+    Fault simulation re-reads the same vector set once per fault (or
+    per fault chunk); packing it {e once} into blocks amortizes the
+    bit transposition across every fault and every [Domain]. *)
+
+type packed
+(** An immutable vector set packed into 64-wide blocks. *)
+
+val pack_all : bool array array -> packed
+(** Pack the whole set: block [b] holds vectors [64b .. 64b+63].
+    Raises [Invalid_argument] on inconsistent vector widths.  An empty
+    set packs to zero blocks. *)
+
+val n_vectors : packed -> int
+val num_blocks : packed -> int
+
+val block : packed -> int -> int64 array
+(** The packed input words of one block ({!pack} of its range).  The
+    returned array must not be mutated. *)
+
+val block_mask : packed -> int -> int64
+(** {!active_mask} of the block: all-ones except at the tail. *)
+
+val eval_word : Iddq_netlist.Gate.kind -> int64 array -> int64
+(** One gate over packed fanin words.  Raises [Invalid_argument] when
+    the word count violates the gate's arity (in particular zero
+    fanins, which a silent fold would turn into a constant). *)
+
 val eval : Iddq_netlist.Circuit.t -> int64 array -> int64 array
 (** [eval c packed_inputs] returns one word per node.  The input array
     must have [num_inputs] words. *)

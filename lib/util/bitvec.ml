@@ -1,0 +1,101 @@
+type t = { len : int; words : int64 array }
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create: negative length";
+  { len; words = Array.make ((len + 63) / 64) 0L }
+
+let length t = t.len
+let copy t = { t with words = Array.copy t.words }
+let num_words t = Array.length t.words
+
+let check_index t i op =
+  if i < 0 || i >= t.len then invalid_arg ("Bitvec." ^ op ^ ": index out of range")
+
+let get t i =
+  check_index t i "get";
+  Int64.logand (Int64.shift_right_logical t.words.(i / 64) (i land 63)) 1L = 1L
+
+let set t i =
+  check_index t i "set";
+  t.words.(i / 64) <-
+    Int64.logor t.words.(i / 64) (Int64.shift_left 1L (i land 63))
+
+(* Bits of the last word at index >= len, as a clearing mask. *)
+let tail_mask t =
+  let used = t.len land 63 in
+  if used = 0 then Int64.minus_one
+  else Int64.sub (Int64.shift_left 1L used) 1L
+
+let word t w = t.words.(w)
+
+let set_word t w bits =
+  let bits =
+    if w = Array.length t.words - 1 then Int64.logand bits (tail_mask t)
+    else bits
+  in
+  t.words.(w) <- bits
+
+let popcount64 x =
+  let open Int64 in
+  let m1 = 0x5555555555555555L in
+  let m2 = 0x3333333333333333L in
+  let m4 = 0x0F0F0F0F0F0F0F0FL in
+  let x = sub x (logand (shift_right_logical x 1) m1) in
+  let x = add (logand x m2) (logand (shift_right_logical x 2) m2) in
+  let x = logand (add x (shift_right_logical x 4)) m4 in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+let ctz64 x =
+  if x = 0L then 64
+  else popcount64 (Int64.sub (Int64.logand x (Int64.neg x)) 1L)
+
+let count t = Array.fold_left (fun acc w -> acc + popcount64 w) 0 t.words
+let is_empty t = Array.for_all (fun w -> w = 0L) t.words
+
+let first_set t =
+  let n = Array.length t.words in
+  let rec scan w =
+    if w >= n then -1
+    else if t.words.(w) = 0L then scan (w + 1)
+    else (w * 64) + ctz64 t.words.(w)
+  in
+  scan 0
+
+let equal a b = a.len = b.len && a.words = b.words
+
+let check_lengths a b op =
+  if a.len <> b.len then invalid_arg ("Bitvec." ^ op ^ ": length mismatch")
+
+let inter_count a b =
+  check_lengths a b "inter_count";
+  let acc = ref 0 in
+  for w = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount64 (Int64.logand a.words.(w) b.words.(w))
+  done;
+  !acc
+
+let intersects a b =
+  check_lengths a b "intersects";
+  let n = Array.length a.words in
+  let rec scan w =
+    w < n
+    && (Int64.logand a.words.(w) b.words.(w) <> 0L || scan (w + 1))
+  in
+  scan 0
+
+let diff_inplace a b =
+  check_lengths a b "diff_inplace";
+  for w = 0 to Array.length a.words - 1 do
+    a.words.(w) <- Int64.logand a.words.(w) (Int64.lognot b.words.(w))
+  done
+
+let iter_set t f =
+  Array.iteri
+    (fun w bits ->
+      let bits = ref bits in
+      while !bits <> 0L do
+        let k = ctz64 !bits in
+        f ((w * 64) + k);
+        bits := Int64.logand !bits (Int64.sub !bits 1L)
+      done)
+    t.words

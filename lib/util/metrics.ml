@@ -7,6 +7,9 @@ type t = {
   gates_delta : int Atomic.t;
   seconds_full : float Atomic.t;
   seconds_delta : float Atomic.t;
+  sim_blocks : int Atomic.t;
+  sim_fault_blocks : int Atomic.t;
+  sim_faults_dropped : int Atomic.t;
 }
 
 let create () =
@@ -19,6 +22,9 @@ let create () =
     gates_delta = Atomic.make 0;
     seconds_full = Atomic.make 0.0;
     seconds_delta = Atomic.make 0.0;
+    sim_blocks = Atomic.make 0;
+    sim_fault_blocks = Atomic.make 0;
+    sim_faults_dropped = Atomic.make 0;
   }
 
 let global = create ()
@@ -41,6 +47,11 @@ let record_delta t ~gates ~seconds =
 let record_hit t = ignore (Atomic.fetch_and_add t.cache_hits 1)
 let record_move t = ignore (Atomic.fetch_and_add t.moves 1)
 
+let record_fault_sim t ~blocks ~fault_blocks ~dropped =
+  ignore (Atomic.fetch_and_add t.sim_blocks blocks);
+  ignore (Atomic.fetch_and_add t.sim_fault_blocks fault_blocks);
+  ignore (Atomic.fetch_and_add t.sim_faults_dropped dropped)
+
 type snapshot = {
   full_evals : int;
   delta_evals : int;
@@ -50,6 +61,9 @@ type snapshot = {
   gates_delta : int;
   seconds_full : float;
   seconds_delta : float;
+  sim_blocks : int;
+  sim_fault_blocks : int;
+  sim_faults_dropped : int;
 }
 
 let snapshot (t : t) =
@@ -62,6 +76,9 @@ let snapshot (t : t) =
     gates_delta = Atomic.get t.gates_delta;
     seconds_full = Atomic.get t.seconds_full;
     seconds_delta = Atomic.get t.seconds_delta;
+    sim_blocks = Atomic.get t.sim_blocks;
+    sim_fault_blocks = Atomic.get t.sim_fault_blocks;
+    sim_faults_dropped = Atomic.get t.sim_faults_dropped;
   }
 
 let reset (t : t) =
@@ -72,7 +89,10 @@ let reset (t : t) =
   Atomic.set t.gates_full 0;
   Atomic.set t.gates_delta 0;
   Atomic.set t.seconds_full 0.0;
-  Atomic.set t.seconds_delta 0.0
+  Atomic.set t.seconds_delta 0.0;
+  Atomic.set t.sim_blocks 0;
+  Atomic.set t.sim_fault_blocks 0;
+  Atomic.set t.sim_faults_dropped 0
 
 let diff after before =
   {
@@ -84,6 +104,9 @@ let diff after before =
     gates_delta = after.gates_delta - before.gates_delta;
     seconds_full = after.seconds_full -. before.seconds_full;
     seconds_delta = after.seconds_delta -. before.seconds_delta;
+    sim_blocks = after.sim_blocks - before.sim_blocks;
+    sim_fault_blocks = after.sim_fault_blocks - before.sim_fault_blocks;
+    sim_faults_dropped = after.sim_faults_dropped - before.sim_faults_dropped;
   }
 
 let evaluations s = s.full_evals + s.delta_evals + s.cache_hits
@@ -106,7 +129,7 @@ let pp fmt s =
   Format.fprintf fmt
     "evaluations=%d (full=%d delta=%d cached=%d) moves=%d@ gate recomputes: \
      full=%d delta=%d@ evaluate-equivalents=%.1f (%.1fx fewer than naive)@ cpu: \
-     full=%.3fs delta=%.3fs"
+     full=%.3fs delta=%.3fs@ fault sim: blocks=%d fault-blocks=%d dropped=%d"
     (evaluations s) s.full_evals s.delta_evals s.cache_hits s.moves s.gates_full
     s.gates_delta (equivalent_evals s) (speedup s) s.seconds_full
-    s.seconds_delta
+    s.seconds_delta s.sim_blocks s.sim_fault_blocks s.sim_faults_dropped

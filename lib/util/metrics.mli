@@ -39,6 +39,12 @@ val record_hit : t -> unit
 val record_move : t -> unit
 (** One gate move applied through an incremental evaluator. *)
 
+val record_fault_sim : t -> blocks:int -> fault_blocks:int -> dropped:int -> unit
+(** One packed fault-simulation run ([Iddq_defects.Fault_sim]):
+    [blocks] good-machine 64-vector block evaluations, [fault_blocks]
+    per-fault word-operation block passes, and [dropped] faults
+    removed from further simulation by fault dropping. *)
+
 (** {1 Snapshots} *)
 
 type snapshot = {
@@ -54,6 +60,15 @@ type snapshot = {
           evaluations. *)
   seconds_full : float;  (** CPU seconds spent in full evaluations. *)
   seconds_delta : float;  (** CPU seconds spent in delta evaluations. *)
+  sim_blocks : int;
+      (** Good-machine 64-vector blocks evaluated by the packed fault
+          simulator. *)
+  sim_fault_blocks : int;
+      (** Per-fault block passes (word operations) performed by the
+          packed fault simulator. *)
+  sim_faults_dropped : int;
+      (** Faults dropped (detected, never re-simulated) by the packed
+          fault simulator. *)
 }
 
 val snapshot : t -> snapshot

@@ -99,6 +99,29 @@ let test_fault_simulate_matches_scalar_detects () =
         r.Stuck_at.first_vector.(f))
     faults
 
+let test_zero_fanin_rejected () =
+  (* an And/Nand fold over zero fanins would silently yield
+     all-ones/all-zeros; both evaluators must raise instead *)
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  let module Gate = Iddq_netlist.Gate in
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Printf.sprintf "eval_word %s [||] rejected" (Gate.to_string kind))
+        true
+        (raises (fun () -> P.eval_word kind [||]));
+      Alcotest.(check bool)
+        (Printf.sprintf "Gate.eval %s [||] rejected" (Gate.to_string kind))
+        true
+        (raises (fun () -> Gate.eval kind [||])))
+    Gate.all_kinds;
+  (* unary gates with two words are just as invalid *)
+  Alcotest.(check bool) "binary NOT rejected" true
+    (raises (fun () -> P.eval_word Iddq_netlist.Gate.Not [| 0L; 1L |]));
+  (* valid arities still work *)
+  Alcotest.(check int64) "and word" 4L
+    (P.eval_word Iddq_netlist.Gate.And [| 6L; 12L |])
+
 let qcheck_parallel_equals_scalar =
   QCheck.Test.make ~name:"64-way eval equals scalar eval" ~count:20
     QCheck.(triple (int_range 10 60) (int_range 1 100000) (int_range 0 1000))
@@ -116,6 +139,42 @@ let qcheck_parallel_equals_scalar =
         let scalar = Logic_sim.eval c vectors.(k) in
         for id = 0 to Circuit.num_nodes c - 1 do
           if scalar.(id) <> bit words.(id) k then ok := false
+        done
+      done;
+      !ok)
+
+(* The satellite property: a packed whole-set evaluation agrees
+   bit-for-bit with the scalar simulator on random circuits and random
+   vector counts — in particular across the final partial (<64) block —
+   and the active mask covers exactly the real vectors. *)
+let qcheck_partial_blocks_equal_scalar =
+  QCheck.Test.make ~name:"pack_all eval equals scalar incl. partial block"
+    ~count:25
+    QCheck.(triple (int_range 10 80) (int_range 1 100000) (int_range 1 150))
+    (fun (gates, seed, nv) ->
+      let rng = Rng.create seed in
+      let c =
+        Generator.layered_dag ~rng ~name:"q" ~num_inputs:6 ~num_outputs:3
+          ~num_gates:gates ~depth:(1 + (gates / 8)) ()
+      in
+      let vectors = Pattern_gen.random ~rng c ~count:nv in
+      let packed = P.pack_all vectors in
+      let ok = ref true in
+      if P.n_vectors packed <> nv then ok := false;
+      if P.num_blocks packed <> (nv + 63) / 64 then ok := false;
+      for b = 0 to P.num_blocks packed - 1 do
+        let count = Stdlib.min 64 (nv - (b * 64)) in
+        let expected_mask =
+          if count = 64 then Int64.minus_one
+          else Int64.sub (Int64.shift_left 1L count) 1L
+        in
+        if P.block_mask packed b <> expected_mask then ok := false;
+        let words = P.eval c (P.block packed b) in
+        for k = 0 to count - 1 do
+          let scalar = Logic_sim.eval c vectors.((b * 64) + k) in
+          for id = 0 to Circuit.num_nodes c - 1 do
+            if scalar.(id) <> bit words.(id) k then ok := false
+          done
         done
       done;
       !ok)
@@ -157,7 +216,9 @@ let tests =
     Alcotest.test_case "stuck pin matches scalar" `Quick
       test_stuck_pin_matches_scalar;
     Alcotest.test_case "output diff" `Quick test_output_diff;
+    Alcotest.test_case "zero-fanin rejected" `Quick test_zero_fanin_rejected;
     Alcotest.test_case "fault sim matches scalar" `Quick
       test_fault_simulate_matches_scalar_detects;
     QCheck_alcotest.to_alcotest qcheck_parallel_equals_scalar;
+    QCheck_alcotest.to_alcotest qcheck_partial_blocks_equal_scalar;
   ]
