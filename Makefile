@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke campaign-smoke faultsim-smoke ci examples doc clean
+.PHONY: all build test bench bench-quick bench-smoke campaign-smoke faultsim-smoke fuzz-smoke ci examples doc clean
 
 all: build
 
@@ -47,9 +47,18 @@ faultsim-smoke:
 	dune exec bench/main.exe -- faultsim | grep -q "PASS >= 10x"
 	@echo "faultsim-smoke: packed engine >= 10x, matrices identical - PASS"
 
+# Bounded mutation-fuzz pass (fixed seed): >= 10k corrupted variants
+# of valid files through all five parsers plus the JSONL store; every
+# outcome must be Ok/Error -- no exception, no descriptor leak
+# (seconds).
+fuzz-smoke:
+	dune exec fuzz/fuzz_main.exe -- --iterations 1500 --seed 62498 \
+	  | grep -q "fuzz-smoke: PASS"
+	@echo "fuzz-smoke: no crashes, no fd leaks - PASS"
+
 # What a per-PR check runs: build, tests, evaluation-count smoke,
-# campaign resume smoke, packed fault-sim speedup gate.
-ci: build test bench-smoke campaign-smoke faultsim-smoke
+# campaign resume smoke, packed fault-sim speedup gate, mutation fuzz.
+ci: build test bench-smoke campaign-smoke faultsim-smoke fuzz-smoke
 
 examples:
 	dune exec examples/quickstart.exe

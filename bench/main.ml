@@ -1291,11 +1291,11 @@ let run_faultsim () =
         ("pass", Json.Bool !all_pass);
       ]
   in
-  let oc = open_out faultsim_json in
-  output_string oc (Json.to_string doc);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "\nwrote %s\n" faultsim_json;
+  (match Iddq_util.Io.write_file_atomic faultsim_json (Json.to_string doc ^ "\n") with
+  | Ok () -> Printf.printf "\nwrote %s\n" faultsim_json
+  | Error e ->
+    Printf.printf "\nFAILED writing %s: %s\n" faultsim_json
+      (Iddq_util.Io_error.to_string e));
   Printf.printf "faultsim: min speedup %.1fx on >=1k-gate circuits -> %s\n"
     (if !min_speedup = infinity then 0.0 else !min_speedup)
     (if !all_pass then "PASS >= 10x, matrices identical"
@@ -1326,7 +1326,12 @@ let run_campaign () =
       max_generations = Some bench_es_params.Es.max_generations;
     }
   in
-  let store = Store.open_ campaign_store in
+  let store =
+    match Store.open_ campaign_store with
+    | Ok s -> s
+    | Error e ->
+      failwith ("campaign store: " ^ Iddq_util.Io_error.to_string e)
+  in
   let total = List.length (Spec.jobs spec) in
   if Store.dropped store > 0 then
     Printf.printf "note: skipped %d corrupt line(s) in %s\n%!"

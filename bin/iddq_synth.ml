@@ -9,6 +9,7 @@
 
 module Circuit = Iddq_netlist.Circuit
 module Bench_io = Iddq_netlist.Bench_io
+module Io_error = Iddq_util.Io_error
 module Iscas = Iddq_netlist.Iscas
 module Generator = Iddq_netlist.Generator
 module Partition = Iddq_core.Partition
@@ -27,7 +28,8 @@ let load_circuit ~circuit ~bench =
         (Printf.sprintf "unknown circuit %S (try %s)" name
            (String.concat ", " Iscas.names))
   end
-  | None, Some path -> Bench_io.parse_file path
+  | None, Some path ->
+    Result.map_error Io_error.to_string (Bench_io.parse_file path)
   | Some _, Some _ -> Error "give either --circuit or --bench, not both"
   | None, None -> Error "a circuit is required: --circuit NAME or --bench FILE"
 
@@ -80,7 +82,7 @@ let load_library = function
     match Iddq_celllib.Library_io.parse_file path with
     | Ok lib -> lib
     | Error e ->
-      Format.eprintf "error loading library %s: %s@." path e;
+      Format.eprintf "error loading library: %s@." (Io_error.to_string e);
       exit 1
   end
 
@@ -146,16 +148,23 @@ let partition_cmd =
         end
         else result.Pipeline.partition
       in
+      let write_or_die what = function
+        | Ok () -> ()
+        | Error e ->
+          exit_err (Printf.sprintf "writing %s: %s" what (Io_error.to_string e))
+      in
       Option.iter
         (fun path ->
-          Iddq_netlist.Dot.write_file
-            ~module_of_gate:(Partition.module_of_gate final_partition)
-            path c;
+          write_or_die "DOT"
+            (Iddq_netlist.Dot.write_file
+               ~module_of_gate:(Partition.module_of_gate final_partition)
+               path c);
           Format.printf "wrote DOT to %s@." path)
         dot;
       Option.iter
         (fun path ->
-          Iddq_core.Partition_io.write_file path final_partition;
+          write_or_die "partition"
+            (Iddq_core.Partition_io.write_file path final_partition);
           Format.printf "wrote partition to %s@." path)
         save
   in
@@ -293,8 +302,13 @@ let atpg_cmd =
         r.Iddq_atpg.Podem.untestable r.Iddq_atpg.Podem.aborted;
       Option.iter
         (fun path ->
-          Iddq_patterns.Pattern_io.write_file path r.Iddq_atpg.Podem.vectors;
-          Format.printf "wrote vectors to %s@." path)
+          match
+            Iddq_patterns.Pattern_io.write_file path r.Iddq_atpg.Podem.vectors
+          with
+          | Ok () -> Format.printf "wrote vectors to %s@." path
+          | Error e ->
+            exit_err
+              (Printf.sprintf "writing vectors: %s" (Io_error.to_string e)))
         out
   in
   Cmd.v
@@ -310,8 +324,11 @@ let dump_library_cmd =
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Destination library file.")
   in
   let run out =
-    Iddq_celllib.Library_io.write_file out Iddq_celllib.Library.default;
-    Format.printf "wrote the default library to %s (edit and pass back with --library)@." out
+    match Iddq_celllib.Library_io.write_file out Iddq_celllib.Library.default with
+    | Error e ->
+      exit_err (Printf.sprintf "writing library: %s" (Io_error.to_string e))
+    | Ok () ->
+      Format.printf "wrote the default library to %s (edit and pass back with --library)@." out
   in
   Cmd.v
     (Cmd.info "dump-library"
@@ -342,8 +359,11 @@ let generate_cmd =
       Generator.layered_dag ~rng ~name:(Filename.remove_extension (Filename.basename out))
         ~num_inputs:inputs ~num_outputs:outputs ~num_gates:gates ~depth ()
     in
-    Bench_io.write_file out c;
-    Format.printf "wrote %s: %a@." out Circuit.pp_stats (Circuit.stats c)
+    match Bench_io.write_file out c with
+    | Error e ->
+      exit_err (Printf.sprintf "writing netlist: %s" (Io_error.to_string e))
+    | Ok () ->
+      Format.printf "wrote %s: %a@." out Circuit.pp_stats (Circuit.stats c)
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a random layered netlist as .bench.")
@@ -433,7 +453,8 @@ let campaign_cmd =
     let* base =
       match spec_file with
       | None -> Ok Spec.default
-      | Some path -> Spec.parse_file path
+      | Some path ->
+        Result.map_error Io_error.to_string (Spec.parse_file path)
     in
     let* circuits =
       parse_csv (fun s -> Some (String.uppercase_ascii s)) "circuit" circuits
@@ -469,7 +490,12 @@ let campaign_cmd =
     | Error e -> exit_err e
     | Ok spec ->
       if fresh && Sys.file_exists out then Sys.remove out;
-      let store = Store.open_ out in
+      let store =
+        match Store.open_ out with
+        | Ok s -> s
+        | Error e ->
+          exit_err (Printf.sprintf "opening store: %s" (Io_error.to_string e))
+      in
       if Store.dropped store > 0 then
         Format.printf
           "note: %d corrupt line(s) in %s ignored (interrupted write)@."

@@ -1,0 +1,22 @@
+(* make fuzz-smoke: bounded, fixed-seed mutation-fuzz pass over all
+   persistence front-ends.  Exit 0 and print PASS iff every mutated
+   input produced Ok/Error (no exceptions) and no descriptor leaked. *)
+
+let () =
+  let iterations = ref 1500 in
+  let seed = ref 0xF422 in
+  Arg.parse
+    [
+      ("--iterations", Arg.Set_int iterations,
+       "N mutated inputs per target (default 1500)");
+      ("--seed", Arg.Set_int seed, "N fuzz RNG seed (default 0xF422)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "fuzz_main [--iterations N] [--seed N]";
+  let report = Iddq_fuzz.Harness.run ~seed:!seed ~iterations_per_target:!iterations () in
+  Iddq_fuzz.Harness.pp_report stdout report;
+  if Iddq_fuzz.Harness.passed report then print_endline "fuzz-smoke: PASS"
+  else begin
+    print_endline "fuzz-smoke: FAIL";
+    exit 1
+  end

@@ -1,0 +1,218 @@
+(* Mutation-fuzz harness for the persistence boundary.
+
+   Every front-end parser plus the JSONL store is driven with
+   thousands of corrupted variants of valid files.  The contract under
+   test is the Error contract of the robustness layer: every outcome
+   is [Ok] or [Error] — never an escaped exception — and no file
+   descriptor leaks, measured by comparing the /proc/self/fd
+   population before and after the run. *)
+
+module Rng = Iddq_util.Rng
+module Io = Iddq_util.Io
+module Bench_io = Iddq_netlist.Bench_io
+module Verilog_io = Iddq_netlist.Verilog_io
+module Generator = Iddq_netlist.Generator
+module Iscas = Iddq_netlist.Iscas
+module Library = Iddq_celllib.Library
+module Library_io = Iddq_celllib.Library_io
+module Charac = Iddq_analysis.Charac
+module Partition = Iddq_core.Partition
+module Partition_io = Iddq_core.Partition_io
+module Pattern_io = Iddq_patterns.Pattern_io
+module Spec = Iddq_campaign.Spec
+module Store = Iddq_campaign.Store
+module Job_result = Iddq_campaign.Job_result
+
+type target = {
+  name : string;
+  corpus : string list;  (** Valid documents the mutations start from. *)
+  parse : string -> bool;  (** [true] on [Ok]; must never raise. *)
+  parse_path : (string -> bool) option;
+      (** File-based variant, exercised on a temp file every few
+          iterations to cover the descriptor-handling paths. *)
+}
+
+type crash = { target : string; exn : string; input : string }
+
+type report = {
+  total : int;
+  oks : int;
+  errors : int;
+  crashes : crash list;
+  fd_before : int option;
+  fd_after : int option;
+}
+
+let passed r =
+  r.crashes = []
+  &&
+  match r.fd_before, r.fd_after with
+  | Some a, Some b -> a = b
+  | _ -> true (* no /proc: descriptor accounting unavailable *)
+
+(* ------------------------------------------------------------------ *)
+(* Targets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let circuit_corpus () =
+  let gen ~gates ~seed =
+    let rng = Rng.create seed in
+    Generator.layered_dag ~rng ~name:"fuzz" ~num_inputs:6 ~num_outputs:3
+      ~num_gates:gates ~depth:(1 + (gates / 8)) ()
+  in
+  [ Iscas.c17 (); gen ~gates:24 ~seed:11; gen ~gates:60 ~seed:12 ]
+
+let ok b = match b with Ok _ -> true | Error _ -> false
+
+let targets () =
+  let circuits = circuit_corpus () in
+  let c17 = Iscas.c17 () in
+  let ch = Charac.make ~library:Library.default c17 in
+  let partition =
+    Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |]
+  in
+  let vec_rng = Rng.create 13 in
+  let vectors =
+    Array.init 24 (fun _ -> Array.init 5 (fun _ -> Rng.bool vec_rng))
+  in
+  let record =
+    let job = List.hd (Spec.jobs { Spec.default with Spec.circuits = [ "C17" ] }) in
+    let metrics = Iddq_util.Metrics.(snapshot (create ())) in
+    Job_result.failure ~job ~derived_seed:7 ~elapsed:0.5 ~metrics "fuzz seed"
+  in
+  let record_line = Job_result.to_line record in
+  [
+    {
+      name = "bench";
+      corpus = List.map Bench_io.to_string circuits;
+      parse = (fun s -> ok (Bench_io.parse_string s));
+      parse_path = Some (fun p -> ok (Bench_io.parse_file p));
+    };
+    {
+      name = "verilog";
+      corpus = List.map Verilog_io.to_string circuits;
+      parse = (fun s -> ok (Verilog_io.parse_string s));
+      parse_path = Some (fun p -> ok (Verilog_io.parse_file p));
+    };
+    {
+      name = "library";
+      corpus = [ Library_io.to_string Library.default ];
+      parse = (fun s -> ok (Library_io.parse_string s));
+      parse_path = Some (fun p -> ok (Library_io.parse_file p));
+    };
+    {
+      name = "pattern";
+      corpus = [ Pattern_io.to_string vectors ];
+      parse = (fun s -> ok (Pattern_io.of_string ~expected_width:5 s));
+      parse_path = Some (fun p -> ok (Pattern_io.read_file ~expected_width:5 p));
+    };
+    {
+      name = "partition";
+      corpus = [ Partition_io.to_string partition ];
+      parse = (fun s -> ok (Partition_io.of_string ch s));
+      parse_path = Some (fun p -> ok (Partition_io.read_file ch p));
+    };
+    {
+      name = "spec";
+      corpus = [ Spec.to_string Spec.default ];
+      parse = (fun s -> ok (Spec.parse s));
+      parse_path = Some (fun p -> ok (Spec.parse_file p));
+    };
+    {
+      name = "jsonl-store";
+      corpus =
+        [ record_line ^ "\n" ^ record_line ^ "\n" ^ record_line ^ "\n" ];
+      parse = (fun s -> ok (Job_result.of_line s));
+      parse_path =
+        Some
+          (fun p ->
+            match Store.open_ p with
+            | Ok s ->
+              (* a store over arbitrary bytes must still load (corrupt
+                 lines drop) and take appends *)
+              Store.append s record;
+              Store.close s;
+              true
+            | Error _ -> false);
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(seed = 0xF422) ~iterations_per_target () =
+  let fd_before = Io.open_fd_count () in
+  let rng = Rng.create seed in
+  let tmp = Filename.temp_file "iddq-fuzz" ".bin" in
+  let total = ref 0 and oks = ref 0 and errors = ref 0 in
+  let crashes = ref [] in
+  let preview s =
+    let s = if String.length s > 60 then String.sub s 0 60 ^ "..." else s in
+    String.escaped s
+  in
+  List.iter
+    (fun t ->
+      List.iteri
+        (fun i valid ->
+          let n = iterations_per_target / List.length t.corpus in
+          let n = if i = 0 then n + (iterations_per_target mod List.length t.corpus) else n in
+          let current = ref valid in
+          for step = 1 to n do
+            let input = Mutate.mutate rng ~corpus:t.corpus !current in
+            (* keep a drifting current so later mutations stack *)
+            if Rng.int rng 3 = 0 then current := input;
+            incr total;
+            (match t.parse input with
+            | true -> incr oks
+            | false -> incr errors
+            | exception e ->
+              crashes :=
+                { target = t.name; exn = Printexc.to_string e;
+                  input = preview input }
+                :: !crashes);
+            match t.parse_path with
+            | Some parse_path when step mod 5 = 0 -> begin
+              (match Io.write_file_atomic tmp input with
+              | Ok () -> ()
+              | Error e -> failwith (Iddq_util.Io_error.to_string e));
+              incr total;
+              match parse_path tmp with
+              | true -> incr oks
+              | false -> incr errors
+              | exception e ->
+                crashes :=
+                  { target = t.name ^ "(file)"; exn = Printexc.to_string e;
+                    input = preview input }
+                  :: !crashes
+            end
+            | _ -> ()
+          done)
+        t.corpus)
+    (targets ());
+  (try Sys.remove tmp with Sys_error _ -> ());
+  let fd_after = Io.open_fd_count () in
+  {
+    total = !total;
+    oks = !oks;
+    errors = !errors;
+    crashes = List.rev !crashes;
+    fd_before;
+    fd_after;
+  }
+
+let pp_report out r =
+  Printf.fprintf out
+    "fuzz: %d mutated inputs -> %d Ok, %d Error, %d escaped exception(s); \
+     descriptors %s\n"
+    r.total r.oks r.errors
+    (List.length r.crashes)
+    (match r.fd_before, r.fd_after with
+    | Some a, Some b when a = b -> Printf.sprintf "stable (%d)" a
+    | Some a, Some b -> Printf.sprintf "LEAKED (%d -> %d)" a b
+    | _ -> "not measurable");
+  List.iter
+    (fun c ->
+      Printf.fprintf out "  CRASH %-12s %s\n    input: \"%s\"\n" c.target c.exn
+        c.input)
+    r.crashes

@@ -1,0 +1,43 @@
+(* Byte-level corruptions of valid files: each operator models one way
+   an artifact goes bad in the field — a torn write (truncate), media
+   or transfer damage (flip, noise), and a botched concatenation or
+   partial overwrite (splice). *)
+
+module Rng = Iddq_util.Rng
+
+let truncate rng s =
+  if s = "" then s else String.sub s 0 (Rng.int rng (String.length s))
+
+let flip rng s =
+  if s = "" then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Rng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Rng.int rng 256));
+    Bytes.to_string b
+  end
+
+let splice rng a b =
+  let cut s = if s = "" then 0 else Rng.int rng (String.length s + 1) in
+  let i = cut a and j = cut b in
+  String.sub a 0 i ^ String.sub b j (String.length b - j)
+
+let insert rng s =
+  let n = 1 + Rng.int rng 8 in
+  let noise = String.init n (fun _ -> Char.chr (Rng.int rng 256)) in
+  let i = if s = "" then 0 else Rng.int rng (String.length s + 1) in
+  String.sub s 0 i ^ noise ^ String.sub s i (String.length s - i)
+
+(* One random corruption of [s]; [corpus] supplies the second parent
+   for splices.  Occasionally composes two operators so mutations
+   drift further from the valid corpus over time. *)
+let mutate rng ~corpus s =
+  let one s =
+    match Rng.int rng 4 with
+    | 0 -> truncate rng s
+    | 1 -> flip rng s
+    | 2 -> splice rng s (Rng.choose_list rng corpus)
+    | _ -> insert rng s
+  in
+  let m = one s in
+  if Rng.int rng 4 = 0 then one m else m

@@ -1,4 +1,6 @@
 module Pipeline = Iddq.Pipeline
+module Io = Iddq_util.Io
+module Io_error = Iddq_util.Io_error
 
 type t = {
   circuits : string list;
@@ -173,12 +175,12 @@ let parse text =
         else begin
           match String.index_opt line '=' with
           | None ->
-            Error (Printf.sprintf "spec line %d: expected key = values" lineno)
+            Error (Io_error.make ~line:lineno "expected key = values")
           | Some i ->
             let key = strip (String.sub line 0 i) in
             let v = String.sub line (i + 1) (String.length line - i - 1) in
             let values = split_values v in
-            let err msg = Printf.sprintf "spec line %d: %s" lineno msg in
+            let err msg = Io_error.make ~line:lineno msg in
             let one () =
               match values with
               | [ x ] -> Ok x
@@ -228,13 +230,13 @@ let parse text =
       (List.mapi (fun i l -> (i + 1, l)) lines)
   in
   let* spec = result in
-  let* () = validate spec in
+  let* () = Stdlib.Result.map_error (fun m -> Io_error.make m) (validate spec) in
   Ok spec
 
 let parse_file path =
-  match In_channel.with_open_text path In_channel.input_all with
-  | text -> parse text
-  | exception Sys_error e -> Error e
+  match Io.read_file path with
+  | Error e -> Error e
+  | Ok text -> Stdlib.Result.map_error (Io_error.with_path path) (parse text)
 
 let to_string t =
   let b = Buffer.create 256 in

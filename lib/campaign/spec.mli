@@ -65,13 +65,16 @@ val jobs : t -> job list
 val validate : t -> (unit, string) result
 (** Non-empty grid, every circuit known, no invalid combination. *)
 
-val parse : string -> (t, string) result
+val parse : string -> (t, Iddq_util.Io_error.t) result
 (** Parse spec-file text (see above).  Unknown keys, unknown circuits
-    or methods, and empty lists are errors.  Omitted keys keep their
+    or methods, and empty lists are errors carrying the offending
+    line; malformed text never raises.  Omitted keys keep their
     {!default} value, except the grid keys [circuits], [methods],
     [seeds] which fall back to the defaults only when absent. *)
 
-val parse_file : string -> (t, string) result
+val parse_file : string -> (t, Iddq_util.Io_error.t) result
+(** Descriptor-safe read, then {!parse}; a missing or unreadable file
+    is an [Error] with the path, never an exception. *)
 
 val to_string : t -> string
 (** Render back in spec-file syntax ([parse (to_string t)] = [Ok t]

@@ -17,9 +17,9 @@ let load_line t line =
   end
 
 let open_ path =
-  let existing, torn_tail =
+  let scan =
     if Sys.file_exists path then
-      In_channel.with_open_text path (fun ic ->
+      Iddq_util.Io.with_in path (fun ic ->
           let lines = In_channel.input_lines ic in
           (* a file not ending in '\n' was torn mid-write; the next
              append must not glue onto the partial line *)
@@ -30,15 +30,21 @@ let open_ path =
                 input_char ic <> '\n')
           in
           (lines, torn))
-    else ([], false)
+    else Ok ([], false)
   in
-  let out =
-    open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
-  in
-  if torn_tail then output_char out '\n';
-  let t = { path; table = Hashtbl.create 64; order = []; dropped = 0; out } in
-  List.iter (load_line t) existing;
-  t
+  match scan with
+  | Error e -> Error e
+  | Ok (existing, torn_tail) -> begin
+    match open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path with
+    | exception Sys_error m -> Error (Iddq_util.Io_error.of_sys_error ~path m)
+    | out ->
+      if torn_tail then output_char out '\n';
+      let t =
+        { path; table = Hashtbl.create 64; order = []; dropped = 0; out }
+      in
+      List.iter (load_line t) existing;
+      Ok t
+  end
 
 let path t = t.path
 let find t id = Hashtbl.find_opt t.table id

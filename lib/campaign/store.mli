@@ -12,9 +12,11 @@
 
 type t
 
-val open_ : string -> t
+val open_ : string -> (t, Iddq_util.Io_error.t) result
 (** Load the records already at [path] (a missing file is an empty
-    store) and open it for appending. *)
+    store) and open it for appending.  An unreadable or unwritable
+    path is an [Error] with the path — never an exception — and no
+    descriptor is leaked on the failure paths. *)
 
 val path : t -> string
 

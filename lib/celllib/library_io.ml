@@ -1,8 +1,10 @@
 module Gate = Iddq_netlist.Gate
+module Io = Iddq_util.Io
+module Io_error = Iddq_util.Io_error
 
 (* line-oriented INI subset: [section] headers and key = value pairs *)
 let parse_sections text =
-  let exception Bad of string in
+  let exception Bad of int * string in
   try
     let sections = ref [] in
     (* (name, (key, value) list) in reverse order *)
@@ -23,21 +25,20 @@ let parse_sections text =
         if line <> "" then begin
           if line.[0] = '[' then begin
             if line.[String.length line - 1] <> ']' then
-              raise (Bad (Printf.sprintf "line %d: unterminated section header" lineno));
+              raise (Bad (lineno, "unterminated section header"));
             close ();
             current := Some (String.trim (String.sub line 1 (String.length line - 2)), [])
           end
           else begin
             match String.index_opt line '=' with
-            | None -> raise (Bad (Printf.sprintf "line %d: expected 'key = value'" lineno))
+            | None -> raise (Bad (lineno, "expected 'key = value'"))
             | Some eq -> begin
               let key = String.trim (String.sub line 0 eq) in
               let value =
                 String.trim (String.sub line (eq + 1) (String.length line - eq - 1))
               in
               match !current with
-              | None ->
-                raise (Bad (Printf.sprintf "line %d: entry before any [section]" lineno))
+              | None -> raise (Bad (lineno, "entry before any [section]"))
               | Some (name, entries) -> current := Some (name, (key, lineno, value) :: entries)
             end
           end
@@ -45,15 +46,18 @@ let parse_sections text =
       (String.split_on_char '\n' text);
     close ();
     Ok (List.rev !sections)
-  with Bad m -> Error m
+  with Bad (lineno, m) -> Error (Io_error.make ~line:lineno m)
 
 let float_field entries section key =
   match List.find_opt (fun (k, _, _) -> k = key) entries with
-  | None -> Error (Printf.sprintf "section [%s]: missing %s" section key)
+  | None ->
+    Error (Io_error.make (Printf.sprintf "section [%s]: missing %s" section key))
   | Some (_, lineno, v) -> begin
     match float_of_string_opt v with
     | Some f -> Ok f
-    | None -> Error (Printf.sprintf "line %d: %s is not a number" lineno key)
+    | None ->
+      Error
+        (Io_error.make ~line:lineno (Printf.sprintf "%s is not a number" key))
   end
 
 let parse_string ?(name = "library") text =
@@ -106,7 +110,7 @@ let parse_string ?(name = "library") text =
     | kind :: rest -> begin
       let section = Gate.to_string kind in
       match List.assoc_opt section sections with
-      | None -> Error (Printf.sprintf "missing section [%s]" section)
+      | None -> Error (Io_error.make (Printf.sprintf "missing section [%s]" section))
       | Some entries ->
         let* peak_current = float_field entries section "peak_current" in
         let* leakage = float_field entries section "leakage" in
@@ -131,14 +135,18 @@ let parse_string ?(name = "library") text =
     end
   in
   let* cells = build_cells [] Gate.all_kinds in
-  Library.make ~name ~technology ~cells ()
+  Result.map_error
+    (fun m -> Io_error.make m)
+    (Library.make ~name ~technology ~cells ())
 
 let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse_string ~name:(Filename.remove_extension (Filename.basename path)) text
+  match Io.read_file path with
+  | Error e -> Error e
+  | Ok text ->
+    Result.map_error (Io_error.with_path path)
+      (parse_string
+         ~name:(Filename.remove_extension (Filename.basename path))
+         text)
 
 let to_string lib =
   let buf = Buffer.create 2048 in
@@ -180,7 +188,4 @@ let to_string lib =
     Gate.all_kinds;
   Buffer.contents buf
 
-let write_file path lib =
-  let oc = open_out path in
-  output_string oc (to_string lib);
-  close_out oc
+let write_file path lib = Io.write_file_atomic path (to_string lib)

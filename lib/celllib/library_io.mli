@@ -27,12 +27,21 @@
     Every gate kind needs a section with all seven cell fields; the
     [technology] section accepts the nine technology fields.  Missing
     technology keys fall back to {!Technology.default}; missing cell
-    sections or fields are errors. *)
+    sections or fields are errors.
 
-val parse_string : ?name:string -> string -> (Library.t, string) result
-val parse_file : string -> (Library.t, string) result
+    {b Error contract.}  Malformed text and unreadable files come back
+    as [Error] values carrying line/path context; parsing never
+    raises. *)
+
+val parse_string :
+  ?name:string -> string -> (Library.t, Iddq_util.Io_error.t) result
+
+val parse_file : string -> (Library.t, Iddq_util.Io_error.t) result
+(** Descriptor-safe read, then {!parse_string}; errors gain the path. *)
 
 val to_string : Library.t -> string
 (** [parse_string (to_string lib)] reproduces the library. *)
 
-val write_file : string -> Library.t -> unit
+val write_file : string -> Library.t -> (unit, Iddq_util.Io_error.t) result
+(** Atomic write (scratch file + rename): a crash mid-write leaves any
+    previous file at this path intact. *)

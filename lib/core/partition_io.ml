@@ -1,5 +1,7 @@
 module Charac = Iddq_analysis.Charac
 module Circuit = Iddq_netlist.Circuit
+module Io = Iddq_util.Io
+module Io_error = Iddq_util.Io_error
 
 let to_string p =
   let ch = Partition.charac p in
@@ -22,7 +24,7 @@ let of_string ch text =
   let c = Charac.circuit ch in
   let n = Charac.num_gates ch in
   let assignment = Array.make n (-1) in
-  let exception Bad of string in
+  let exception Bad of int option * string in
   try
     let module_count = ref 0 in
     List.iteri
@@ -35,14 +37,17 @@ let of_string ch text =
         in
         if line <> "" then begin
           match String.index_opt line ':' with
-          | None -> raise (Bad (Printf.sprintf "line %d: expected 'module K: nets'" lineno))
+          | None -> raise (Bad (Some lineno, "expected 'module K: nets'"))
           | Some colon ->
             let header = String.trim (String.sub line 0 colon) in
             (match String.split_on_char ' ' header with
             | [ "module"; k ] when int_of_string_opt k = Some !module_count -> ()
             | [ "module"; _ ] ->
-              raise (Bad (Printf.sprintf "line %d: module ids must be dense and in order" lineno))
-            | _ -> raise (Bad (Printf.sprintf "line %d: bad module header %S" lineno header)));
+              raise (Bad (Some lineno, "module ids must be dense and in order"))
+            | _ ->
+              raise
+                (Bad
+                   (Some lineno, Printf.sprintf "bad module header %S" header)));
             let m = !module_count in
             incr module_count;
             let nets =
@@ -51,23 +56,28 @@ let of_string ch text =
               |> List.map String.trim
               |> List.filter (fun s -> s <> "")
             in
-            if nets = [] then
-              raise (Bad (Printf.sprintf "line %d: empty module" lineno));
+            if nets = [] then raise (Bad (Some lineno, "empty module"));
             List.iter
               (fun net ->
                 match Circuit.node_id_of_name c net with
-                | None -> raise (Bad (Printf.sprintf "line %d: unknown net %S" lineno net))
+                | None ->
+                  raise
+                    (Bad (Some lineno, Printf.sprintf "unknown net %S" net))
                 | Some id ->
                   if not (Circuit.is_gate c id) then
-                    raise (Bad (Printf.sprintf "line %d: %S is a primary input" lineno net));
+                    raise
+                      (Bad
+                         ( Some lineno,
+                           Printf.sprintf "%S is a primary input" net ));
                   let g = Circuit.gate_of_node c id in
                   if assignment.(g) >= 0 then
-                    raise (Bad (Printf.sprintf "line %d: %S listed twice" lineno net));
+                    raise
+                      (Bad (Some lineno, Printf.sprintf "%S listed twice" net));
                   assignment.(g) <- m)
               nets
         end)
       (String.split_on_char '\n' text);
-    if !module_count = 0 then raise (Bad "no modules");
+    if !module_count = 0 then raise (Bad (None, "no modules"));
     (match
        Array.to_seq assignment
        |> Seq.mapi (fun g m -> (g, m))
@@ -76,20 +86,16 @@ let of_string ch text =
     | Some (g, _) ->
       raise
         (Bad
-           (Printf.sprintf "gate %S is not assigned to any module"
-              (Circuit.node_name c (Circuit.node_of_gate c g))))
+           ( None,
+             Printf.sprintf "gate %S is not assigned to any module"
+               (Circuit.node_name c (Circuit.node_of_gate c g)) ))
     | None -> ());
     Ok (Partition.create ch ~assignment)
-  with Bad msg -> Error msg
+  with Bad (line, msg) -> Error (Io_error.make ?line msg)
 
-let write_file path p =
-  let oc = open_out path in
-  output_string oc (to_string p);
-  close_out oc
+let write_file path p = Io.write_file_atomic path (to_string p)
 
 let read_file ch path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  of_string ch text
+  match Io.read_file path with
+  | Error e -> Error e
+  | Ok text -> Result.map_error (Io_error.with_path path) (of_string ch text)

@@ -8,14 +8,22 @@
     module 1: net4 net5
     v}
     Nets are referenced by name, so the file survives any re-ordering
-    of the netlist. *)
+    of the netlist.
+
+    {b Error contract.}  Malformed text and unreadable files come back
+    as [Error] values with line/path context; parsing never raises. *)
 
 val to_string : Partition.t -> string
 
 val of_string :
-  Iddq_analysis.Charac.t -> string -> (Partition.t, string) result
+  Iddq_analysis.Charac.t -> string -> (Partition.t, Iddq_util.Io_error.t) result
 (** Fails when a line is malformed, a net is unknown or not a gate, a
     gate is listed twice, or some gate of the circuit is missing. *)
 
-val write_file : string -> Partition.t -> unit
-val read_file : Iddq_analysis.Charac.t -> string -> (Partition.t, string) result
+val write_file : string -> Partition.t -> (unit, Iddq_util.Io_error.t) result
+(** Atomic write (scratch file + rename): a crash mid-write leaves any
+    previous file at this path intact. *)
+
+val read_file :
+  Iddq_analysis.Charac.t -> string -> (Partition.t, Iddq_util.Io_error.t) result
+(** Descriptor-safe read, then {!of_string}; errors gain the path. *)

@@ -21,12 +21,15 @@ let split_args args =
   String.split_on_char ',' args |> List.map strip
   |> List.filter (fun s -> s <> "")
 
+module Io = Iddq_util.Io
+module Io_error = Iddq_util.Io_error
+
 let parse_string ?(name = "bench") text =
   let b = Builder.create ~name () in
   let lines = String.split_on_char '\n' text in
-  let exception Parse_error of string in
+  let exception Parse_error of int * string in
   let fail lineno fmt =
-    Format.kasprintf (fun m -> raise (Parse_error (Printf.sprintf "line %d: %s" lineno m))) fmt
+    Format.kasprintf (fun m -> raise (Parse_error (lineno, m))) fmt
   in
   try
     List.iteri
@@ -61,7 +64,10 @@ let parse_string ?(name = "bench") text =
                 try Builder.add_input b n
                 with Invalid_argument m -> fail lineno "%s" m
               end
-              | "OUTPUT", [ n ] -> Builder.add_output b n
+              | "OUTPUT", [ n ] -> begin
+                try Builder.add_output b n
+                with Invalid_argument m -> fail lineno "%s" m
+              end
               | ("INPUT" | "OUTPUT"), _ ->
                 fail lineno "%s takes exactly one net name" kw
               | _, _ -> fail lineno "unknown directive %S" kw
@@ -70,16 +76,15 @@ let parse_string ?(name = "bench") text =
           end
         end)
       lines;
-    Builder.freeze b
-  with Parse_error m -> Error m
+    Result.map_error (fun m -> Io_error.make m) (Builder.freeze b)
+  with Parse_error (lineno, m) -> Error (Io_error.make ~line:lineno m)
 
 let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  let base = Filename.remove_extension (Filename.basename path) in
-  parse_string ~name:base text
+  match Io.read_file path with
+  | Error e -> Error e
+  | Ok text ->
+    let base = Filename.remove_extension (Filename.basename path) in
+    Result.map_error (Io_error.with_path path) (parse_string ~name:base text)
 
 let to_string c =
   let buf = Buffer.create 4096 in
@@ -104,7 +109,4 @@ let to_string c =
            (Gate.to_string kind) args));
   Buffer.contents buf
 
-let write_file path c =
-  let oc = open_out path in
-  output_string oc (to_string c);
-  close_out oc
+let write_file path c = Io.write_file_atomic path (to_string c)

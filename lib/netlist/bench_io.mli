@@ -8,18 +8,28 @@
     G10 = NAND(G1, G3)
     v}
     Blank lines and [#] comments are ignored; keywords and gate
-    mnemonics are case-insensitive; net names are case-sensitive. *)
+    mnemonics are case-insensitive; net names are case-sensitive.
 
-val parse_string : ?name:string -> string -> (Circuit.t, string) result
+    {b Error contract.}  Parsing never raises on malformed input:
+    every syntactic or structural problem (and, for {!parse_file},
+    every [Sys_error]) comes back as [Error] carrying the offending
+    line and, when reading a file, the path. *)
+
+val parse_string :
+  ?name:string -> string -> (Circuit.t, Iddq_util.Io_error.t) result
 (** Parse a full [.bench] document.  Errors carry a line number. *)
 
-val parse_file : string -> (Circuit.t, string) result
+val parse_file : string -> (Circuit.t, Iddq_util.Io_error.t) result
 (** [parse_file path] reads and parses; the circuit is named after the
-    file's basename without extension. *)
+    file's basename without extension.  A missing or unreadable file
+    is an [Error] with the path, never an exception, and the
+    descriptor is closed on every path out. *)
 
 val to_string : Circuit.t -> string
 (** Render back to [.bench].  [parse_string (to_string c)] yields a
     circuit isomorphic to [c] (same names, kinds, connectivity,
     outputs). *)
 
-val write_file : string -> Circuit.t -> unit
+val write_file : string -> Circuit.t -> (unit, Iddq_util.Io_error.t) result
+(** Atomic write (scratch file + rename): a crash mid-write leaves any
+    previous file at this path intact. *)

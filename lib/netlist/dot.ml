@@ -78,6 +78,4 @@ let of_circuit ?module_of_gate ?title c =
   Buffer.contents buf
 
 let write_file ?module_of_gate ?title path c =
-  let oc = open_out path in
-  output_string oc (of_circuit ?module_of_gate ?title c);
-  close_out oc
+  Iddq_util.Io.write_file_atomic path (of_circuit ?module_of_gate ?title c)

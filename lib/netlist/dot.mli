@@ -10,4 +10,10 @@ val of_circuit :
     module-indexed fill colour. *)
 
 val write_file :
-  ?module_of_gate:(int -> int) -> ?title:string -> string -> Circuit.t -> unit
+  ?module_of_gate:(int -> int) ->
+  ?title:string ->
+  string ->
+  Circuit.t ->
+  (unit, Iddq_util.Io_error.t) result
+(** Atomic write (scratch file + rename); an unwritable path is an
+    [Error], never an exception. *)

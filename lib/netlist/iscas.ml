@@ -20,7 +20,7 @@ let c17_bench =
 let c17 () =
   match Bench_io.parse_string ~name:"c17" c17_bench with
   | Ok c -> c
-  | Error e -> failwith ("Iscas.c17: " ^ e)
+  | Error e -> failwith ("Iscas.c17: " ^ Iddq_util.Io_error.to_string e)
 
 (* Paper gate g1..g6 <-> original nets; chosen so that the paper's
    optimum {(1,3,5), (2,4,6)} corresponds to the two output cones

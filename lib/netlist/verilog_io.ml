@@ -2,6 +2,9 @@
    grammar is regular enough that a token stream plus a few recursive
    descent functions keep this dependency-free. *)
 
+module Io = Iddq_util.Io
+module Io_error = Iddq_util.Io_error
+
 type token =
   | Ident of string
   | Punct of char (* ( ) , ; *)
@@ -200,17 +203,15 @@ let parse_string text =
     in
     body ();
     List.iter (Builder.add_output b) !outputs;
-    Builder.freeze b
+    Result.map_error (fun m -> Io_error.make m) (Builder.freeze b)
   with
   | Lex_error (line, m) | Parse_error (line, m) ->
-    Error (Printf.sprintf "line %d: %s" line m)
+    Error (Io_error.make ~line m)
 
 let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse_string text
+  match Io.read_file path with
+  | Error e -> Error e
+  | Ok text -> Result.map_error (Io_error.with_path path) (parse_string text)
 
 let valid_ident s =
   s <> ""
@@ -266,7 +267,4 @@ let to_string c =
   Buffer.add_string buf "endmodule\n";
   Buffer.contents buf
 
-let write_file path c =
-  let oc = open_out path in
-  output_string oc (to_string c);
-  close_out oc
+let write_file path c = Io.write_file_atomic path (to_string c)

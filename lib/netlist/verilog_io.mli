@@ -16,17 +16,25 @@
 
     Primitives: [and or nand nor xor xnor not buf], first terminal is
     the output.  Instance names are optional on parse and generated on
-    print.  Comments ([//] and [/* ... */]) are ignored. *)
+    print.  Comments ([//] and [/* ... */]) are ignored.
 
-val parse_string : string -> (Circuit.t, string) result
+    {b Error contract.}  Lex, parse and structural failures — and, for
+    {!parse_file}, unreadable files — are reported as [Error] values
+    with line (and path) context; malformed input never raises. *)
+
+val parse_string : string -> (Circuit.t, Iddq_util.Io_error.t) result
 (** Errors carry a line number.  The circuit takes the Verilog
     module's name. *)
 
-val parse_file : string -> (Circuit.t, string) result
+val parse_file : string -> (Circuit.t, Iddq_util.Io_error.t) result
+(** Descriptor-safe file read, then {!parse_string}; errors gain the
+    path. *)
 
 val to_string : Circuit.t -> string
 (** [parse_string (to_string c)] is a circuit isomorphic to [c].
     Net names that are not Verilog identifiers are escaped with the
     [\ ] syntax. *)
 
-val write_file : string -> Circuit.t -> unit
+val write_file : string -> Circuit.t -> (unit, Iddq_util.Io_error.t) result
+(** Atomic write (scratch file + rename): a crash mid-write leaves any
+    previous file at this path intact. *)

@@ -1,3 +1,6 @@
+module Io = Iddq_util.Io
+module Io_error = Iddq_util.Io_error
+
 let to_string vectors =
   let buf = Buffer.create (Array.length vectors * 16) in
   Array.iter
@@ -8,7 +11,7 @@ let to_string vectors =
   Buffer.contents buf
 
 let of_string ~expected_width text =
-  let exception Bad of string in
+  let exception Bad of int * string in
   try
     let vectors = ref [] in
     List.iteri
@@ -23,8 +26,9 @@ let of_string ~expected_width text =
           if String.length line <> expected_width then
             raise
               (Bad
-                 (Printf.sprintf "line %d: expected %d bits, got %d" lineno
-                    expected_width (String.length line)));
+                 ( lineno,
+                   Printf.sprintf "expected %d bits, got %d" expected_width
+                     (String.length line) ));
           let v =
             Array.init expected_width (fun j ->
                 match line.[j] with
@@ -32,22 +36,18 @@ let of_string ~expected_width text =
                 | '0' -> false
                 | ch ->
                   raise
-                    (Bad (Printf.sprintf "line %d: bad character %C" lineno ch)))
+                    (Bad (lineno, Printf.sprintf "bad character %C" ch)))
           in
           vectors := v :: !vectors
         end)
       (String.split_on_char '\n' text);
     Ok (Array.of_list (List.rev !vectors))
-  with Bad m -> Error m
+  with Bad (lineno, m) -> Error (Io_error.make ~line:lineno m)
 
-let write_file path vectors =
-  let oc = open_out path in
-  output_string oc (to_string vectors);
-  close_out oc
+let write_file path vectors = Io.write_file_atomic path (to_string vectors)
 
 let read_file ~expected_width path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  of_string ~expected_width text
+  match Io.read_file path with
+  | Error e -> Error e
+  | Ok text ->
+    Result.map_error (Io_error.with_path path) (of_string ~expected_width text)

@@ -6,13 +6,22 @@
     # 5 inputs: 1 2 3 6 7
     01101
     11100
-    v} *)
+    v}
+
+    {b Error contract.}  Malformed text and unreadable files come back
+    as [Error] values with line/path context; parsing never raises. *)
 
 val to_string : bool array array -> string
 
-val of_string : expected_width:int -> string -> (bool array array, string) result
+val of_string :
+  expected_width:int -> string -> (bool array array, Iddq_util.Io_error.t) result
 (** Errors carry a line number; every vector must have
     [expected_width] bits. *)
 
-val write_file : string -> bool array array -> unit
-val read_file : expected_width:int -> string -> (bool array array, string) result
+val write_file : string -> bool array array -> (unit, Iddq_util.Io_error.t) result
+(** Atomic write (scratch file + rename): a crash mid-write leaves any
+    previous file at this path intact. *)
+
+val read_file :
+  expected_width:int -> string -> (bool array array, Iddq_util.Io_error.t) result
+(** Descriptor-safe read, then {!of_string}; errors gain the path. *)

@@ -30,9 +30,14 @@ let escape buf s =
   Buffer.add_char buf '"'
 
 (* Shortest representation that parses back to the same float, forced
-   to look like a float (so the reader keeps the Int/Float distinction). *)
+   to look like a float (so the reader keeps the Int/Float distinction).
+   JSON has no literal for non-finite values; encode them as string
+   sentinels so they survive a round-trip (decoded by {!to_float})
+   instead of degrading to [null]. *)
 let float_repr f =
-  if not (Float.is_finite f) then "null"
+  if Float.is_nan f then "\"nan\""
+  else if f = Float.infinity then "\"inf\""
+  else if f = Float.neg_infinity then "\"-inf\""
   else begin
     let shortest = Printf.sprintf "%.15g" f in
     let s =
@@ -247,6 +252,10 @@ let to_int = function Int i -> Some i | _ -> None
 let to_float = function
   | Float f -> Some f
   | Int i -> Some (float_of_int i)
+  (* the printer's non-finite sentinels (see [float_repr]) *)
+  | String "nan" -> Some Float.nan
+  | String "inf" -> Some Float.infinity
+  | String "-inf" -> Some Float.neg_infinity
   | _ -> None
 
 let to_bool = function Bool b -> Some b | _ -> None

@@ -20,7 +20,9 @@ val to_string : t -> string
 (** Compact single-line rendering (no newlines — safe for JSONL).
     Floats print with enough digits to round-trip bit-exactly and
     always carry a ['.'] or exponent so they re-parse as [Float];
-    non-finite floats render as [null]. *)
+    non-finite floats render as the string sentinels ["nan"], ["inf"]
+    and ["-inf"], which {!to_float} decodes back — so a NaN metric
+    survives a JSONL round-trip instead of degrading to [Null]. *)
 
 val parse : string -> (t, string) result
 (** Parse one JSON value; trailing non-whitespace is an error.  Errors
@@ -36,8 +38,10 @@ val member : string -> t -> t option
 (** [member k (Obj _)] is the value under the first binding of [k]. *)
 
 val to_int : t -> int option
+
 val to_float : t -> float option
-(** [to_float] accepts both [Float] and [Int]. *)
+(** [to_float] accepts [Float], [Int], and the non-finite sentinel
+    strings ["nan"], ["inf"], ["-inf"] emitted by {!to_string}. *)
 
 val to_bool : t -> bool option
 val to_str : t -> string option

@@ -1,4 +1,5 @@
 module Bench_io = Iddq_netlist.Bench_io
+module Io_error = Iddq_util.Io_error
 module Circuit = Iddq_netlist.Circuit
 module Gate = Iddq_netlist.Gate
 module Iscas = Iddq_netlist.Iscas
@@ -6,12 +7,12 @@ module Iscas = Iddq_netlist.Iscas
 let parse_ok text =
   match Bench_io.parse_string text with
   | Ok c -> c
-  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Error e -> Alcotest.failf "parse failed: %s" (Io_error.to_string e)
 
 let parse_err text =
   match Bench_io.parse_string text with
   | Ok _ -> Alcotest.fail "expected a parse error"
-  | Error e -> e
+  | Error e -> Io_error.to_string e
 
 let test_parse_minimal () =
   let c =
@@ -54,7 +55,7 @@ let test_roundtrip_c17 () =
   let c' =
     match Bench_io.parse_string ~name:"c17" (Bench_io.to_string c) with
     | Ok c' -> c'
-    | Error e -> Alcotest.failf "reparse failed: %s" e
+    | Error e -> Alcotest.failf "reparse failed: %s" (Io_error.to_string e)
   in
   Alcotest.(check int) "nodes" (Circuit.num_nodes c) (Circuit.num_nodes c');
   Alcotest.(check int) "outputs" (Circuit.num_outputs c) (Circuit.num_outputs c');
@@ -78,7 +79,7 @@ let test_roundtrip_generated () =
       ~num_outputs:4 ~num_gates:60 ~depth:8 ()
   in
   match Bench_io.parse_string (Bench_io.to_string c) with
-  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Error e -> Alcotest.failf "reparse failed: %s" (Io_error.to_string e)
   | Ok c' ->
     Alcotest.(check int) "nodes" (Circuit.num_nodes c) (Circuit.num_nodes c');
     Alcotest.(check int) "gates" (Circuit.num_gates c) (Circuit.num_gates c');
@@ -89,10 +90,12 @@ let test_file_io () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Bench_io.write_file path (Iscas.c17 ());
+      (match Bench_io.write_file path (Iscas.c17 ()) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write_file: %s" (Io_error.to_string e));
       match Bench_io.parse_file path with
       | Ok c -> Alcotest.(check int) "gates" 6 (Circuit.num_gates c)
-      | Error e -> Alcotest.failf "parse_file: %s" e)
+      | Error e -> Alcotest.failf "parse_file: %s" (Io_error.to_string e))
 
 let qcheck_roundtrip =
   QCheck.Test.make ~name:"bench roundtrip preserves structure" ~count:25

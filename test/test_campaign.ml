@@ -47,8 +47,28 @@ let test_json_float_fidelity () =
       | Ok _ -> Alcotest.fail "float did not re-parse as Float"
       | Error e -> Alcotest.fail e)
     [ 0.1; 1.0; -0.0; 2.32e-3; 1.08e6; 4.163915816625631e-9; Float.pi ];
-  (* non-finite floats degrade to null rather than emitting invalid JSON *)
-  Alcotest.(check string) "nan -> null" "null" (Json.to_string (Json.Float Float.nan));
+  (* non-finite floats keep their value through the string sentinels
+     rather than degrading to null *)
+  List.iter
+    (fun (f, sentinel) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%h sentinel" f)
+        sentinel
+        (Json.to_string (Json.Float f));
+      match Json.parse (Json.to_string (Json.Float f)) with
+      | Ok v ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%h decodes back" f)
+          true
+          (match Json.to_float v with
+          | Some f' -> Int64.bits_of_float f = Int64.bits_of_float f'
+          | None -> false)
+      | Error e -> Alcotest.fail e)
+    [
+      (Float.nan, "\"nan\"");
+      (Float.infinity, "\"inf\"");
+      (Float.neg_infinity, "\"-inf\"");
+    ];
   Alcotest.(check bool) "int stays int" true
     (Json.parse "12345" = Ok (Json.Int 12345))
 
@@ -132,7 +152,7 @@ let test_spec_no_deps_variants () =
 let test_spec_parse_roundtrip () =
   (match Spec.parse (Spec.to_string grid_spec) with
   | Ok s -> Alcotest.(check bool) "to_string/parse roundtrip" true (s = grid_spec)
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Iddq_util.Io_error.to_string e));
   match
     Spec.parse
       "# comment\n\
@@ -148,7 +168,7 @@ let test_spec_parse_roundtrip () =
     Alcotest.(check bool) "sizes" true (s.Spec.module_sizes = [ None; Some 12 ]);
     Alcotest.(check bool) "generations" true (s.Spec.max_generations = Some 50);
     Alcotest.(check bool) "timeout" true (s.Spec.timeout = Some 1.5)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Iddq_util.Io_error.to_string e)
 
 let test_spec_errors () =
   let rejects text =
@@ -210,6 +230,11 @@ let test_result_bad_lines () =
 (* Store                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let open_store path =
+  match Store.open_ path with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "Store.open_: %s" (Iddq_util.Io_error.to_string e)
+
 let test_store_latest_wins () =
   with_temp_store (fun path ->
       let job = sample_job () in
@@ -222,11 +247,11 @@ let test_store_latest_wins () =
         Job_result.of_run ~job ~derived_seed:1 ~elapsed:0.0 ~metrics
           (Pipeline.run Pipeline.Standard circuit)
       in
-      let s = Store.open_ path in
+      let s = open_store path in
       Store.append s failed;
       Store.append s ok;
       Store.close s;
-      let s = Store.open_ path in
+      let s = open_store path in
       Alcotest.(check int) "one id" 1 (Store.count s);
       Alcotest.(check int) "nothing dropped" 0 (Store.dropped s);
       (match Store.find s job.Spec.id with
@@ -238,7 +263,7 @@ let test_store_tolerates_truncation () =
   with_temp_store (fun path ->
       let job = sample_job () in
       let metrics = sample_metrics () in
-      let s = Store.open_ path in
+      let s = open_store path in
       Store.append s
         (Job_result.failure ~job ~derived_seed:1 ~elapsed:0.0 ~metrics "kept");
       Store.close s;
@@ -246,19 +271,101 @@ let test_store_tolerates_truncation () =
       let oc = open_out_gen [ Open_append ] 0o644 path in
       output_string oc "{\"job\":\"C17:evolution";
       close_out oc;
-      let s = Store.open_ path in
+      let s = open_store path in
       Alcotest.(check int) "good record kept" 1 (Store.count s);
       Alcotest.(check int) "torn line dropped" 1 (Store.dropped s);
       (* appending after a torn tail still yields parseable lines *)
       Store.append s
         (Job_result.failure ~job ~derived_seed:1 ~elapsed:0.0 ~metrics "after");
       Store.close s;
-      let s = Store.open_ path in
+      let s = open_store path in
       (match Store.find s job.Spec.id with
       | Some { Job_result.status = Job_result.Failed m; _ } ->
         Alcotest.(check string) "append after tear wins" "after" m
       | _ -> Alcotest.fail "lost the post-tear record");
       Store.close s)
+
+let test_result_nonfinite_roundtrip () =
+  (* measurements can go non-finite (a degenerate partition's cost);
+     the sentinel encoding must carry them through bit-exactly *)
+  let job = sample_job () in
+  let metrics = sample_metrics () in
+  let r =
+    {
+      (Job_result.failure ~job ~derived_seed:3 ~elapsed:0.0 ~metrics "nf")
+      with
+      Job_result.cost = Float.nan;
+      sensor_area = Float.infinity;
+      nominal_delay = Float.neg_infinity;
+    }
+  in
+  match Job_result.of_line (Job_result.to_line r) with
+  | Error e -> Alcotest.failf "non-finite record rejected: %s" e
+  | Ok r' ->
+    (* structural compare: nan = nan under [compare] *)
+    Alcotest.(check bool) "bit-exact through codec" true (compare r r' = 0)
+
+(* Satellite: any byte-truncation point loses at most the record being
+   written; [dropped] counts the torn tail; a later append never glues
+   onto it. *)
+let qcheck_store_torn_tail =
+  QCheck.Test.make ~name:"store: truncation loses at most the final record"
+    ~count:40
+    QCheck.(pair (int_range 1 6) (int_range 0 10_000_000))
+    (fun (n, cut_raw) ->
+      with_temp_store (fun path ->
+          let metrics = sample_metrics () in
+          let jobs =
+            Spec.jobs grid_spec |> List.filteri (fun i _ -> i <= n)
+          in
+          if List.length jobs < n + 1 then
+            QCheck.Test.fail_report "grid_spec has too few jobs";
+          let record job msg =
+            Job_result.failure ~job ~derived_seed:1 ~elapsed:0.0 ~metrics msg
+          in
+          let written, fresh_job =
+            match List.filteri (fun i _ -> i < n) jobs, List.nth jobs n with
+            | w, f -> List.map (fun j -> record j "w") w, f
+          in
+          Sys.remove path;
+          let s = open_store path in
+          List.iter (Store.append s) written;
+          Store.close s;
+          let content =
+            match Iddq_util.Io.read_file path with
+            | Ok c -> c
+            | Error e ->
+              QCheck.Test.fail_reportf "read back: %s"
+                (Iddq_util.Io_error.to_string e)
+          in
+          let size = String.length content in
+          let cut = cut_raw mod (size + 1) in
+          let truncated = String.sub content 0 cut in
+          let full_lines =
+            String.fold_left
+              (fun acc ch -> if ch = '\n' then acc + 1 else acc)
+              0 truncated
+          in
+          let partial = cut > 0 && truncated.[cut - 1] <> '\n' in
+          let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+          Unix.ftruncate fd cut;
+          Unix.close fd;
+          let s = open_store path in
+          let survived = Store.count s = full_lines in
+          let counted = Store.dropped s = if partial then 1 else 0 in
+          (* the torn tail must never swallow a subsequent append *)
+          Store.append s (record fresh_job "appended");
+          Store.close s;
+          let s = open_store path in
+          let appended_back =
+            match Store.find s fresh_job.Spec.id with
+            | Some { Job_result.status = Job_result.Failed m; _ } ->
+              m = "appended"
+            | _ -> false
+          in
+          let recount = Store.count s = full_lines + 1 in
+          Store.close s;
+          survived && counted && appended_back && recount))
 
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
@@ -274,7 +381,7 @@ let tiny_spec =
   }
 
 let run_spec ?domains ?resolve path spec =
-  let store = Store.open_ path in
+  let store = open_store path in
   Fun.protect
     ~finally:(fun () -> Store.close store)
     (fun () -> Runner.run ?domains ?resolve ~store spec)
@@ -403,7 +510,7 @@ let test_runner_timeout_records_and_reruns () =
 
 let test_runner_rejects_invalid_spec () =
   with_temp_store (fun path ->
-      let store = Store.open_ path in
+      let store = open_store path in
       Fun.protect
         ~finally:(fun () -> Store.close store)
         (fun () ->
@@ -429,6 +536,9 @@ let tests =
     Alcotest.test_case "store latest wins" `Quick test_store_latest_wins;
     Alcotest.test_case "store tolerates truncation" `Quick
       test_store_tolerates_truncation;
+    Alcotest.test_case "result non-finite roundtrip" `Quick
+      test_result_nonfinite_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_store_torn_tail;
     Alcotest.test_case "runner completes and resumes" `Slow
       test_runner_completes_and_resumes;
     Alcotest.test_case "runner deterministic across domains" `Slow

@@ -1,4 +1,5 @@
 module Dot = Iddq_netlist.Dot
+module Io_error = Iddq_util.Io_error
 module Iscas = Iddq_netlist.Iscas
 module Charac = Iddq_analysis.Charac
 module Partition = Iddq_core.Partition
@@ -36,7 +37,7 @@ let test_partition_io_roundtrip () =
   let p = Partition.create ch ~assignment:[| 0; 1; 0; 1; 0; 1 |] in
   let text = Partition_io.to_string p in
   match Partition_io.of_string ch text with
-  | Error e -> Alcotest.failf "reload failed: %s" e
+  | Error e -> Alcotest.failf "reload failed: %s" (Io_error.to_string e)
   | Ok q ->
     Alcotest.(check int) "modules" (Partition.num_modules p)
       (Partition.num_modules q);
@@ -70,7 +71,7 @@ let test_partition_io_comments_tolerated () =
   let ch = Charac.make ~library:Library.default c in
   let text = "# header\nmodule 0: 10 16 22  # cone of 22\nmodule 1: 11 19 23\n" in
   match Partition_io.of_string ch text with
-  | Error e -> Alcotest.failf "comments broke parse: %s" e
+  | Error e -> Alcotest.failf "comments broke parse: %s" (Io_error.to_string e)
   | Ok q -> Alcotest.(check int) "two modules" 2 (Partition.num_modules q)
 
 let test_partition_io_file () =
@@ -81,10 +82,12 @@ let test_partition_io_file () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Partition_io.write_file path p;
+      (match Partition_io.write_file path p with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write_file: %s" (Io_error.to_string e));
       match Partition_io.read_file ch path with
       | Ok q -> Alcotest.(check int) "modules" 2 (Partition.num_modules q)
-      | Error e -> Alcotest.failf "read_file: %s" e)
+      | Error e -> Alcotest.failf "read_file: %s" (Io_error.to_string e))
 
 let tests =
   [

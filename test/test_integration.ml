@@ -22,7 +22,7 @@ let test_pipeline_partition_io_cost_stable () =
   let r = Pipeline.run ~config:fast_config Pipeline.Evolution (Iscas.c432_like ()) in
   let text = Partition_io.to_string r.Pipeline.partition in
   match Partition_io.of_string r.Pipeline.charac text with
-  | Error e -> Alcotest.failf "reload: %s" e
+  | Error e -> Alcotest.failf "reload: %s" (Iddq_util.Io_error.to_string e)
   | Ok p ->
     let a = (Cost.evaluate p).Cost.penalized in
     let b = r.Pipeline.breakdown.Cost.penalized in
@@ -94,7 +94,7 @@ let test_verilog_bench_pipeline_agree () =
   let c_verilog =
     match Iddq_netlist.Verilog_io.parse_string v_text with
     | Ok c -> c
-    | Error e -> Alcotest.failf "verilog: %s" e
+    | Error e -> Alcotest.failf "verilog: %s" (Iddq_util.Io_error.to_string e)
   in
   let cost c =
     (Pipeline.run ~config:fast_config Pipeline.Standard c).Pipeline.breakdown

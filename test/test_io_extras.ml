@@ -9,13 +9,14 @@ module Iscas = Iddq_netlist.Iscas
 module Charac = Iddq_analysis.Charac
 module Timing = Iddq_analysis.Timing
 module Rng = Iddq_util.Rng
+module Io_error = Iddq_util.Io_error
 
 let test_pattern_roundtrip () =
   let rng = Rng.create 3 in
   let c = Iscas.c17 () in
   let vectors = Pattern_gen.random ~rng c ~count:20 in
   match Pattern_io.of_string ~expected_width:5 (Pattern_io.to_string vectors) with
-  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Error e -> Alcotest.failf "roundtrip: %s" (Io_error.to_string e)
   | Ok v' ->
     Alcotest.(check int) "count" 20 (Array.length v');
     Alcotest.(check bool) "identical" true (vectors = v')
@@ -27,22 +28,24 @@ let test_pattern_errors () =
   Alcotest.(check bool) "comments ok" false (err "# note\n010\n011\n");
   match Pattern_io.of_string ~expected_width:3 "010 # trailing\n" with
   | Ok v -> Alcotest.(check int) "trailing comment" 1 (Array.length v)
-  | Error e -> Alcotest.failf "trailing comment: %s" e
+  | Error e -> Alcotest.failf "trailing comment: %s" (Io_error.to_string e)
 
 let test_pattern_file () =
   let path = Filename.temp_file "iddq_vec" ".txt" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Pattern_io.write_file path [| [| true; false |]; [| false; true |] |];
+      (match Pattern_io.write_file path [| [| true; false |]; [| false; true |] |] with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write_file: %s" (Io_error.to_string e));
       match Pattern_io.read_file ~expected_width:2 path with
       | Ok v -> Alcotest.(check int) "two vectors" 2 (Array.length v)
-      | Error e -> Alcotest.failf "read: %s" e)
+      | Error e -> Alcotest.failf "read: %s" (Io_error.to_string e))
 
 let test_library_roundtrip () =
   let text = Library_io.to_string Library.default in
   match Library_io.parse_string ~name:"cmos1u" text with
-  | Error e -> Alcotest.failf "library roundtrip: %s" e
+  | Error e -> Alcotest.failf "library roundtrip: %s" (Io_error.to_string e)
   | Ok lib ->
     Alcotest.(check bool) "technology identical" true
       (Library.technology lib = Library.technology Library.default);
@@ -72,7 +75,7 @@ let test_library_partial_technology_defaults () =
   in
   let text = "[technology]\nvdd = 3.3\n" ^ cells_text ^ "\n" in
   match Library_io.parse_string text with
-  | Error e -> Alcotest.failf "parse: %s" e
+  | Error e -> Alcotest.failf "parse: %s" (Io_error.to_string e)
   | Ok lib ->
     let t = Library.technology lib in
     Alcotest.(check (float 0.0)) "vdd overridden" 3.3 t.Technology.vdd;
@@ -92,12 +95,14 @@ let test_library_file () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Library_io.write_file path Library.default;
+      (match Library_io.write_file path Library.default with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write_file: %s" (Io_error.to_string e));
       match Library_io.parse_file path with
       | Ok lib ->
         Alcotest.(check bool) "cells survive" true
           (Library.cell lib Gate.Nand = Library.cell Library.default Gate.Nand)
-      | Error e -> Alcotest.failf "parse_file: %s" e)
+      | Error e -> Alcotest.failf "parse_file: %s" (Io_error.to_string e))
 
 (* slack property: stretching any single gate by less than its slack
    never lengthens the critical path *)

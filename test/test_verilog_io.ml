@@ -1,4 +1,5 @@
 module Verilog_io = Iddq_netlist.Verilog_io
+module Io_error = Iddq_util.Io_error
 module Bench_io = Iddq_netlist.Bench_io
 module Circuit = Iddq_netlist.Circuit
 module Gate = Iddq_netlist.Gate
@@ -9,12 +10,12 @@ module Logic_sim = Iddq_patterns.Logic_sim
 let parse_ok text =
   match Verilog_io.parse_string text with
   | Ok c -> c
-  | Error e -> Alcotest.failf "verilog parse failed: %s" e
+  | Error e -> Alcotest.failf "verilog parse failed: %s" (Io_error.to_string e)
 
 let parse_err text =
   match Verilog_io.parse_string text with
   | Ok _ -> Alcotest.fail "expected a verilog parse error"
-  | Error e -> e
+  | Error e -> Io_error.to_string e
 
 let c17_verilog =
   "module c17 (N1, N2, N3, N6, N7, N22, N23);\n\
@@ -110,17 +111,19 @@ let test_bench_to_verilog_bridge () =
   let v = parse_ok (Verilog_io.to_string c) in
   match Bench_io.parse_string (Bench_io.to_string v) with
   | Ok c' -> Alcotest.(check int) "gates" 6 (Circuit.num_gates c')
-  | Error e -> Alcotest.failf "bench reparse: %s" e
+  | Error e -> Alcotest.failf "bench reparse: %s" (Io_error.to_string e)
 
 let test_file_io () =
   let path = Filename.temp_file "iddq_test" ".v" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Verilog_io.write_file path (Iscas.c17 ());
+      (match Verilog_io.write_file path (Iscas.c17 ()) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write_file: %s" (Io_error.to_string e));
       match Verilog_io.parse_file path with
       | Ok c -> Alcotest.(check int) "gates" 6 (Circuit.num_gates c)
-      | Error e -> Alcotest.failf "parse_file: %s" e)
+      | Error e -> Alcotest.failf "parse_file: %s" (Io_error.to_string e))
 
 let qcheck_roundtrip =
   QCheck.Test.make ~name:"verilog roundtrip preserves structure" ~count:25
