@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke campaign-smoke faultsim-smoke fuzz-smoke ci examples doc clean
+.PHONY: all build test bench bench-quick bench-smoke campaign-smoke faultsim-smoke fuzz-smoke serve-smoke ci examples doc clean
 
 all: build
 
@@ -56,9 +56,21 @@ fuzz-smoke:
 	  | grep -q "fuzz-smoke: PASS"
 	@echo "fuzz-smoke: no crashes, no fd leaks - PASS"
 
+# Resident-service check: an in-process daemon on a temp socket, a
+# scripted client through load -> partition -> partition (asserting a
+# session-cache hit via the Metrics counters) -> fault_sim -> campaign
+# -> shutdown, plus a second client sending a malformed frame and
+# disconnecting mid-frame without disturbing the first; descriptor
+# population must be identical before and after (seconds).
+serve-smoke:
+	dune exec bin/iddq_synth.exe -- serve-smoke \
+	  | grep -q "serve-smoke: PASS"
+	@echo "serve-smoke: session cache hit, fault isolation, no fd leaks - PASS"
+
 # What a per-PR check runs: build, tests, evaluation-count smoke,
-# campaign resume smoke, packed fault-sim speedup gate, mutation fuzz.
-ci: build test bench-smoke campaign-smoke faultsim-smoke fuzz-smoke
+# campaign resume smoke, packed fault-sim speedup gate, mutation fuzz,
+# resident-service smoke.
+ci: build test bench-smoke campaign-smoke faultsim-smoke fuzz-smoke serve-smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1346,7 +1346,11 @@ let run_campaign () =
       | Job_result.Timeout l -> Printf.sprintf "timeout (> %.1f s)" l)
       (if fresh then "" else "  [stored]")
   in
-  let outcome = Runner.run ~domains:2 ~on_result ~store spec in
+  let outcome =
+    match Runner.run ~domains:2 ~on_result ~store spec with
+    | Ok o -> o
+    | Error e -> failwith (Runner.error_to_string e)
+  in
   Store.close store;
   print_newline ();
   Format.printf "%a" Summary.pp outcome.Runner.results;

@@ -87,12 +87,7 @@ let load_library = function
   end
 
 let config ~seed ~module_size ~library =
-  {
-    Pipeline.default_config with
-    Pipeline.seed;
-    module_size;
-    library = load_library library;
-  }
+  Pipeline.config ~seed ?module_size ~library:(load_library library) ()
 
 let exit_err msg =
   Format.eprintf "error: %s@." msg;
@@ -517,7 +512,13 @@ let campaign_cmd =
           Format.printf "[%d/%d] %-32s %s@." !seen total job.Spec.id what
         end
       in
-      let outcome = Runner.run ~domains ~on_result ~store spec in
+      let outcome =
+        match Runner.run ~domains ~on_result ~store spec with
+        | Ok o -> o
+        | Error e ->
+          Store.close store;
+          exit_err (Runner.error_to_string e)
+      in
       Store.close store;
       Format.printf "@.%a@." Summary.pp outcome.Runner.results;
       Format.printf
@@ -540,6 +541,246 @@ let campaign_cmd =
           ~doc:"Comma-separated target module sizes; 'default' = estimated."
       $ generations $ timeout $ out $ domains $ fresh $ quiet)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client / serve-smoke: the resident partition service        *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Iddq_server.Server
+module Client = Iddq_server.Client
+module Protocol = Iddq_server.Protocol
+module Json = Iddq_util.Json
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Per-request wall-clock budget; a request past it is answered \
+                with a budget_exceeded error.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Iddq_server.Frame.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Frame payload cap; a frame declaring more closes the \
+                connection.")
+  in
+  let run socket budget max_frame =
+    match Server.create ~socket ~max_frame ?budget () with
+    | Error e -> exit_err e
+    | Ok srv ->
+      Format.printf "iddq_synth: serving on %s@." socket;
+      Format.print_flush ();
+      Server.run srv;
+      Format.printf "iddq_synth: server stopped@."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident partition service: a daemon speaking \
+             length-prefixed JSON over a Unix-domain socket, with a session \
+             cache keyed by circuit content hash.")
+    Term.(const run $ socket_arg $ budget $ max_frame)
+
+let client_cmd =
+  let run socket =
+    match Client.connect ~socket with
+    | Error e -> exit_err e
+    | Ok cl ->
+      let rec loop () =
+        match In_channel.input_line stdin with
+        | None -> ()
+        | Some line when String.trim line = "" -> loop ()
+        | Some line -> begin
+          match Json.parse line with
+          | Error e -> exit_err (Printf.sprintf "bad request JSON: %s" e)
+          | Ok j -> begin
+            Client.send cl j;
+            match Client.recv cl with
+            | Error e -> exit_err e
+            | Ok resp ->
+              print_endline (Json.to_string resp);
+              flush stdout;
+              loop ()
+          end
+        end
+      in
+      loop ();
+      Client.close cl
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send requests to a running service: one JSON request per stdin \
+             line, one JSON response per stdout line.")
+    Term.(const run $ socket_arg)
+
+let serve_smoke_cmd =
+  let run () =
+    let fail fmt =
+      Format.kasprintf (fun s -> exit_err ("serve-smoke: " ^ s)) fmt
+    in
+    let step s = if Sys.getenv_opt "IDDQ_SMOKE_TRACE" <> None then
+        (Printf.eprintf "serve-smoke: %s\n" s; flush stderr)
+    in
+    let check what = function
+      | Ok v -> v
+      | Error e -> fail "%s: %s" what e
+    in
+    let str_field key payload =
+      match Option.bind (Json.member key payload) Json.to_str with
+      | Some s -> s
+      | None -> fail "response lacks string field %S" key
+    in
+    let counter key payload =
+      match
+        Option.bind (Json.member "counters" payload) (fun c ->
+            Option.bind (Json.member key c) Json.to_int)
+      with
+      | Some n -> n
+      | None -> fail "metrics response lacks counter %S" key
+    in
+    (* warm the domain machinery before counting descriptors, so only
+       the server's own sockets are in the delta *)
+    Domain.join (Domain.spawn (fun () -> ()));
+    let fds_before = Iddq_util.Io.open_fd_count () in
+    let socket = Filename.temp_file "iddq-serve-smoke" ".sock" in
+    step "create";
+    let srv = check "create" (Server.create ~socket ()) in
+    let server_domain = Domain.spawn (fun () -> Server.run srv) in
+    step "connect";
+    let a = check "connect" (Client.connect ~socket) in
+    (* load -> partition -> partition (cache hit) -> fault_sim -> metrics *)
+    step "load";
+    let load =
+      check "load_circuit"
+        (Client.request a
+           (Protocol.Load_circuit { name = Some "C432"; bench = None }))
+    in
+    let handle = str_field "handle" load in
+    let partition () =
+      check "partition"
+        (Client.request a
+           (Protocol.Partition
+              {
+                handle;
+                method_ = Pipeline.Evolution;
+                seed = 42;
+                module_size = None;
+                require_feasible = false;
+              }))
+    in
+    step "partition 1";
+    let p1 = partition () in
+    let metrics () =
+      check "metrics" (Client.request a Protocol.Metrics)
+    in
+    step "metrics 1";
+    let hits1 = counter "cache_hits" (metrics ()) in
+    step "partition 2";
+    let p2 = partition () in
+    if Json.to_string p1 <> Json.to_string p2 then
+      fail "repeated partition answers differ";
+    let m2 = metrics () in
+    let hits2 = counter "cache_hits" m2 in
+    if hits2 <= hits1 then
+      fail
+        "second partition did not hit the session cache (hits %d -> %d)"
+        hits1 hits2;
+    step "fault_sim";
+    let sim =
+      check "fault_sim"
+        (Client.request a
+           (Protocol.Fault_sim
+              {
+                handle;
+                method_ = Pipeline.Evolution;
+                seed = 42;
+                vectors = 32;
+                defects = 50;
+                defect_current = 2.0e-6;
+              }))
+    in
+    if
+      Option.bind (Json.member "partitioned" sim) (fun p ->
+          Option.bind (Json.member "coverage" p) Json.to_float)
+      = None
+    then fail "fault_sim response lacks partitioned coverage";
+    (* a second client misbehaving must not disturb the first: a
+       malformed payload gets a structured error and the stream stays
+       in sync; then it vanishes mid-frame *)
+    step "client b";
+    let b = check "connect(b)" (Client.connect ~socket) in
+    Client.send_raw b (Iddq_server.Frame.encode_payload "{not json");
+    (match Client.recv b with
+    | Ok resp -> begin
+      match Protocol.response_payload resp with
+      | Error { Protocol.code = Protocol.Malformed_frame; _ } -> ()
+      | Error e -> fail "expected malformed_frame, got %s" e.Protocol.message
+      | Ok _ -> fail "malformed frame was answered with ok"
+    end
+    | Error e -> fail "no response to malformed frame: %s" e);
+    step "metrics after malformed";
+    ignore (check "metrics after malformed" (Client.request b Protocol.Metrics));
+    Client.send_raw b "\x00\x00\x00\x10half a frame";
+    Client.close b;
+    (* the first client keeps working after b's mid-frame disconnect *)
+    step "metrics after disconnect";
+    ignore (counter "requests" (metrics ()));
+    (* campaign submit/status round trip *)
+    step "campaign submit";
+    let submit =
+      check "campaign_submit"
+        (Client.request a
+           (Protocol.Campaign_submit
+              {
+                spec = "circuits = C17\nmethods = standard\nseeds = 1\n";
+                domains = 1;
+              }))
+    in
+    let campaign = str_field "campaign" submit in
+    let rec poll tries =
+      if tries = 0 then fail "campaign %s did not finish" campaign;
+      let st =
+        check "campaign_status"
+          (Client.request a (Protocol.Campaign_status { campaign }))
+      in
+      match str_field "state" st with
+      | "running" ->
+        Unix.sleepf 0.05;
+        poll (tries - 1)
+      | "done" -> ()
+      | other -> fail "campaign %s: %s" campaign other
+    in
+    step "campaign poll";
+    poll 200;
+    step "shutdown";
+    ignore
+      (check "shutdown" (Client.request a Protocol.Shutdown));
+    Client.close a;
+    step "join server";
+    Domain.join server_domain;
+    (match (fds_before, Iddq_util.Io.open_fd_count ()) with
+    | Some before, Some after when after > before ->
+      fail "descriptor leak: %d open before, %d after" before after
+    | _ -> ());
+    if Sys.file_exists socket then fail "socket file %s left behind" socket;
+    print_endline "serve-smoke: PASS"
+  in
+  Cmd.v
+    (Cmd.info "serve-smoke"
+       ~doc:"End-to-end service check: scripted client through load, \
+             partition (twice, asserting a session-cache hit), fault_sim, a \
+             misbehaving second client, campaign, shutdown; verifies no \
+             descriptor leaks.")
+    Term.(const run $ const ())
+
 let () =
   let info =
     Cmd.info "iddq_synth" ~version:"0.1.0"
@@ -547,4 +788,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ partition_cmd; compare_cmd; simulate_cmd; atpg_cmd; dump_library_cmd;
-         stats_cmd; generate_cmd; campaign_cmd ]))
+         stats_cmd; generate_cmd; campaign_cmd; serve_cmd; client_cmd;
+         serve_smoke_cmd ]))

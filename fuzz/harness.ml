@@ -22,6 +22,8 @@ module Pattern_io = Iddq_patterns.Pattern_io
 module Spec = Iddq_campaign.Spec
 module Store = Iddq_campaign.Store
 module Job_result = Iddq_campaign.Job_result
+module Frame = Iddq_server.Frame
+module Protocol = Iddq_server.Protocol
 
 type target = {
   name : string;
@@ -117,6 +119,86 @@ let targets () =
       corpus = [ Spec.to_string Spec.default ];
       parse = (fun s -> ok (Spec.parse s));
       parse_path = Some (fun p -> ok (Spec.parse_file p));
+    };
+    {
+      name = "server-frame";
+      corpus =
+        (let handle = Digest.to_hex (Digest.string "corpus") in
+         let reqs =
+           [
+             Protocol.Load_circuit { name = Some "C17"; bench = None };
+             Protocol.Load_circuit
+               { name = None; bench = Some (Bench_io.to_string c17) };
+             Protocol.Characterize { handle };
+             Protocol.Partition
+               {
+                 handle;
+                 method_ = Iddq.Pipeline.Evolution;
+                 seed = 7;
+                 module_size = Some 4;
+                 require_feasible = true;
+               };
+             Protocol.Fault_sim
+               {
+                 handle;
+                 method_ = Iddq.Pipeline.Standard;
+                 seed = 1;
+                 vectors = 16;
+                 defects = 10;
+                 defect_current = 2.0e-6;
+               };
+             Protocol.Campaign_submit
+               { spec = Spec.to_string Spec.default; domains = 2 };
+             Protocol.Campaign_status { campaign = "campaign-1" };
+             Protocol.Metrics;
+             Protocol.Shutdown;
+           ]
+         in
+         [
+           String.concat ""
+             (List.mapi
+                (fun i r -> Frame.encode (Protocol.request_to_json ~id:i r))
+                reqs);
+         ]);
+      parse =
+        (* decode only (no execution): feed the byte stream to the
+           incremental decoder in small chunks and run every decoded
+           frame through the request parser.  The contract is the
+           server's: whatever the bytes, events come out as values —
+           an Oversized event poisons the stream terminally, exactly
+           as a connection would be dropped. *)
+        (fun s ->
+          let d = Frame.create ~max_frame:(1 lsl 20) () in
+          let clean = ref true in
+          let rec drain () =
+            match Frame.next d with
+            | None -> `More
+            | Some (Frame.Frame j) ->
+              (match Protocol.request_of_json j with
+              | Ok _ -> ()
+              | Error _ -> clean := false);
+              drain ()
+            | Some (Frame.Malformed _) ->
+              clean := false;
+              drain ()
+            | Some (Frame.Oversized _) ->
+              clean := false;
+              `Poisoned
+          in
+          let len = String.length s in
+          let rec go pos =
+            if pos >= len then `More
+            else begin
+              let n = min 7 (len - pos) in
+              Frame.feed d (String.sub s pos n);
+              match drain () with
+              | `More -> go (pos + n)
+              | `Poisoned -> `Poisoned
+            end
+          in
+          (match go 0 with `More | `Poisoned -> ());
+          !clean && Frame.buffered d = 0);
+      parse_path = None;
     };
     {
       name = "jsonl-store";

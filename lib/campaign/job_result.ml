@@ -91,7 +91,13 @@ let strip_timing r =
   {
     r with
     elapsed = 0.0;
-    metrics = { r.metrics with Metrics.seconds_full = 0.0; seconds_delta = 0.0 };
+    metrics =
+      {
+        r.metrics with
+        Metrics.seconds_full = 0.0;
+        seconds_delta = 0.0;
+        seconds_requests = 0.0;
+      };
   }
 
 (* ------------------------------------------------------------------ *)
@@ -119,6 +125,11 @@ let metrics_json (m : Metrics.snapshot) =
       ("sim_blocks", Json.Int m.Metrics.sim_blocks);
       ("sim_fault_blocks", Json.Int m.Metrics.sim_fault_blocks);
       ("sim_dropped", Json.Int m.Metrics.sim_faults_dropped);
+      ("requests", Json.Int m.Metrics.requests);
+      ("requests_failed", Json.Int m.Metrics.requests_failed);
+      ("sec_requests", Json.Float m.Metrics.seconds_requests);
+      ("srv_hits", Json.Int m.Metrics.server_cache_hits);
+      ("srv_misses", Json.Int m.Metrics.server_cache_misses);
     ]
 
 let to_json r =
@@ -233,6 +244,16 @@ let of_json j =
   let sim_blocks = mfield_default "sim_blocks" in
   let sim_fault_blocks = mfield_default "sim_fault_blocks" in
   let sim_faults_dropped = mfield_default "sim_dropped" in
+  (* server counters postdate the first stores: absent means 0 *)
+  let requests = mfield_default "requests" in
+  let requests_failed = mfield_default "requests_failed" in
+  let seconds_requests =
+    match Option.bind (Json.member "sec_requests" mj) Json.to_float with
+    | Some v -> v
+    | None -> 0.0
+  in
+  let server_cache_hits = mfield_default "srv_hits" in
+  let server_cache_misses = mfield_default "srv_misses" in
   Ok
     {
       job_id;
@@ -266,6 +287,11 @@ let of_json j =
           sim_blocks;
           sim_fault_blocks;
           sim_faults_dropped;
+          requests;
+          requests_failed;
+          seconds_requests;
+          server_cache_hits;
+          server_cache_misses;
         };
     }
 

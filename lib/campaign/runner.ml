@@ -12,6 +12,11 @@ type outcome = {
   timed_out : int;
 }
 
+type error = Invalid_spec of string
+
+let error_to_string = function
+  | Invalid_spec msg -> "invalid campaign spec: " ^ msg
+
 (* FNV-1a over the job id: a stable, grid-independent stream index. *)
 let fnv1a64 s =
   let prime = 0x100000001B3L in
@@ -128,11 +133,7 @@ let worker state spec ~resolve ~store ~on_result () =
   in
   loop ()
 
-let run ?(domains = 1) ?(resolve = Iddq_netlist.Iscas.by_name)
-    ?(on_result = fun _ _ ~fresh:_ -> ()) ~store spec =
-  (match Spec.validate spec with
-  | Ok () -> ()
-  | Error e -> invalid_arg ("Campaign.Runner.run: " ^ e));
+let run_validated ~domains ~resolve ~on_result ~store spec =
   let jobs = Spec.jobs spec in
   let state =
     {
@@ -206,3 +207,9 @@ let run ?(domains = 1) ?(resolve = Iddq_netlist.Iscas.by_name)
           | Job_result.Timeout _ -> true
           | _ -> false);
   }
+
+let run ?(domains = 1) ?(resolve = Iddq_netlist.Iscas.by_name)
+    ?(on_result = fun _ _ ~fresh:_ -> ()) ~store spec =
+  match Spec.validate spec with
+  | Error e -> Error (Invalid_spec e)
+  | Ok () -> Ok (run_validated ~domains ~resolve ~on_result ~store spec)

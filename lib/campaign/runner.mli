@@ -28,6 +28,13 @@ type outcome = {
   timed_out : int;
 }
 
+type error = Invalid_spec of string
+    (** The spec failed {!Spec.validate}; the payload is its
+        diagnostic.  (Job-level failures never surface here — they are
+        isolated into [Failed]/[Timeout] records.) *)
+
+val error_to_string : error -> string
+
 val derived_seed : Spec.job -> int
 (** Non-negative per-job seed: the job's grid seed stream-split by a
     hash of its id ({!Iddq_util.Rng.derive}).  Depends only on the job
@@ -40,12 +47,13 @@ val run :
   ?on_result:(Spec.job -> Job_result.t -> fresh:bool -> unit) ->
   store:Store.t ->
   Spec.t ->
-  outcome
+  (outcome, error) result
 (** Execute the campaign.  [domains] (default 1, clamped to the job
     count) sizes the worker pool.  [resolve] maps circuit names to
-    netlists (default {!Iddq_netlist.Iscas.by_name}; a test hook and
-    the place to plug file-loaded netlists in).  [on_result] observes
-    every job outcome in completion order, including skipped stored
-    results ([fresh:false]); it is called with the scheduler lock held
-    from worker domains, so keep it brief.  Raises [Invalid_argument]
-    on an invalid spec. *)
+    netlists (default {!Iddq_netlist.Iscas.by_name} — lookups return
+    [option], a miss becomes the job's [Failed] record; a test hook
+    and the place to plug file-loaded netlists in).  [on_result]
+    observes every job outcome in completion order, including skipped
+    stored results ([fresh:false]); it is called with the scheduler
+    lock held from worker domains, so keep it brief.  An invalid spec
+    is [Error (Invalid_spec _)] — never an exception. *)

@@ -58,6 +58,67 @@ let default_config =
     metrics = Iddq_util.Metrics.global;
   }
 
+let config ?(library = default_config.library)
+    ?(weights = default_config.weights)
+    ?(es_params = default_config.es_params) ?(seed = default_config.seed)
+    ?module_size ?reference_sizes ?(metrics = default_config.metrics) () =
+  { library; weights; es_params; seed; module_size; reference_sizes; metrics }
+
+(* ------------------------------------------------------------------ *)
+(* Structured errors                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | Empty_circuit
+  | Bad_config of string
+  | Characterization_failed of string
+  | Infeasible of { method_ : method_; penalized : float; min_discriminability : float }
+  | Internal of string
+
+let error_to_string = function
+  | Empty_circuit -> "the circuit has no gates to partition"
+  | Bad_config msg -> "bad configuration: " ^ msg
+  | Characterization_failed msg -> "characterization failed: " ^ msg
+  | Infeasible { method_; penalized; min_discriminability } ->
+    Printf.sprintf
+      "method %s produced no feasible partition (penalized cost %g, min \
+       discriminability %g)"
+      (method_to_string method_) penalized min_discriminability
+  | Internal msg -> "internal error: " ^ msg
+
+(* Catch what the configured passes are documented to raise on bad
+   inputs and turn it into the structured error; anything else is a
+   bug and propagates. *)
+let validate_config ~config method_ ch =
+  let num_gates = Charac.num_gates ch in
+  let p = config.es_params in
+  if p.Es.mu < 1 then Error (Bad_config "es_params.mu must be >= 1")
+  else if p.Es.lambda < 1 then Error (Bad_config "es_params.lambda must be >= 1")
+  else if p.Es.max_generations < 0 then
+    Error (Bad_config "es_params.max_generations must be >= 0")
+  else begin
+    match config.module_size with
+    | Some s when s < 1 ->
+      Error (Bad_config (Printf.sprintf "module size %d is not positive" s))
+    | _ -> begin
+      match method_, config.reference_sizes with
+      | (Standard | Refined_standard), Some sizes ->
+        if List.exists (fun s -> s < 1) sizes then
+          Error (Bad_config "reference sizes must all be positive")
+        else begin
+          let sum = List.fold_left ( + ) 0 sizes in
+          if sum <> num_gates then
+            Error
+              (Bad_config
+                 (Printf.sprintf
+                    "reference sizes sum to %d but the circuit has %d gates"
+                    sum num_gates))
+          else Ok ()
+        end
+      | _ -> Ok ()
+    end
+  end
+
 let finish ~config ~method_used ~generations ch partition =
   {
     charac = ch;
@@ -88,9 +149,7 @@ let standard_sizes ~config ch =
     let base = n / k and extra = n mod k in
     List.init k (fun i -> base + if i < extra then 1 else 0)
 
-let run_charac ?(config = default_config) method_ ch =
-  if Charac.num_gates ch = 0 then
-    invalid_arg "Pipeline.run: the circuit has no gates to partition";
+let run_charac_exn ~config method_ ch =
   let rng = Rng.create config.seed in
   match method_ with
   | Evolution ->
@@ -127,30 +186,86 @@ let run_charac ?(config = default_config) method_ ch =
     in
     finish ~config ~method_used:Refined_standard ~generations:0 ch p
 
+let check_feasible ~require_feasible method_ (r : t) =
+  if require_feasible && not r.breakdown.Cost.feasible then
+    Error
+      (Infeasible
+         {
+           method_;
+           penalized = r.breakdown.Cost.penalized;
+           min_discriminability = r.breakdown.Cost.min_discriminability;
+         })
+  else Ok r
+
+let run_charac_result ?(config = default_config) ?(require_feasible = false)
+    method_ ch =
+  if Charac.num_gates ch = 0 then Error Empty_circuit
+  else begin
+    match validate_config ~config method_ ch with
+    | Error err -> Error err
+    | Ok () -> begin
+      (* The passes validate their own inputs with [Invalid_argument];
+         after the checks above any residual raise is a configuration
+         the validator does not model, still a caller error. *)
+      match run_charac_exn ~config method_ ch with
+      | r -> check_feasible ~require_feasible method_ r
+      | exception Invalid_argument msg -> Error (Bad_config msg)
+      | exception Failure msg -> Error (Internal msg)
+    end
+  end
+
+let run_result ?(config = default_config) ?require_feasible method_ circuit =
+  match Charac.make ~library:config.library circuit with
+  | ch -> run_charac_result ~config ?require_feasible method_ ch
+  | exception Invalid_argument msg -> Error (Characterization_failed msg)
+  | exception Failure msg -> Error (Characterization_failed msg)
+  | exception Not_found ->
+    Error (Characterization_failed "cell lookup failed for a gate kind")
+
+let run_charac ?(config = default_config) method_ ch =
+  match run_charac_result ~config method_ ch with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Pipeline.run: " ^ error_to_string e)
+
 let run ?(config = default_config) method_ circuit =
-  run_charac ~config method_ (Charac.make ~library:config.library circuit)
+  match run_result ~config method_ circuit with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Pipeline.run: " ^ error_to_string e)
+
+let compare_methods_result ?(config = default_config) circuit methods =
+  match Charac.make ~library:config.library circuit with
+  | exception Invalid_argument msg -> Error (Characterization_failed msg)
+  | exception Failure msg -> Error (Characterization_failed msg)
+  | ch ->
+    let evolution_first =
+      if List.mem Evolution methods then
+        Evolution :: List.filter (fun m -> m <> Evolution) methods
+      else methods
+    in
+    let config = ref config in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | m :: tl -> begin
+        match run_charac_result ~config:!config m ch with
+        | Error err -> Error err
+        | Ok r ->
+          (if m = Evolution && !config.reference_sizes = None then
+             let sizes =
+               List.map
+                 (fun id -> Partition.size r.partition id)
+                 (Partition.module_ids r.partition)
+             in
+             config := { !config with reference_sizes = Some sizes });
+          go ((m, r) :: acc) tl
+      end
+    in
+    Result.map
+      (fun results ->
+        (* restore the caller's method order *)
+        List.map (fun m -> (m, List.assoc m results)) methods)
+      (go [] evolution_first)
 
 let compare_methods ?(config = default_config) circuit methods =
-  let ch = Charac.make ~library:config.library circuit in
-  let evolution_first =
-    if List.mem Evolution methods then
-      Evolution :: List.filter (fun m -> m <> Evolution) methods
-    else methods
-  in
-  let config = ref config in
-  let results =
-    List.map
-      (fun m ->
-        let r = run_charac ~config:!config m ch in
-        (if m = Evolution && !config.reference_sizes = None then
-           let sizes =
-             List.map
-               (fun id -> Partition.size r.partition id)
-               (Partition.module_ids r.partition)
-           in
-           config := { !config with reference_sizes = Some sizes });
-        (m, r))
-      evolution_first
-  in
-  (* restore the caller's method order *)
-  List.map (fun m -> (m, List.assoc m results)) methods
+  match compare_methods_result ~config circuit methods with
+  | Ok results -> results
+  | Error e -> invalid_arg ("Pipeline.compare_methods: " ^ error_to_string e)

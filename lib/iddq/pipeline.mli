@@ -2,8 +2,18 @@
     library, build the chain start population, optimize the partition
     with the evolution strategy, and size one BIC sensor per module.
 
-    This is the library's main entry point; the [examples/] programs
-    and the benchmark harness are thin wrappers around it. *)
+    This is the library's main entry point; the [examples/] programs,
+    the benchmark harness, the campaign runner and the resident
+    service ([Iddq_server]) are thin wrappers around it.
+
+    {b Facade conventions} (every machine-facing caller should follow
+    them):
+    - build configurations with the {!val-config} builder, setting
+      only the fields a request carries;
+    - call {!run_result} / {!run_charac_result} /
+      {!compare_methods_result} and match on the structured {!error};
+    - {!run}, {!run_charac} and {!compare_methods} remain as thin
+      raising wrappers for interactive callers and compatibility. *)
 
 type method_ = Evolution | Standard | Random | Annealing | Refined_standard
 (** Partitioning methods: the paper's contribution ([Evolution]), its
@@ -21,6 +31,8 @@ type t = {
   method_used : method_;
   generations : int;  (** ES generations run (0 for one-shot methods). *)
 }
+
+(** {1 Configuration} *)
 
 type config = {
   library : Iddq_celllib.Library.t;
@@ -40,19 +52,97 @@ type config = {
           concurrent campaign its own instance so its counters are not
           polluted by jobs running in other domains. *)
 }
+(** @deprecated Building or updating this record directly
+    ([{ default_config with ... }]) is deprecated in favour of the
+    {!val-config} builder: record updates break silently when a field
+    is added, while the builder keeps every omitted field at its
+    default.  The type stays exposed so existing callers compile. *)
+
+val config :
+  ?library:Iddq_celllib.Library.t ->
+  ?weights:Iddq_core.Cost.weights ->
+  ?es_params:Iddq_evolution.Es.params ->
+  ?seed:int ->
+  ?module_size:int ->
+  ?reference_sizes:int list ->
+  ?metrics:Iddq_util.Metrics.t ->
+  unit ->
+  config
+(** [config ()] is {!default_config}; each label overrides one field.
+    This is the supported way to build a configuration — callers that
+    decode requests (the campaign runner, the server) set exactly what
+    the request carries and inherit defaults for the rest. *)
 
 val default_config : config
 (** Default library, paper weights, default ES parameters, seed 42. *)
 
-val run : ?config:config -> method_ -> Iddq_netlist.Circuit.t -> t
+(** {1 Structured errors} *)
 
-val run_charac : ?config:config -> method_ -> Iddq_analysis.Charac.t -> t
+type error =
+  | Empty_circuit  (** The circuit has no gates to partition. *)
+  | Bad_config of string
+      (** Invalid configuration: non-positive module size, reference
+          sizes that are non-positive or do not sum to the gate
+          count, degenerate ES parameters. *)
+  | Characterization_failed of string
+      (** [Charac.make] could not characterize the circuit against
+          the configured library. *)
+  | Infeasible of {
+      method_ : method_;
+      penalized : float;
+      min_discriminability : float;
+    }
+      (** The method finished but its best partition violates the
+          feasibility constraints (only reported when the caller
+          passed [~require_feasible:true]). *)
+  | Internal of string  (** A pass failed in an unclassified way. *)
+
+val error_to_string : error -> string
+
+(** {1 Result-typed entry points} *)
+
+val run_result :
+  ?config:config ->
+  ?require_feasible:bool ->
+  method_ ->
+  Iddq_netlist.Circuit.t ->
+  (t, error) result
+(** Characterize and partition.  Never raises on bad inputs: empty
+    circuits, invalid configurations and characterization failures
+    come back as [Error].  [require_feasible] (default [false])
+    additionally turns a structurally valid but infeasible best
+    partition into [Error (Infeasible _)] — useful for services that
+    must not hand out partitions violating the constraints. *)
+
+val run_charac_result :
+  ?config:config ->
+  ?require_feasible:bool ->
+  method_ ->
+  Iddq_analysis.Charac.t ->
+  (t, error) result
 (** Same, reusing an existing characterization (cheaper when several
-    methods run on one circuit). *)
+    methods — or several requests — run on one circuit). *)
 
-val compare_methods :
-  ?config:config -> Iddq_netlist.Circuit.t -> method_ list -> (method_ * t) list
+val compare_methods_result :
+  ?config:config ->
+  Iddq_netlist.Circuit.t ->
+  method_ list ->
+  ((method_ * t) list, error) result
 (** Runs several methods on one characterization.  When the list
     contains [Evolution], it runs first and its module sizes become
     the [reference_sizes] for [Standard]/[Refined_standard], matching
-    the paper's protocol. *)
+    the paper's protocol.  The first failing method aborts the
+    comparison. *)
+
+(** {1 Raising wrappers (compatibility)} *)
+
+val run : ?config:config -> method_ -> Iddq_netlist.Circuit.t -> t
+(** {!run_result}, raising [Invalid_argument] with the rendered
+    {!error} on failure. *)
+
+val run_charac : ?config:config -> method_ -> Iddq_analysis.Charac.t -> t
+(** {!run_charac_result}, raising [Invalid_argument] on failure. *)
+
+val compare_methods :
+  ?config:config -> Iddq_netlist.Circuit.t -> method_ list -> (method_ * t) list
+(** {!compare_methods_result}, raising [Invalid_argument] on failure. *)

@@ -1,0 +1,76 @@
+module Metrics = Iddq_util.Metrics
+module Rng = Iddq_util.Rng
+module Circuit = Iddq_netlist.Circuit
+module Bench_io = Iddq_netlist.Bench_io
+module Charac = Iddq_analysis.Charac
+module Parallel_sim = Iddq_patterns.Parallel_sim
+
+type t = {
+  metrics : Metrics.t;
+  library : Iddq_celllib.Library.t;
+  lock : Mutex.t;
+  circuits : (string, Circuit.t) Hashtbl.t;
+  characs : (string, Charac.t) Hashtbl.t;
+  vector_sets :
+    (string * int * int, bool array array * Parallel_sim.packed) Hashtbl.t;
+}
+
+let create ?(metrics = Metrics.global)
+    ?(library = Iddq_celllib.Library.default) () =
+  {
+    metrics;
+    library;
+    lock = Mutex.create ();
+    circuits = Hashtbl.create 16;
+    characs = Hashtbl.create 16;
+    vector_sets = Hashtbl.create 16;
+  }
+
+let handle_of_circuit c = Digest.to_hex (Digest.string (Bench_io.to_string c))
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Memoize under the lock: a derived value is computed at most once,
+   concurrent requests for the same key block on the computing one.
+   The computations (characterization, vector packing) are linear in
+   the circuit, far below any request's own optimization work. *)
+let memo t table key compute =
+  locked t (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some v ->
+        Metrics.record_server_cache t.metrics ~hit:true;
+        v
+      | None ->
+        Metrics.record_server_cache t.metrics ~hit:false;
+        let v = compute () in
+        Hashtbl.replace table key v;
+        v)
+
+let add_circuit t c =
+  let handle = handle_of_circuit c in
+  ignore (memo t t.circuits handle (fun () -> c));
+  handle
+
+let find_circuit t handle =
+  locked t (fun () -> Hashtbl.find_opt t.circuits handle)
+
+let charac t ~handle c =
+  memo t t.characs handle (fun () -> Charac.make ~library:t.library c)
+
+let vectors t ~handle ~seed ~count c =
+  memo t t.vector_sets (handle, seed, count) (fun () ->
+      let rng = Rng.create seed in
+      let vs = Iddq_patterns.Pattern_gen.random ~rng c ~count in
+      (vs, Parallel_sim.pack_all vs))
+
+type stats = { circuits : int; characs : int; vector_sets : int }
+
+let stats t =
+  locked t (fun () ->
+      {
+        circuits = Hashtbl.length t.circuits;
+        characs = Hashtbl.length t.characs;
+        vector_sets = Hashtbl.length t.vector_sets;
+      })

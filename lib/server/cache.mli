@@ -1,0 +1,46 @@
+(** Session cache of the resident service, keyed by content hash.
+
+    A circuit's {e handle} is the hex digest of its canonical [.bench]
+    rendering, so the same netlist loaded twice — by name, by inline
+    text, by different clients — lands on one entry, and everything
+    derived from it (its {!Iddq_analysis.Charac.t}, its packed random
+    vector sets) is computed once and reused across requests.
+
+    All operations are domain-safe (one lock); derived-value lookups
+    record hit/miss into the service's {!Iddq_util.Metrics.t}
+    ([server_cache_hits]/[server_cache_misses]). *)
+
+type t
+
+val create :
+  ?metrics:Iddq_util.Metrics.t -> ?library:Iddq_celllib.Library.t -> unit -> t
+(** [metrics] defaults to {!Iddq_util.Metrics.global}; [library] (used
+    by {!charac}) to the built-in default. *)
+
+val handle_of_circuit : Iddq_netlist.Circuit.t -> string
+(** Content hash of the canonical [.bench] text. *)
+
+val add_circuit : t -> Iddq_netlist.Circuit.t -> string
+(** Insert (or find) a circuit; returns its handle.  Re-adding the
+    same content is a cache hit. *)
+
+val find_circuit : t -> string -> Iddq_netlist.Circuit.t option
+
+val charac : t -> handle:string -> Iddq_netlist.Circuit.t -> Iddq_analysis.Charac.t
+(** The circuit's characterization against the cache's library,
+    computed on first use. *)
+
+val vectors :
+  t ->
+  handle:string ->
+  seed:int ->
+  count:int ->
+  Iddq_netlist.Circuit.t ->
+  bool array array * Iddq_patterns.Parallel_sim.packed
+(** [count] random vectors for the circuit drawn from a fresh
+    [Rng.create seed], together with their 64-way packed form —
+    generated and packed once per (handle, seed, count). *)
+
+type stats = { circuits : int; characs : int; vector_sets : int }
+
+val stats : t -> stats

@@ -1,0 +1,58 @@
+module Json = Iddq_util.Json
+
+let default_max_frame = 8 * 1024 * 1024
+let header_length = 4
+
+let encode_payload payload =
+  let len = String.length payload in
+  let b = Bytes.create (header_length + len) in
+  Bytes.set b 0 (Char.chr ((len lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((len lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((len lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (len land 0xFF));
+  Bytes.blit_string payload 0 b header_length len;
+  Bytes.unsafe_to_string b
+
+let encode j = encode_payload (Json.to_string j)
+
+type event = Frame of Json.t | Malformed of string | Oversized of int
+
+type decoder = {
+  max_frame : int;
+  mutable buf : string;  (* unconsumed bytes *)
+  mutable poisoned : int option;  (* declared length of an oversized frame *)
+}
+
+let create ?(max_frame = default_max_frame) () =
+  { max_frame; buf = ""; poisoned = None }
+
+let feed d s = if s <> "" then d.buf <- d.buf ^ s
+let feed_sub d b off len = if len > 0 then feed d (Bytes.sub_string b off len)
+let buffered d = String.length d.buf
+
+let declared_length s =
+  let b i = Char.code s.[i] in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let next d =
+  match d.poisoned with
+  | Some n -> Some (Oversized n)
+  | None ->
+    let have = String.length d.buf in
+    if have < header_length then None
+    else begin
+      let len = declared_length d.buf in
+      if len > d.max_frame then begin
+        d.poisoned <- Some len;
+        Some (Oversized len)
+      end
+      else if have < header_length + len then None
+      else begin
+        let payload = String.sub d.buf header_length len in
+        d.buf <-
+          String.sub d.buf (header_length + len) (have - header_length - len);
+        match Json.parse payload with
+        | Ok j -> Some (Frame j)
+        | Error e -> Some (Malformed e)
+      end
+    end

@@ -1,0 +1,54 @@
+(** Length-prefixed JSON framing — the service's wire format.
+
+    One frame is a 4-byte big-endian payload length followed by that
+    many bytes of JSON text ({!Iddq_util.Json}).  Length prefixing
+    keeps message boundaries exact over a stream socket: a decoder
+    never needs to scan the payload, and a malformed JSON payload
+    leaves the stream {e in sync} — the next frame still decodes.
+
+    The decoder is incremental: feed it whatever byte chunks the
+    socket delivers (any split, including mid-header) and drain
+    {!next} until it asks for more.  A declared length above the
+    decoder's cap is unrecoverable by design — we refuse to buffer the
+    payload, so the connection must be dropped; the decoder stays
+    poisoned and keeps reporting [Oversized]. *)
+
+val default_max_frame : int
+(** 8 MiB — larger than any legitimate request or response. *)
+
+val header_length : int
+(** 4. *)
+
+val encode_payload : string -> string
+(** Wrap pre-rendered payload text in a frame. *)
+
+val encode : Iddq_util.Json.t -> string
+(** Render and wrap one JSON value. *)
+
+type event =
+  | Frame of Iddq_util.Json.t  (** One complete, well-formed frame. *)
+  | Malformed of string
+      (** The payload was not valid JSON ([Json.parse] diagnostic).
+          The stream is still in sync; decoding may continue. *)
+  | Oversized of int
+      (** A header declared the given length, above the cap.  The
+          decoder is poisoned: close the connection. *)
+
+type decoder
+
+val create : ?max_frame:int -> unit -> decoder
+(** A fresh decoder accepting payloads up to [max_frame] (default
+    {!default_max_frame}) bytes. *)
+
+val feed : decoder -> string -> unit
+(** Append received bytes. *)
+
+val feed_sub : decoder -> bytes -> int -> int -> unit
+(** [feed_sub d buf off len] — append [len] bytes of [buf] at [off]. *)
+
+val next : decoder -> event option
+(** The next decoded event, or [None] when more bytes are needed.
+    Never raises, whatever was fed. *)
+
+val buffered : decoder -> int
+(** Bytes fed but not yet consumed by {!next}. *)

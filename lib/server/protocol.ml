@@ -1,0 +1,311 @@
+module Json = Iddq_util.Json
+module Metrics = Iddq_util.Metrics
+module Pipeline = Iddq.Pipeline
+
+type request =
+  | Load_circuit of { name : string option; bench : string option }
+  | Characterize of { handle : string }
+  | Partition of {
+      handle : string;
+      method_ : Pipeline.method_;
+      seed : int;
+      module_size : int option;
+      require_feasible : bool;
+    }
+  | Fault_sim of {
+      handle : string;
+      method_ : Pipeline.method_;
+      seed : int;
+      vectors : int;
+      defects : int;
+      defect_current : float;
+    }
+  | Campaign_submit of { spec : string; domains : int }
+  | Campaign_status of { campaign : string }
+  | Metrics
+  | Shutdown
+
+type error_code =
+  | Bad_request
+  | Unknown_op
+  | Not_found
+  | Infeasible
+  | Malformed_frame
+  | Oversized_frame
+  | Budget_exceeded
+  | Internal
+
+type error = { code : error_code; message : string }
+
+let error code message = { code; message }
+
+let code_to_string = function
+  | Bad_request -> "bad_request"
+  | Unknown_op -> "unknown_op"
+  | Not_found -> "not_found"
+  | Infeasible -> "infeasible"
+  | Malformed_frame -> "malformed_frame"
+  | Oversized_frame -> "oversized_frame"
+  | Budget_exceeded -> "budget_exceeded"
+  | Internal -> "internal"
+
+let code_of_string = function
+  | "bad_request" -> Some Bad_request
+  | "unknown_op" -> Some Unknown_op
+  | "not_found" -> Some Not_found
+  | "infeasible" -> Some Infeasible
+  | "malformed_frame" -> Some Malformed_frame
+  | "oversized_frame" -> Some Oversized_frame
+  | "budget_exceeded" -> Some Budget_exceeded
+  | "internal" -> Some Internal
+  | _ -> None
+
+let of_pipeline_error (e : Pipeline.error) =
+  let message = Pipeline.error_to_string e in
+  match e with
+  | Pipeline.Empty_circuit | Pipeline.Bad_config _ -> error Bad_request message
+  | Pipeline.Characterization_failed _ -> error Bad_request message
+  | Pipeline.Infeasible _ -> error Infeasible message
+  | Pipeline.Internal _ -> error Internal message
+
+(* ------------------------------------------------------------------ *)
+(* Request codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let default_seed = 42
+let default_vectors = 64
+let default_defects = 200
+let default_defect_current = 2.0e-6
+let default_domains = 1
+
+let member_id j = Option.bind (Json.member "id" j) Json.to_int
+
+let request_of_json j =
+  let id = member_id j in
+  let fail code msg = Error (id, error code msg) in
+  let str_field name = Option.bind (Json.member name j) Json.to_str in
+  let int_field name ~default =
+    match Json.member name j with
+    | None -> Ok default
+    | Some v -> begin
+      match Json.to_int v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S must be an integer" name)
+    end
+  in
+  let required_str name k =
+    match str_field name with
+    | Some s -> k s
+    | None -> fail Bad_request (Printf.sprintf "missing string field %S" name)
+  in
+  let with_int name ~default k =
+    match int_field name ~default with
+    | Ok v -> k v
+    | Error msg -> fail Bad_request msg
+  in
+  let with_method k =
+    match Json.member "method" j with
+    | None -> k Pipeline.Evolution
+    | Some v -> begin
+      match Option.bind (Json.to_str v) Pipeline.method_of_string with
+      | Some m -> k m
+      | None -> fail Bad_request "field \"method\" is not a known method"
+    end
+  in
+  match Json.member "op" j with
+  | None -> fail Bad_request "missing \"op\" field"
+  | Some op_j -> begin
+    match Json.to_str op_j with
+    | None -> fail Bad_request "\"op\" must be a string"
+    | Some op -> begin
+      match op with
+      | "load_circuit" -> begin
+        let name = str_field "name" and bench = str_field "bench" in
+        match name, bench with
+        | None, None ->
+          fail Bad_request "load_circuit needs \"name\" or \"bench\""
+        | Some _, Some _ ->
+          fail Bad_request "load_circuit takes \"name\" or \"bench\", not both"
+        | _ -> Ok (id, Load_circuit { name; bench })
+      end
+      | "characterize" ->
+        required_str "handle" (fun handle -> Ok (id, Characterize { handle }))
+      | "partition" ->
+        required_str "handle" (fun handle ->
+            with_method (fun method_ ->
+                with_int "seed" ~default:default_seed (fun seed ->
+                    let module_size =
+                      Option.bind (Json.member "module_size" j) Json.to_int
+                    in
+                    let require_feasible =
+                      match
+                        Option.bind (Json.member "require_feasible" j)
+                          Json.to_bool
+                      with
+                      | Some b -> b
+                      | None -> false
+                    in
+                    Ok
+                      ( id,
+                        Partition
+                          { handle; method_; seed; module_size; require_feasible }
+                      ))))
+      | "fault_sim" ->
+        required_str "handle" (fun handle ->
+            with_method (fun method_ ->
+                with_int "seed" ~default:default_seed (fun seed ->
+                    with_int "vectors" ~default:default_vectors (fun vectors ->
+                        with_int "defects" ~default:default_defects
+                          (fun defects ->
+                            let defect_current =
+                              match
+                                Option.bind
+                                  (Json.member "defect_current" j)
+                                  Json.to_float
+                              with
+                              | Some c -> c
+                              | None -> default_defect_current
+                            in
+                            if vectors < 1 || defects < 1 then
+                              fail Bad_request
+                                "fault_sim needs positive \"vectors\" and \
+                                 \"defects\""
+                            else
+                              Ok
+                                ( id,
+                                  Fault_sim
+                                    {
+                                      handle;
+                                      method_;
+                                      seed;
+                                      vectors;
+                                      defects;
+                                      defect_current;
+                                    } ))))))
+      | "campaign_submit" ->
+        required_str "spec" (fun spec ->
+            with_int "domains" ~default:default_domains (fun domains ->
+                if domains < 1 then
+                  fail Bad_request "\"domains\" must be positive"
+                else Ok (id, Campaign_submit { spec; domains })))
+      | "campaign_status" ->
+        required_str "campaign" (fun campaign ->
+            Ok (id, Campaign_status { campaign }))
+      | "metrics" -> Ok (id, Metrics)
+      | "shutdown" -> Ok (id, Shutdown)
+      | op -> fail Unknown_op (Printf.sprintf "unknown op %S" op)
+    end
+  end
+
+let request_to_json ?id r =
+  let id_field = match id with None -> [] | Some n -> [ ("id", Json.Int n) ] in
+  let fields =
+    match r with
+    | Load_circuit { name; bench } ->
+      ("op", Json.String "load_circuit")
+      :: (match name with Some n -> [ ("name", Json.String n) ] | None -> [])
+      @ (match bench with Some b -> [ ("bench", Json.String b) ] | None -> [])
+    | Characterize { handle } ->
+      [ ("op", Json.String "characterize"); ("handle", Json.String handle) ]
+    | Partition { handle; method_; seed; module_size; require_feasible } ->
+      [
+        ("op", Json.String "partition");
+        ("handle", Json.String handle);
+        ("method", Json.String (Pipeline.method_to_string method_));
+        ("seed", Json.Int seed);
+      ]
+      @ (match module_size with
+        | Some s -> [ ("module_size", Json.Int s) ]
+        | None -> [])
+      @ [ ("require_feasible", Json.Bool require_feasible) ]
+    | Fault_sim { handle; method_; seed; vectors; defects; defect_current } ->
+      [
+        ("op", Json.String "fault_sim");
+        ("handle", Json.String handle);
+        ("method", Json.String (Pipeline.method_to_string method_));
+        ("seed", Json.Int seed);
+        ("vectors", Json.Int vectors);
+        ("defects", Json.Int defects);
+        ("defect_current", Json.Float defect_current);
+      ]
+    | Campaign_submit { spec; domains } ->
+      [
+        ("op", Json.String "campaign_submit");
+        ("spec", Json.String spec);
+        ("domains", Json.Int domains);
+      ]
+    | Campaign_status { campaign } ->
+      [
+        ("op", Json.String "campaign_status");
+        ("campaign", Json.String campaign);
+      ]
+    | Metrics -> [ ("op", Json.String "metrics") ]
+    | Shutdown -> [ ("op", Json.String "shutdown") ]
+  in
+  Json.Obj (id_field @ fields)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let id_field = function None -> [] | Some n -> [ ("id", Json.Int n) ]
+
+let ok_response ~id payload = Json.Obj (id_field id @ [ ("ok", payload) ])
+
+let error_response ~id { code; message } =
+  Json.Obj
+    (id_field id
+    @ [
+        ( "error",
+          Json.Obj
+            [
+              ("code", Json.String (code_to_string code));
+              ("message", Json.String message);
+            ] );
+      ])
+
+let response_id = member_id
+
+let response_payload j =
+  match Json.member "ok" j with
+  | Some payload -> Ok payload
+  | None -> begin
+    match Json.member "error" j with
+    | Some e ->
+      let code =
+        match
+          Option.bind (Option.bind (Json.member "code" e) Json.to_str)
+            code_of_string
+        with
+        | Some c -> c
+        | None -> Internal
+      in
+      let message =
+        match Option.bind (Json.member "message" e) Json.to_str with
+        | Some m -> m
+        | None -> "unspecified error"
+      in
+      Error { code; message }
+    | None -> Error (error Internal "response carries neither ok nor error")
+  end
+
+let snapshot_json (s : Metrics.snapshot) =
+  Json.Obj
+    [
+      ("requests", Json.Int s.Metrics.requests);
+      ("requests_failed", Json.Int s.Metrics.requests_failed);
+      ("seconds_requests", Json.Float s.Metrics.seconds_requests);
+      ("cache_hits", Json.Int s.Metrics.server_cache_hits);
+      ("cache_misses", Json.Int s.Metrics.server_cache_misses);
+      ("full_evals", Json.Int s.Metrics.full_evals);
+      ("delta_evals", Json.Int s.Metrics.delta_evals);
+      ("eval_cache_hits", Json.Int s.Metrics.cache_hits);
+      ("moves", Json.Int s.Metrics.moves);
+      ("gates_full", Json.Int s.Metrics.gates_full);
+      ("gates_delta", Json.Int s.Metrics.gates_delta);
+      ("seconds_full", Json.Float s.Metrics.seconds_full);
+      ("seconds_delta", Json.Float s.Metrics.seconds_delta);
+      ("sim_blocks", Json.Int s.Metrics.sim_blocks);
+      ("sim_fault_blocks", Json.Int s.Metrics.sim_fault_blocks);
+      ("sim_faults_dropped", Json.Int s.Metrics.sim_faults_dropped);
+    ]

@@ -1,0 +1,166 @@
+module Json = Iddq_util.Json
+
+type t = {
+  listen_fd : Unix.file_descr;
+  socket : string;
+  service : Service.t;
+  max_frame : int;
+  lock : Mutex.t;
+  mutable conns : Unix.file_descr list;
+  mutable conn_domains : unit Domain.t list;
+  mutable stopping : bool;
+}
+
+let service t = t.service
+let socket_path t = t.socket
+
+let create ~socket ?(max_frame = Frame.default_max_frame) ?budget ?metrics ()
+    =
+  match
+    (try if Sys.file_exists socket then Sys.remove socket
+     with Sys_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX socket);
+       Unix.listen fd 16
+     with e ->
+       Unix.close fd;
+       raise e);
+    fd
+  with
+  | fd ->
+    Ok
+      {
+        listen_fd = fd;
+        socket;
+        service = Service.create ?metrics ?budget ();
+        max_frame;
+        lock = Mutex.create ();
+        conns = [];
+        conn_domains = [];
+        stopping = false;
+      }
+  | exception Unix.Unix_error (err, fn, _) ->
+    Error
+      (Printf.sprintf "cannot listen on %s: %s (%s)" socket
+         (Unix.error_message err) fn)
+  | exception Sys_error msg ->
+    Error (Printf.sprintf "cannot listen on %s: %s" socket msg)
+
+(* Write the whole frame; Unix.write may be partial. *)
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+let send fd json = write_all fd (Frame.encode json)
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let conns = if t.stopping then [] else t.conns in
+  let was_stopping = t.stopping in
+  t.stopping <- true;
+  Mutex.unlock t.lock;
+  if not was_stopping then begin
+    (* wake a blocked accept: closing the listen fd from another
+       domain does not interrupt it, but a dummy connection always
+       does — the loop sees [stopping] and exits *)
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_UNIX t.socket)
+        with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    (* give blocked connection reads an EOF; their responses in
+       flight still go out (only the receive side is shut) *)
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      conns
+  end
+
+let remove_conn t fd =
+  Mutex.lock t.lock;
+  t.conns <- List.filter (fun f -> f != fd) t.conns;
+  Mutex.unlock t.lock;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let connection_loop t fd =
+  let decoder = Frame.create ~max_frame:t.max_frame () in
+  let buf = Bytes.create 4096 in
+  let rec drain () =
+    match Frame.next decoder with
+    | None -> `More
+    | Some (Frame.Frame j) -> begin
+      let resp, what = Service.handle t.service j in
+      send fd resp;
+      match what with
+      | `Shutdown ->
+        shutdown t;
+        `Close
+      | `Continue -> drain ()
+    end
+    | Some (Frame.Malformed msg) ->
+      send fd
+        (Protocol.error_response ~id:None
+           (Protocol.error Protocol.Malformed_frame ("bad frame payload: " ^ msg)));
+      drain ()
+    | Some (Frame.Oversized n) ->
+      send fd
+        (Protocol.error_response ~id:None
+           (Protocol.error Protocol.Oversized_frame
+              (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" n
+                 t.max_frame)));
+      `Close
+  in
+  let rec read_loop () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> ()  (* client hung up (possibly mid-frame) *)
+    | n -> begin
+      Frame.feed_sub decoder buf 0 n;
+      match drain () with `More -> read_loop () | `Close -> ()
+    end
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+      ->
+      ()
+  in
+  Fun.protect ~finally:(fun () -> remove_conn t fd) read_loop
+
+let run t =
+  let rec accept_loop () =
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+      Mutex.lock t.lock;
+      if t.stopping then begin
+        Mutex.unlock t.lock;
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      end
+      else begin
+        t.conns <- fd :: t.conns;
+        let d = Domain.spawn (fun () -> connection_loop t fd) in
+        t.conn_domains <- d :: t.conn_domains;
+        Mutex.unlock t.lock
+      end;
+      if not t.stopping then accept_loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+  in
+  accept_loop ();
+  shutdown t;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* join connection domains; the list only grows from the (finished)
+     accept loop, so this snapshot is complete *)
+  Mutex.lock t.lock;
+  let domains = t.conn_domains in
+  t.conn_domains <- [];
+  Mutex.unlock t.lock;
+  List.iter Domain.join domains;
+  Service.stop t.service;
+  try if Sys.file_exists t.socket then Sys.remove t.socket
+  with Sys_error _ -> ()

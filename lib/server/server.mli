@@ -1,0 +1,44 @@
+(** The `iddq_synth serve` daemon: a Unix-domain-socket transport
+    around {!Service}.
+
+    One [Domain] per accepted connection; the {!Service} (session
+    cache, campaign registry, metrics) is shared by all of them.
+    Connection-level failures degrade per the protocol contract:
+
+    - a frame whose payload is not valid JSON gets a
+      [malformed_frame] error response and the connection continues
+      (length prefixing keeps the stream in sync);
+    - a frame above the length cap gets an [oversized_frame] error
+      response and the connection is closed (the payload is never
+      buffered);
+    - a client disconnecting — cleanly or mid-frame — closes only its
+      own connection;
+    - a [shutdown] request is answered, then the listener closes,
+      remaining connections are drained, and {!run} returns.
+
+    Descriptors are accounted strictly: every accepted socket is
+    closed on every path out of its connection loop. *)
+
+type t
+
+val create :
+  socket:string ->
+  ?max_frame:int ->
+  ?budget:float ->
+  ?metrics:Iddq_util.Metrics.t ->
+  unit ->
+  (t, string) result
+(** Bind and listen on [socket] (an existing socket file is replaced).
+    [max_frame] caps frame payloads ({!Frame.default_max_frame});
+    [budget] and [metrics] configure the {!Service}. *)
+
+val service : t -> Service.t
+val socket_path : t -> string
+
+val run : t -> unit
+(** Accept and serve until a [shutdown] request (or {!shutdown})
+    arrives, then drain connections, join their domains, stop the
+    service, and remove the socket file. *)
+
+val shutdown : t -> unit
+(** Ask a running {!run} to stop from another domain.  Idempotent. *)

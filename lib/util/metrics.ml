@@ -10,6 +10,11 @@ type t = {
   sim_blocks : int Atomic.t;
   sim_fault_blocks : int Atomic.t;
   sim_faults_dropped : int Atomic.t;
+  requests : int Atomic.t;
+  requests_failed : int Atomic.t;
+  seconds_requests : float Atomic.t;
+  server_cache_hits : int Atomic.t;
+  server_cache_misses : int Atomic.t;
 }
 
 let create () =
@@ -25,6 +30,11 @@ let create () =
     sim_blocks = Atomic.make 0;
     sim_fault_blocks = Atomic.make 0;
     sim_faults_dropped = Atomic.make 0;
+    requests = Atomic.make 0;
+    requests_failed = Atomic.make 0;
+    seconds_requests = Atomic.make 0.0;
+    server_cache_hits = Atomic.make 0;
+    server_cache_misses = Atomic.make 0;
   }
 
 let global = create ()
@@ -52,6 +62,15 @@ let record_fault_sim t ~blocks ~fault_blocks ~dropped =
   ignore (Atomic.fetch_and_add t.sim_fault_blocks fault_blocks);
   ignore (Atomic.fetch_and_add t.sim_faults_dropped dropped)
 
+let record_request t ~ok ~seconds =
+  ignore (Atomic.fetch_and_add t.requests 1);
+  if not ok then ignore (Atomic.fetch_and_add t.requests_failed 1);
+  add_float t.seconds_requests seconds
+
+let record_server_cache t ~hit =
+  if hit then ignore (Atomic.fetch_and_add t.server_cache_hits 1)
+  else ignore (Atomic.fetch_and_add t.server_cache_misses 1)
+
 type snapshot = {
   full_evals : int;
   delta_evals : int;
@@ -64,6 +83,11 @@ type snapshot = {
   sim_blocks : int;
   sim_fault_blocks : int;
   sim_faults_dropped : int;
+  requests : int;
+  requests_failed : int;
+  seconds_requests : float;
+  server_cache_hits : int;
+  server_cache_misses : int;
 }
 
 let snapshot (t : t) =
@@ -79,6 +103,11 @@ let snapshot (t : t) =
     sim_blocks = Atomic.get t.sim_blocks;
     sim_fault_blocks = Atomic.get t.sim_fault_blocks;
     sim_faults_dropped = Atomic.get t.sim_faults_dropped;
+    requests = Atomic.get t.requests;
+    requests_failed = Atomic.get t.requests_failed;
+    seconds_requests = Atomic.get t.seconds_requests;
+    server_cache_hits = Atomic.get t.server_cache_hits;
+    server_cache_misses = Atomic.get t.server_cache_misses;
   }
 
 let reset (t : t) =
@@ -92,7 +121,12 @@ let reset (t : t) =
   Atomic.set t.seconds_delta 0.0;
   Atomic.set t.sim_blocks 0;
   Atomic.set t.sim_fault_blocks 0;
-  Atomic.set t.sim_faults_dropped 0
+  Atomic.set t.sim_faults_dropped 0;
+  Atomic.set t.requests 0;
+  Atomic.set t.requests_failed 0;
+  Atomic.set t.seconds_requests 0.0;
+  Atomic.set t.server_cache_hits 0;
+  Atomic.set t.server_cache_misses 0
 
 let diff after before =
   {
@@ -107,6 +141,11 @@ let diff after before =
     sim_blocks = after.sim_blocks - before.sim_blocks;
     sim_fault_blocks = after.sim_fault_blocks - before.sim_fault_blocks;
     sim_faults_dropped = after.sim_faults_dropped - before.sim_faults_dropped;
+    requests = after.requests - before.requests;
+    requests_failed = after.requests_failed - before.requests_failed;
+    seconds_requests = after.seconds_requests -. before.seconds_requests;
+    server_cache_hits = after.server_cache_hits - before.server_cache_hits;
+    server_cache_misses = after.server_cache_misses - before.server_cache_misses;
   }
 
 let evaluations s = s.full_evals + s.delta_evals + s.cache_hits
@@ -129,7 +168,10 @@ let pp fmt s =
   Format.fprintf fmt
     "evaluations=%d (full=%d delta=%d cached=%d) moves=%d@ gate recomputes: \
      full=%d delta=%d@ evaluate-equivalents=%.1f (%.1fx fewer than naive)@ cpu: \
-     full=%.3fs delta=%.3fs@ fault sim: blocks=%d fault-blocks=%d dropped=%d"
+     full=%.3fs delta=%.3fs@ fault sim: blocks=%d fault-blocks=%d dropped=%d@ \
+     server: requests=%d (failed=%d, %.3fs) cache hits=%d misses=%d"
     (evaluations s) s.full_evals s.delta_evals s.cache_hits s.moves s.gates_full
     s.gates_delta (equivalent_evals s) (speedup s) s.seconds_full
     s.seconds_delta s.sim_blocks s.sim_fault_blocks s.sim_faults_dropped
+    s.requests s.requests_failed s.seconds_requests s.server_cache_hits
+    s.server_cache_misses

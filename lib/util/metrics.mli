@@ -45,6 +45,16 @@ val record_fault_sim : t -> blocks:int -> fault_blocks:int -> dropped:int -> uni
     per-fault word-operation block passes, and [dropped] faults
     removed from further simulation by fault dropping. *)
 
+val record_request : t -> ok:bool -> seconds:float -> unit
+(** One service request ([Iddq_server.Service]): outcome and
+    wall-clock latency.  [ok] is false for requests answered with a
+    protocol error. *)
+
+val record_server_cache : t -> hit:bool -> unit
+(** One session-cache lookup by the resident service: a [hit] reused a
+    parsed circuit, characterization, or packed vector set; a miss
+    computed and stored it. *)
+
 (** {1 Snapshots} *)
 
 type snapshot = {
@@ -69,6 +79,13 @@ type snapshot = {
   sim_faults_dropped : int;
       (** Faults dropped (detected, never re-simulated) by the packed
           fault simulator. *)
+  requests : int;  (** Service requests answered (ok or error). *)
+  requests_failed : int;  (** Requests answered with a protocol error. *)
+  seconds_requests : float;
+      (** Wall-clock seconds spent answering requests (a timing
+          field). *)
+  server_cache_hits : int;  (** Session-cache lookups served. *)
+  server_cache_misses : int;  (** Session-cache lookups computed. *)
 }
 
 val snapshot : t -> snapshot

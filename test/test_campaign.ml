@@ -384,7 +384,10 @@ let run_spec ?domains ?resolve path spec =
   let store = open_store path in
   Fun.protect
     ~finally:(fun () -> Store.close store)
-    (fun () -> Runner.run ?domains ?resolve ~store spec)
+    (fun () ->
+      match Runner.run ?domains ?resolve ~store spec with
+      | Ok o -> o
+      | Error e -> Alcotest.fail (Runner.error_to_string e))
 
 let signature (results : Job_result.t list) =
   results
@@ -514,12 +517,20 @@ let test_runner_rejects_invalid_spec () =
       Fun.protect
         ~finally:(fun () -> Store.close store)
         (fun () ->
-          Alcotest.(check bool) "invalid spec raises" true
-            (try
-               ignore
-                 (Runner.run ~store { tiny_spec with Spec.circuits = [ "C999" ] });
-               false
-             with Invalid_argument _ -> true)))
+          match
+            Runner.run ~store { tiny_spec with Spec.circuits = [ "C999" ] }
+          with
+          | Ok _ -> Alcotest.fail "invalid spec accepted"
+          | Error (Runner.Invalid_spec msg) ->
+            Alcotest.(check bool)
+              "error names the circuit" true
+              (let re = "C999" in
+               let len = String.length re in
+               let n = String.length msg in
+               let rec contains i =
+                 i + len <= n && (String.sub msg i len = re || contains (i + 1))
+               in
+               contains 0)))
 
 let tests =
   [

@@ -146,9 +146,103 @@ let test_module_size_config () =
   Alcotest.(check int) "160/20 = 8 modules" 8
     (Partition.num_modules r.Pipeline.partition)
 
+(* ------------------------------------------------------------------ *)
+(* Facade: the config builder and result-typed entry points            *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_builder_defaults () =
+  Alcotest.(check bool) "config () is default_config" true
+    (Pipeline.config () = Pipeline.default_config);
+  let c = Pipeline.config ~seed:9 ~module_size:12 () in
+  Alcotest.(check int) "seed set" 9 c.Pipeline.seed;
+  Alcotest.(check bool) "module_size set" true
+    (c.Pipeline.module_size = Some 12);
+  Alcotest.(check bool) "untouched fields stay default" true
+    (c.Pipeline.library == Pipeline.default_config.Pipeline.library
+    && c.Pipeline.weights = Pipeline.default_config.Pipeline.weights
+    && c.Pipeline.reference_sizes = None)
+
+let fast_es = fast_config.Pipeline.es_params
+
+let test_run_result_ok_matches_run () =
+  let config = Pipeline.config ~es_params:fast_es ~seed:42 () in
+  match Pipeline.run_result ~config Pipeline.Standard (Iscas.c432_like ()) with
+  | Error e -> Alcotest.fail (Pipeline.error_to_string e)
+  | Ok r ->
+    let direct = Pipeline.run ~config Pipeline.Standard (Iscas.c432_like ()) in
+    Alcotest.(check bool) "run_result agrees with run" true
+      (Partition.assignment r.Pipeline.partition
+      = Partition.assignment direct.Pipeline.partition)
+
+let test_run_result_bad_configs () =
+  let circuit = Iscas.c17 () in
+  let bad name config =
+    match Pipeline.run_result ~config Pipeline.Standard circuit with
+    | Error (Pipeline.Bad_config _) -> ()
+    | Error e ->
+      Alcotest.failf "%s: expected Bad_config, got %s" name
+        (Pipeline.error_to_string e)
+    | Ok _ -> Alcotest.failf "%s accepted" name
+  in
+  bad "module_size 0" (Pipeline.config ~module_size:0 ());
+  bad "negative reference size" (Pipeline.config ~reference_sizes:[ -1; 7 ] ());
+  bad "reference sizes don't sum to gate count"
+    (Pipeline.config ~reference_sizes:[ 1; 2 ] ());
+  bad "degenerate ES population"
+    (Pipeline.config
+       ~es_params:{ fast_es with Iddq_evolution.Es.mu = 0 }
+       ())
+
+let test_run_raises_what_run_result_returns () =
+  let config = Pipeline.config ~module_size:(-3) () in
+  match Pipeline.run ~config Pipeline.Standard (Iscas.c17 ()) with
+  | _ -> Alcotest.fail "run accepted a bad config"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "message carries the structured error" true
+      (String.length msg > String.length "Pipeline.run: ")
+
+let test_run_result_infeasible_reported () =
+  (* C17 in one module of 6 gates is produced regardless; with
+     require_feasible the caller is told when constraints fail, and
+     the error carries the achieved discriminability *)
+  let config = Pipeline.config ~es_params:fast_es ~seed:1 () in
+  let circuit = Iscas.c432_like () in
+  match
+    Pipeline.run_result ~config ~require_feasible:true Pipeline.Random circuit
+  with
+  | Ok r ->
+    Alcotest.(check bool) "feasible when no error" true
+      (r.Pipeline.breakdown.Cost.feasible)
+  | Error (Pipeline.Infeasible { method_; _ }) ->
+    Alcotest.(check bool) "infeasible carries the method" true
+      (method_ = Pipeline.Random)
+  | Error e -> Alcotest.fail (Pipeline.error_to_string e)
+
+let test_compare_methods_result_ok () =
+  let config = Pipeline.config ~es_params:fast_es () in
+  match
+    Pipeline.compare_methods_result ~config (Iscas.c432_like ())
+      [ Pipeline.Standard; Pipeline.Evolution ]
+  with
+  | Error e -> Alcotest.fail (Pipeline.error_to_string e)
+  | Ok results ->
+    Alcotest.(check (list string)) "order preserved"
+      [ "standard"; "evolution" ]
+      (List.map (fun (m, _) -> Pipeline.method_to_string m) results)
+
 let tests =
   [
     Alcotest.test_case "method strings" `Quick test_method_string_roundtrip;
+    Alcotest.test_case "config builder" `Quick test_config_builder_defaults;
+    Alcotest.test_case "run_result ok" `Slow test_run_result_ok_matches_run;
+    Alcotest.test_case "run_result bad configs" `Quick
+      test_run_result_bad_configs;
+    Alcotest.test_case "run raises structured message" `Quick
+      test_run_raises_what_run_result_returns;
+    Alcotest.test_case "run_result require_feasible" `Slow
+      test_run_result_infeasible_reported;
+    Alcotest.test_case "compare_methods_result" `Slow
+      test_compare_methods_result_ok;
     Alcotest.test_case "all methods run" `Slow test_all_methods_run;
     Alcotest.test_case "compare shares sizes" `Slow test_compare_methods_shares_sizes;
     Alcotest.test_case "evolution beats standard" `Slow

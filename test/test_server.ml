@@ -1,0 +1,455 @@
+(* The resident service: framing, protocol codec, session cache,
+   and the socket transport with misbehaving clients. *)
+
+module Json = Iddq_util.Json
+module Metrics = Iddq_util.Metrics
+module Io = Iddq_util.Io
+module Frame = Iddq_server.Frame
+module Protocol = Iddq_server.Protocol
+module Service = Iddq_server.Service
+module Server = Iddq_server.Server
+module Client = Iddq_server.Client
+module Iscas = Iddq_netlist.Iscas
+module Pipeline = Iddq.Pipeline
+
+let json = Alcotest.testable (fun fmt j -> Format.pp_print_string fmt (Json.to_string j)) ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let drain decoder =
+  let rec go acc =
+    match Frame.next decoder with
+    | None -> List.rev acc
+    | Some (Frame.Oversized _ as e) -> List.rev (e :: acc)  (* terminal *)
+    | Some e -> go (e :: acc)
+  in
+  go []
+
+let test_frame_roundtrip () =
+  let values =
+    [
+      Json.Obj [ ("op", Json.String "metrics") ];
+      Json.Int 42;
+      Json.List [ Json.Bool true; Json.Null; Json.Float 2.5 ];
+      Json.String "";
+    ]
+  in
+  let d = Frame.create () in
+  Frame.feed d (String.concat "" (List.map Frame.encode values));
+  Alcotest.(check (list json))
+    "all frames decode in order" values
+    (List.filter_map
+       (function Frame.Frame j -> Some j | _ -> None)
+       (drain d))
+
+let qcheck_frame_split_boundaries =
+  QCheck.Test.make
+    ~name:"frame stream decodes identically under any chunking" ~count:200
+    QCheck.(pair (small_list small_int) (int_range 1 13))
+    (fun (ids, chunk) ->
+      let values =
+        List.map
+          (fun n ->
+            Json.Obj
+              [ ("id", Json.Int n); ("tag", Json.String (string_of_int n)) ])
+          ids
+      in
+      let stream = String.concat "" (List.map Frame.encode values) in
+      let d = Frame.create () in
+      let decoded = ref [] in
+      let len = String.length stream in
+      let pos = ref 0 in
+      while !pos < len do
+        let n = min chunk (len - !pos) in
+        Frame.feed d (String.sub stream !pos n);
+        pos := !pos + n;
+        decoded := !decoded @ drain d
+      done;
+      List.for_all (function Frame.Frame _ -> true | _ -> false) !decoded
+      && List.filter_map
+           (function Frame.Frame j -> Some j | _ -> None)
+           !decoded
+         = values
+      && Frame.buffered d = 0)
+
+let test_frame_malformed_stays_in_sync () =
+  let d = Frame.create () in
+  let valid = Json.Obj [ ("op", Json.String "shutdown") ] in
+  Frame.feed d (Frame.encode_payload "{not json");
+  Frame.feed d (Frame.encode valid);
+  match drain d with
+  | [ Frame.Malformed _; Frame.Frame j ] ->
+    Alcotest.check json "frame after malformed still decodes" valid j
+  | events ->
+    Alcotest.failf "expected [Malformed; Frame], got %d events"
+      (List.length events)
+
+let test_frame_oversized_poisons () =
+  let d = Frame.create ~max_frame:16 () in
+  Frame.feed d (Frame.encode_payload (String.make 64 'x'));
+  (match Frame.next d with
+  | Some (Frame.Oversized 64) -> ()
+  | _ -> Alcotest.fail "expected Oversized 64");
+  Frame.feed d (Frame.encode (Json.Int 1));
+  match Frame.next d with
+  | Some (Frame.Oversized _) -> ()  (* poisoned for good *)
+  | _ -> Alcotest.fail "decoder recovered from an oversized frame"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let all_requests =
+  let handle = String.make 32 'a' in
+  [
+    Protocol.Load_circuit { name = Some "C17"; bench = None };
+    Protocol.Load_circuit { name = None; bench = Some "INPUT(a)\n" };
+    Protocol.Characterize { handle };
+    Protocol.Partition
+      {
+        handle;
+        method_ = Pipeline.Evolution;
+        seed = 7;
+        module_size = Some 4;
+        require_feasible = true;
+      };
+    Protocol.Fault_sim
+      {
+        handle;
+        method_ = Pipeline.Refined_standard;
+        seed = 1;
+        vectors = 16;
+        defects = 10;
+        defect_current = 2.0e-6;
+      };
+    Protocol.Campaign_submit { spec = "circuits = C17\n"; domains = 2 };
+    Protocol.Campaign_status { campaign = "campaign-1" };
+    Protocol.Metrics;
+    Protocol.Shutdown;
+  ]
+
+let test_protocol_roundtrip () =
+  List.iteri
+    (fun i r ->
+      match Protocol.request_of_json (Protocol.request_to_json ~id:i r) with
+      | Ok (id, r') ->
+        Alcotest.(check bool)
+          (Printf.sprintf "request %d round-trips" i)
+          true
+          (id = Some i && r' = r)
+      | Error (_, e) ->
+        Alcotest.failf "request %d rejected: %s" i e.Protocol.message)
+    all_requests
+
+let test_protocol_rejects () =
+  let reject ?code j what =
+    match Protocol.request_of_json j with
+    | Ok _ -> Alcotest.failf "%s was accepted" what
+    | Error (_, e) ->
+      Option.iter
+        (fun c ->
+          Alcotest.(check string)
+            (what ^ " error code") (Protocol.code_to_string c)
+            (Protocol.code_to_string e.Protocol.code))
+        code
+  in
+  reject ~code:Protocol.Unknown_op
+    (Json.Obj [ ("op", Json.String "frobnicate") ])
+    "unknown op";
+  reject ~code:Protocol.Bad_request (Json.Obj []) "missing op";
+  reject ~code:Protocol.Bad_request (Json.Int 3) "non-object request";
+  reject ~code:Protocol.Bad_request
+    (Json.Obj [ ("op", Json.String "characterize") ])
+    "characterize without handle";
+  reject ~code:Protocol.Bad_request
+    (Json.Obj
+       [
+         ("op", Json.String "load_circuit"); ("name", Json.String "C17");
+         ("bench", Json.String "x");
+       ])
+    "load with both name and bench";
+  (* the id is echoed even when the request is bad *)
+  match
+    Protocol.request_of_json
+      (Json.Obj [ ("op", Json.String "frobnicate"); ("id", Json.Int 9) ])
+  with
+  | Error (Some 9, _) -> ()
+  | _ -> Alcotest.fail "id not echoed on a bad request"
+
+let test_response_shapes () =
+  let payload = Json.Obj [ ("x", Json.Int 1) ] in
+  (match Protocol.response_payload (Protocol.ok_response ~id:(Some 3) payload) with
+  | Ok p -> Alcotest.check json "ok payload" payload p
+  | Error _ -> Alcotest.fail "ok response read back as error");
+  let err = Protocol.error Protocol.Not_found "no such thing" in
+  match Protocol.response_payload (Protocol.error_response ~id:None err) with
+  | Error e ->
+    Alcotest.(check bool) "error code survives" true
+      (e.Protocol.code = Protocol.Not_found)
+  | Ok _ -> Alcotest.fail "error response read back as ok"
+
+(* ------------------------------------------------------------------ *)
+(* Service: cache behaviour through the request handler                *)
+(* ------------------------------------------------------------------ *)
+
+let ask service req =
+  let resp, _ = Service.handle service (Protocol.request_to_json req) in
+  Protocol.response_payload resp
+
+let ask_ok what service req =
+  match ask service req with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "%s: %s" what e.Protocol.message
+
+let load_c17 service =
+  let p =
+    ask_ok "load_circuit" service
+      (Protocol.Load_circuit { name = Some "C17"; bench = None })
+  in
+  match Option.bind (Json.member "handle" p) Json.to_str with
+  | Some h -> h
+  | None -> Alcotest.fail "load_circuit returned no handle"
+
+let test_service_cache_hits () =
+  let metrics = Metrics.create () in
+  let service = Service.create ~metrics () in
+  let handle = load_c17 service in
+  let partition () =
+    ask_ok "partition" service
+      (Protocol.Partition
+         {
+           handle;
+           method_ = Pipeline.Standard;
+           seed = 5;
+           module_size = None;
+           require_feasible = false;
+         })
+  in
+  let p1 = partition () in
+  let s1 = Metrics.snapshot metrics in
+  Alcotest.(check bool) "first partition misses the charac cache" true
+    (s1.Metrics.server_cache_misses > 0);
+  let hits_before = s1.Metrics.server_cache_hits in
+  let p2 = partition () in
+  let s2 = Metrics.snapshot metrics in
+  Alcotest.(check bool) "second partition hits the charac cache" true
+    (s2.Metrics.server_cache_hits > hits_before);
+  Alcotest.(check int) "no new cache entries on the second partition"
+    s1.Metrics.server_cache_misses s2.Metrics.server_cache_misses;
+  Alcotest.check json "cached answers are identical" p1 p2;
+  Alcotest.(check bool) "request latency recorded" true
+    (s2.Metrics.requests >= 3 && s2.Metrics.seconds_requests >= 0.0);
+  Service.stop service
+
+let test_service_errors () =
+  let service = Service.create () in
+  (match
+     ask service (Protocol.Characterize { handle = "deadbeef" })
+   with
+  | Error e ->
+    Alcotest.(check bool) "unknown handle is not_found" true
+      (e.Protocol.code = Protocol.Not_found)
+  | Ok _ -> Alcotest.fail "characterize of unknown handle succeeded");
+  (match
+     ask service (Protocol.Load_circuit { name = Some "C9999"; bench = None })
+   with
+  | Error e ->
+    Alcotest.(check bool) "unknown circuit is not_found" true
+      (e.Protocol.code = Protocol.Not_found)
+  | Ok _ -> Alcotest.fail "unknown circuit loaded");
+  let handle = load_c17 service in
+  (match
+     ask service
+       (Protocol.Partition
+          {
+            handle;
+            method_ = Pipeline.Standard;
+            seed = 1;
+            module_size = Some 0;
+            require_feasible = false;
+          })
+   with
+  | Error e ->
+    Alcotest.(check bool) "module_size 0 is bad_request" true
+      (e.Protocol.code = Protocol.Bad_request)
+  | Ok _ -> Alcotest.fail "module_size 0 accepted");
+  let failed = (Metrics.snapshot (Service.metrics service)).Metrics.requests_failed in
+  Alcotest.(check bool) "failures counted" true (failed >= 3);
+  Service.stop service
+
+let test_service_deterministic_across_instances () =
+  (* same request, fresh service: the derived-seed discipline makes
+     the answer a function of the request alone *)
+  let answer () =
+    let service = Service.create ~metrics:(Metrics.create ()) () in
+    let handle = load_c17 service in
+    let p =
+      ask_ok "partition" service
+        (Protocol.Partition
+           {
+             handle;
+             method_ = Pipeline.Standard;
+             seed = 11;
+             module_size = None;
+             require_feasible = false;
+           })
+    in
+    Service.stop service;
+    Json.to_string p
+  in
+  Alcotest.(check string) "same answer from a fresh service" (answer ())
+    (answer ())
+
+(* ------------------------------------------------------------------ *)
+(* Socket transport: concurrent clients, one of them hostile           *)
+(* ------------------------------------------------------------------ *)
+
+let with_server f =
+  let socket = Filename.temp_file "iddq-test-server" ".sock" in
+  let metrics = Metrics.create () in
+  match Server.create ~socket ~metrics () with
+  | Error e -> Alcotest.fail e
+  | Ok srv ->
+    let running = Domain.spawn (fun () -> Server.run srv) in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.shutdown srv;
+        Domain.join running;
+        if Sys.file_exists socket then Sys.remove socket)
+      (fun () -> f ~socket ~metrics)
+
+let connect socket =
+  match Client.connect ~socket with
+  | Ok c -> c
+  | Error e -> Alcotest.fail e
+
+let test_two_clients_interleaved () =
+  with_server (fun ~socket ~metrics:_ ->
+      let fds = Io.open_fd_count () in
+      let a = connect socket and b = connect socket in
+      let load cl =
+        match
+          Client.request cl
+            (Protocol.Load_circuit { name = Some "C17"; bench = None })
+        with
+        | Ok p -> Option.get (Option.bind (Json.member "handle" p) Json.to_str)
+        | Error e -> Alcotest.fail e
+      in
+      (* interleaved: a loads, b loads (cache hit on content), a
+         partitions while b sends a malformed frame *)
+      let ha = load a in
+      let hb = load b in
+      Alcotest.(check string) "same content, same handle" ha hb;
+      Client.send_raw b (Frame.encode_payload "]]] nope");
+      let part =
+        Client.request a
+          (Protocol.Partition
+             {
+               handle = ha;
+               method_ = Pipeline.Standard;
+               seed = 3;
+               module_size = None;
+               require_feasible = false;
+             })
+      in
+      (match part with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "client a disturbed by client b: %s" e);
+      (match Client.recv b with
+      | Ok resp -> begin
+        match Protocol.response_payload resp with
+        | Error e ->
+          Alcotest.(check bool) "b got malformed_frame" true
+            (e.Protocol.code = Protocol.Malformed_frame)
+        | Ok _ -> Alcotest.fail "malformed frame answered ok"
+      end
+      | Error e -> Alcotest.failf "no error response for b: %s" e);
+      (* b is still usable after its own malformed frame... *)
+      (match Client.request b Protocol.Metrics with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "b lost sync after malformed frame: %s" e);
+      (* ...then vanishes mid-frame; a must not notice *)
+      Client.send_raw b "\x00\x00\x01\x00only the beginning";
+      Client.close b;
+      (match Client.request a Protocol.Metrics with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "a disturbed by b's disconnect: %s" e);
+      Client.close a;
+      (* allow the server to reap both connections, then check fds *)
+      let rec settle tries =
+        let now = Io.open_fd_count () in
+        if now = fds || tries = 0 then now
+        else begin
+          Unix.sleepf 0.02;
+          settle (tries - 1)
+        end
+      in
+      match (fds, settle 100) with
+      | Some before, Some after ->
+        Alcotest.(check int) "no leaked descriptors" before after
+      | _ -> ())
+
+let test_oversized_frame_closes_connection () =
+  with_server (fun ~socket ~metrics:_ ->
+      let c = connect socket in
+      (* a header declaring far more than the cap; the server answers
+         with oversized_frame and closes *)
+      Client.send_raw c "\x7f\xff\xff\xff";
+      (match Client.recv c with
+      | Ok resp -> begin
+        match Protocol.response_payload resp with
+        | Error e ->
+          Alcotest.(check bool) "oversized_frame error" true
+            (e.Protocol.code = Protocol.Oversized_frame)
+        | Ok _ -> Alcotest.fail "oversized frame answered ok"
+      end
+      | Error e -> Alcotest.failf "no response to oversized frame: %s" e);
+      (match Client.recv c with
+      | Error _ -> ()  (* EOF: connection closed *)
+      | Ok _ -> Alcotest.fail "connection survived an oversized frame");
+      Client.close c;
+      (* the server is still accepting *)
+      let c2 = connect socket in
+      (match Client.request c2 Protocol.Metrics with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "server wedged after oversized frame: %s" e);
+      Client.close c2)
+
+let test_shutdown_request_stops_server () =
+  let socket = Filename.temp_file "iddq-test-shutdown" ".sock" in
+  match Server.create ~socket () with
+  | Error e -> Alcotest.fail e
+  | Ok srv ->
+    let running = Domain.spawn (fun () -> Server.run srv) in
+    let c = connect socket in
+    (match Client.request c Protocol.Shutdown with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e);
+    Client.close c;
+    Domain.join running;
+    Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
+
+let tests =
+  [
+    Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_frame_split_boundaries;
+    Alcotest.test_case "frame malformed stays in sync" `Quick
+      test_frame_malformed_stays_in_sync;
+    Alcotest.test_case "frame oversized poisons" `Quick
+      test_frame_oversized_poisons;
+    Alcotest.test_case "protocol roundtrip" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "protocol rejects" `Quick test_protocol_rejects;
+    Alcotest.test_case "response shapes" `Quick test_response_shapes;
+    Alcotest.test_case "service cache hits" `Quick test_service_cache_hits;
+    Alcotest.test_case "service errors" `Quick test_service_errors;
+    Alcotest.test_case "service deterministic" `Quick
+      test_service_deterministic_across_instances;
+    Alcotest.test_case "two clients interleaved" `Quick
+      test_two_clients_interleaved;
+    Alcotest.test_case "oversized frame closes connection" `Quick
+      test_oversized_frame_closes_connection;
+    Alcotest.test_case "shutdown request stops server" `Quick
+      test_shutdown_request_stops_server;
+  ]
