@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke campaign-smoke faultsim-smoke fuzz-smoke serve-smoke ci examples doc clean
+.PHONY: all build test bench bench-quick bench-smoke campaign-smoke faultsim-smoke kernels-smoke fuzz-smoke serve-smoke ci examples doc clean
 
 all: build
 
@@ -27,16 +27,20 @@ bench-smoke:
 # Checkpoint/resume check: a tiny campaign run twice against the same
 # store.  The first run executes every job on a 2-domain pool; the
 # second must find them all on disk and execute nothing (seconds).
+# The store lives in a mktemp-derived path (a fixed /tmp name made
+# concurrent runs resume from each other's half-written stores) and is
+# cleaned up on any exit via trap.
 campaign-smoke:
-	rm -f /tmp/iddq-campaign-smoke.jsonl
+	@store=$$(mktemp /tmp/iddq-campaign-smoke.XXXXXX.jsonl) && \
+	trap 'rm -f "$$store"' EXIT INT TERM && \
+	rm -f "$$store" && \
 	dune exec bin/iddq_synth.exe -- campaign \
 	  --circuits C17,C432 --methods evolution,standard --seeds 1,2 \
-	  --generations 40 --domains 2 --out /tmp/iddq-campaign-smoke.jsonl
+	  --generations 40 --domains 2 --out "$$store" && \
 	dune exec bin/iddq_synth.exe -- campaign \
 	  --circuits C17,C432 --methods evolution,standard --seeds 1,2 \
-	  --generations 40 --domains 2 --out /tmp/iddq-campaign-smoke.jsonl \
+	  --generations 40 --domains 2 --out "$$store" \
 	  | grep -q "executed 0, skipped 8"
-	@rm -f /tmp/iddq-campaign-smoke.jsonl
 	@echo "campaign-smoke: resume executed 0 jobs - PASS"
 
 # Packed fault-simulation gate: the 64-way engine must produce a
@@ -46,6 +50,15 @@ campaign-smoke:
 faultsim-smoke:
 	dune exec bench/main.exe -- faultsim | grep -q "PASS >= 10x"
 	@echo "faultsim-smoke: packed engine >= 10x, matrices identical - PASS"
+
+# Flat-kernel gate: fault-simulate a generated 100k-gate circuit with
+# the flat CSR + Bigarray engine; its detection matrix must be
+# bit-identical to the boxed-path oracle, >= 3x faster, above the
+# gates*vectors/s floor, and the incremental c3 totals must equal full
+# recomputation.  Numbers land in BENCH_kernels.json (seconds).
+kernels-smoke:
+	dune exec bench/main.exe -- kernels | grep -q "PASS >= 3x"
+	@echo "kernels-smoke: flat kernel >= 3x, matrices identical, c3 exact - PASS"
 
 # Bounded mutation-fuzz pass (fixed seed): >= 10k corrupted variants
 # of valid files through all five parsers plus the JSONL store; every
@@ -68,9 +81,9 @@ serve-smoke:
 	@echo "serve-smoke: session cache hit, fault isolation, no fd leaks - PASS"
 
 # What a per-PR check runs: build, tests, evaluation-count smoke,
-# campaign resume smoke, packed fault-sim speedup gate, mutation fuzz,
-# resident-service smoke.
-ci: build test bench-smoke campaign-smoke faultsim-smoke fuzz-smoke serve-smoke
+# campaign resume smoke, packed fault-sim speedup gate, flat-kernel
+# gate, mutation fuzz, resident-service smoke.
+ci: build test bench-smoke campaign-smoke faultsim-smoke kernels-smoke fuzz-smoke serve-smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1302,6 +1302,154 @@ let run_faultsim () =
      else "FAIL (needs >= 10x with identical matrices)")
 
 (* ------------------------------------------------------------------ *)
+(* kernels: flat CSR/Bigarray engine vs pre-CSR boxed engine at 100k   *)
+(* ------------------------------------------------------------------ *)
+
+(* The million-gate question: what does the flattened data layout buy
+   once the circuit no longer fits hot in cache?  A generated
+   100k-gate DAG is fault-simulated by the pre-CSR boxed packed engine
+   (kept verbatim as [detection_matrix_boxed_with]) and by the flat
+   CSR + Bigarray kernel; the matrices must be bit-identical and the
+   flat engine >= 3x faster.  The same run checks the incremental c3
+   bookkeeping: a few hundred random partition moves, then every
+   module's cached separation total is recomputed from scratch with
+   [Graph_algo.module_separation] and must match exactly.  Numbers
+   land in BENCH_kernels.json. *)
+let kernels_json = "BENCH_kernels.json"
+
+let run_kernels () =
+  section "kernels: flat CSR+Bigarray fault-sim kernel at 100k gates";
+  let module Fault_sim = Iddq_defects.Fault_sim in
+  let module Fault = Iddq_defects.Fault in
+  let module Graph_algo = Iddq_netlist.Graph_algo in
+  let module Json = Iddq_util.Json in
+  let time_best f =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  (* --- throughput: 100k gates, generated in linear time --- *)
+  let num_gates = 100_000 and n_vectors = 512 and n_faults = 200 in
+  let t0 = Unix.gettimeofday () in
+  let rng = Rng.create 42 in
+  let circuit =
+    Generator.layered_dag ~rng ~name:"K100k" ~num_inputs:256 ~num_outputs:128
+      ~num_gates ~depth:60 ()
+  in
+  let t_gen = Unix.gettimeofday () -. t0 in
+  Printf.printf "generated %d gates in %.2f s\n%!" num_gates t_gen;
+  let faults =
+    Fault.random_population ~rng circuit ~count:n_faults ~defect_current:2e-6
+  in
+  let vectors =
+    Iddq_patterns.Pattern_gen.random ~rng circuit ~count:n_vectors
+  in
+  let measurable _ = true in
+  let boxed, t_boxed =
+    time_best (fun () ->
+        Fault_sim.detection_matrix_boxed_with circuit ~measurable ~vectors
+          ~faults)
+  in
+  let flat, t_flat =
+    time_best (fun () ->
+        Fault_sim.detection_matrix_with circuit ~measurable ~vectors ~faults)
+  in
+  let _, t_flat4 =
+    time_best (fun () ->
+        Fault_sim.detection_matrix_with ~domains:4 circuit ~measurable ~vectors
+          ~faults)
+  in
+  let same = Fault_sim.equal boxed flat in
+  let speedup = t_boxed /. t_flat in
+  let gxv = float_of_int num_gates *. float_of_int n_vectors /. t_flat in
+  let min_gxv = 1e8 in
+  Printf.printf
+    "boxed %.1f ms, flat %.1f ms (4 domains %.1f ms): %.1fx, %.3g \
+     gates*vectors/s, matrices %s\n%!"
+    (1000.0 *. t_boxed) (1000.0 *. t_flat) (1000.0 *. t_flat4) speedup gxv
+    (if same then "identical" else "DIFFER");
+  (* --- incremental c3: random moves vs full recomputation --- *)
+  let rng_c3 = Rng.create 7 in
+  let small =
+    Generator.layered_dag ~rng:rng_c3 ~name:"Kc3" ~num_inputs:32
+      ~num_outputs:16 ~num_gates:1_500 ~depth:25 ()
+  in
+  let ch = Charac.make ~library:Library.default small in
+  let n = Charac.num_gates ch in
+  let k = 12 in
+  let p = Partition.create ch ~assignment:(Array.init n (fun g -> g mod k)) in
+  let n_moves = 400 in
+  let t1 = Unix.gettimeofday () in
+  for _ = 1 to n_moves do
+    let g = Rng.int rng_c3 n in
+    let target = Rng.int rng_c3 k in
+    if Partition.size p target > 0 && Partition.size p (Partition.module_of_gate p g) > 1
+    then Partition.move_gate p g target
+  done;
+  let t_moves = Unix.gettimeofday () -. t1 in
+  let u = Charac.undirected ch in
+  let cutoff = Charac.separation_cutoff ch in
+  let c3_ok =
+    List.for_all
+      (fun m ->
+        Partition.separation_total p m
+        = Graph_algo.module_separation u ~cutoff (Partition.members p m))
+      (Partition.module_ids p)
+  in
+  Printf.printf
+    "incremental c3: %d moves on %d gates in %.1f ms, cached totals vs full \
+     recomputation: %s\n%!"
+    n_moves n (1000.0 *. t_moves)
+    (if c3_ok then "bit-identical" else "MISMATCH");
+  let pass = same && speedup >= 3.0 && gxv >= min_gxv && c3_ok in
+  let doc =
+    Json.Obj
+      [
+        ("experiment", Json.String "kernels");
+        ( "throughput",
+          Json.Obj
+            [
+              ("gates", Json.Int num_gates);
+              ("vectors", Json.Int n_vectors);
+              ("faults", Json.Int n_faults);
+              ("generate_s", Json.Float t_gen);
+              ("boxed_s", Json.Float t_boxed);
+              ("flat_s", Json.Float t_flat);
+              ("flat_domains4_s", Json.Float t_flat4);
+              ("speedup", Json.Float speedup);
+              ("gates_vectors_per_s", Json.Float gxv);
+              ("matrices_equal", Json.Bool same);
+            ] );
+        ( "incremental_c3",
+          Json.Obj
+            [
+              ("gates", Json.Int n);
+              ("modules", Json.Int k);
+              ("moves", Json.Int n_moves);
+              ("moves_s", Json.Float t_moves);
+              ("totals_exact", Json.Bool c3_ok);
+            ] );
+        ("pass", Json.Bool pass);
+      ]
+  in
+  (match
+     Iddq_util.Io.write_file_atomic kernels_json (Json.to_string doc ^ "\n")
+   with
+  | Ok () -> Printf.printf "wrote %s\n" kernels_json
+  | Error e ->
+    Printf.printf "FAILED writing %s: %s\n" kernels_json
+      (Iddq_util.Io_error.to_string e));
+  Printf.printf "kernels: %s\n"
+    (if pass then "PASS >= 3x, matrices identical, c3 exact"
+     else "FAIL (needs >= 3x flat speedup, identical matrices, exact c3)")
+
+(* ------------------------------------------------------------------ *)
 (* Campaign: Table 1 through the resumable job runner                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1386,6 +1534,7 @@ let run_all ~quick =
   run_stability ();
   run_cooptimize ();
   run_faultsim ();
+  run_kernels ();
   run_perf ()
 
 let () =
@@ -1418,11 +1567,12 @@ let () =
         | "perf" -> run_perf ()
         | "smoke" -> run_smoke ()
         | "faultsim" -> run_faultsim ()
+        | "kernels" -> run_kernels ()
         | "campaign" -> run_campaign ()
         | other ->
           Printf.eprintf
             "unknown experiment %S (try: table1 fig2 c17 fig1 ablation-opt \
-             ablation-weights ablation-es ablation-resynth validation tradeoff variants compaction logic-vs-iddq schedule routing atpg sizing stability cooptimize faultsim perf smoke campaign quick all)\n"
+             ablation-weights ablation-es ablation-resynth validation tradeoff variants compaction logic-vs-iddq schedule routing atpg sizing stability cooptimize faultsim kernels perf smoke campaign quick all)\n"
             other;
           exit 1)
       args

@@ -19,7 +19,19 @@ type t = {
   assignment : int array;
   mutable mods : module_state array;
   mutable live_count : int;
+  mutable scratch : Graph_algo.bfs option;
+      (* lazily created BFS workspace for incremental moves; never
+         shared across partitions ([copy] drops it) so domain-parallel
+         offspring costing stays race-free *)
 }
+
+let scratch_bfs t =
+  match t.scratch with
+  | Some b -> b
+  | None ->
+    let b = Graph_algo.make_bfs (Charac.undirected t.ch) in
+    t.scratch <- Some b;
+    b
 
 let empty_module depth =
   {
@@ -61,19 +73,35 @@ let remove_gate_aggregates ch st g =
       st.current_profile.(slot) <- st.current_profile.(slot) -. ipk;
       st.count_profile.(slot) <- st.count_profile.(slot) - 1)
 
-(* Full S(M) from scratch for every module of an assignment. *)
+(* Full S(M) from scratch for every module of an assignment.  Any gate
+   outside the BFS horizon sits at exactly [cutoff], so the sum over
+   partners [h > g] in module [m] is
+
+     cutoff * |{h > g : assignment h = m}|
+       - sum over *visited* such h of (cutoff - sep h)
+
+   — identical integer arithmetic to summing [sep h] over a dense
+   array, but touching only the visited set.  [rem] counts the
+   partners still ahead of [g], maintained decrementally. *)
 let separation_totals ch assignment k =
   let u = Charac.undirected ch in
   let cutoff = Charac.separation_cutoff ch in
   let totals = Array.make k 0 in
+  let rem = Array.make k 0 in
+  Array.iter (fun m -> rem.(m) <- rem.(m) + 1) assignment;
+  let b = Graph_algo.make_bfs u in
   let n = Array.length assignment in
   for g = 0 to n - 1 do
     let m = assignment.(g) in
-    let sep = Graph_algo.separations_from u ~cutoff g in
-    (* count each unordered pair once: partner index strictly above *)
-    for h = g + 1 to n - 1 do
-      if assignment.(h) = m then totals.(m) <- totals.(m) + sep.(h)
-    done
+    rem.(m) <- rem.(m) - 1;
+    Graph_algo.bfs_from u b ~cutoff g;
+    let adjust = ref 0 in
+    for i = 0 to Graph_algo.bfs_visited_count b - 1 do
+      let h = Graph_algo.bfs_visited b i in
+      if h > g && assignment.(h) = m then
+        adjust := !adjust + (cutoff - Graph_algo.bfs_separation b ~cutoff h)
+    done;
+    totals.(m) <- totals.(m) + (cutoff * rem.(m)) - !adjust
   done;
   totals
 
@@ -100,7 +128,7 @@ let create ch ~assignment =
     invalid_arg "Partition.create: module ids must be dense (no empty id)";
   let totals = separation_totals ch assignment k in
   Array.iteri (fun m s -> mods.(m).sep_total <- s) totals;
-  { ch; assignment = Array.copy assignment; mods; live_count = k }
+  { ch; assignment = Array.copy assignment; mods; live_count = k; scratch = None }
 
 let copy t =
   {
@@ -108,6 +136,7 @@ let copy t =
     assignment = Array.copy t.assignment;
     mods = Array.map copy_module t.mods;
     live_count = t.live_count;
+    scratch = None;
   }
 
 let charac t = t.ch
@@ -139,21 +168,31 @@ let move_gate t g target =
     then invalid_arg "Partition.move_gate: target not a live module";
     let u = Charac.undirected t.ch in
     let cutoff = Charac.separation_cutoff t.ch in
-    let sep = Graph_algo.separations_from u ~cutoff g in
-    (* separation deltas against the *current* membership (g still in src) *)
-    let lost = ref 0 and gained = ref 0 in
-    Array.iteri
-      (fun h m ->
-        if h <> g then begin
-          if m = src then lost := !lost + sep.(h)
-          else if m = target then gained := !gained + sep.(h)
-        end)
-      t.assignment;
+    let b = scratch_bfs t in
+    Graph_algo.bfs_from u b ~cutoff g;
     let src_st = t.mods.(src) and tgt_st = t.mods.(target) in
+    (* separation deltas against the *current* membership (g still in
+       src).  Same out-of-horizon identity as [separation_totals]: the
+       cutoff-valued partners contribute through the module sizes, the
+       BFS corrects only the visited ones — O(visited), not O(gates). *)
+    let lost_adj = ref 0 and gained_adj = ref 0 in
+    for i = 0 to Graph_algo.bfs_visited_count b - 1 do
+      let h = Graph_algo.bfs_visited b i in
+      if h <> g then begin
+        let m = t.assignment.(h) in
+        if m = src then
+          lost_adj := !lost_adj + (cutoff - Graph_algo.bfs_separation b ~cutoff h)
+        else if m = target then
+          gained_adj :=
+            !gained_adj + (cutoff - Graph_algo.bfs_separation b ~cutoff h)
+      end
+    done;
+    let lost = (cutoff * (src_st.gate_count - 1)) - !lost_adj in
+    let gained = (cutoff * tgt_st.gate_count) - !gained_adj in
     remove_gate_aggregates t.ch src_st g;
-    src_st.sep_total <- src_st.sep_total - !lost;
+    src_st.sep_total <- src_st.sep_total - lost;
     add_gate_aggregates t.ch tgt_st g;
-    tgt_st.sep_total <- tgt_st.sep_total + !gained;
+    tgt_st.sep_total <- tgt_st.sep_total + gained;
     t.assignment.(g) <- target;
     if src_st.gate_count = 0 then begin
       src_st.live <- false;

@@ -58,10 +58,158 @@ let good_values ?(domains = 1) ?metrics c packed =
     metrics;
   goods
 
+(* Good-machine words for every block in one flat GC-opaque buffer:
+   block [b]'s word for node [id] at [b * num_nodes + id].  Each
+   domain evaluates straight into its disjoint slice — no per-block
+   allocation at all. *)
+let good_values_flat ?(domains = 1) ?metrics c packed =
+  let nb = P.num_blocks packed in
+  let n = Circuit.num_nodes c in
+  let goods : P.ba =
+    Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout (nb * n)
+  in
+  parallel_ranges ~domains nb (fun lo hi ->
+      for b = lo to hi - 1 do
+        P.eval_block_into c packed ~block:b ~dst:goods ~off:(b * n)
+      done);
+  Option.iter
+    (fun m -> Metrics.record_fault_sim m ~blocks:nb ~fault_blocks:0 ~dropped:0)
+    metrics;
+  goods
+
+(* One fault's activation word for block [b], phrased so every load,
+   [Int64] op and store fuses into a single expression — the fault
+   sweep allocates nothing on the minor heap.  [mask] is the block's
+   active mask, which also maintains the rows' tail-bit invariant. *)
+
+let sweep_bridge_row row goods ~n ~nb ~masks ~a ~b =
+  for blk = 0 to nb - 1 do
+    Bigarray.Array1.unsafe_set row blk
+      (Int64.logand
+         (Int64.logxor
+            (Bigarray.Array1.unsafe_get goods ((blk * n) + a))
+            (Bigarray.Array1.unsafe_get goods ((blk * n) + b)))
+         (Array.unsafe_get masks blk))
+  done
+
+let sweep_gos_row row goods ~n ~nb ~masks ~id ~polarity =
+  if polarity then
+    for blk = 0 to nb - 1 do
+      Bigarray.Array1.unsafe_set row blk
+        (Int64.logand
+           (Bigarray.Array1.unsafe_get goods ((blk * n) + id))
+           (Array.unsafe_get masks blk))
+    done
+  else
+    for blk = 0 to nb - 1 do
+      Bigarray.Array1.unsafe_set row blk
+        (Int64.logand
+           (Int64.lognot (Bigarray.Array1.unsafe_get goods ((blk * n) + id)))
+           (Array.unsafe_get masks blk))
+    done
+
+let sweep_floating_row row ~nb ~masks =
+  for blk = 0 to nb - 1 do
+    Bigarray.Array1.unsafe_set row blk (Array.unsafe_get masks blk)
+  done
+
 (* Full matrix: every measurable fault visits every block (no
    dropping — callers want the complete detection sets).  Writes are
    disjoint per fault, so the fault chunks need no synchronization. *)
 let detection_matrix_with ?(domains = 1) ?metrics c ~measurable ~vectors
+    ~faults =
+  let packed = P.pack_all vectors in
+  let goods = good_values_flat ~domains ?metrics c packed in
+  let n = Circuit.num_nodes c in
+  let faults = Array.of_list faults in
+  let nf = Array.length faults in
+  let nb = P.num_blocks packed in
+  let nv = P.n_vectors packed in
+  let masks = Array.init nb (fun b -> P.block_mask packed b) in
+  let rows = Array.init nf (fun _ -> Bitvec.create nv) in
+  parallel_ranges ~domains nf (fun lo hi ->
+      let fault_blocks = ref 0 in
+      for f = lo to hi - 1 do
+        let inj = faults.(f) in
+        if measurable inj then begin
+          let row = Bitvec.unsafe_words rows.(f) in
+          (match inj.Fault.fault with
+          | Fault.Bridge (a, b) -> sweep_bridge_row row goods ~n ~nb ~masks ~a ~b
+          | Fault.Gate_oxide_short (id, polarity) ->
+            sweep_gos_row row goods ~n ~nb ~masks ~id ~polarity
+          | Fault.Floating_gate _ -> sweep_floating_row row ~nb ~masks);
+          fault_blocks := !fault_blocks + nb
+        end
+      done;
+      Option.iter
+        (fun m ->
+          Metrics.record_fault_sim m ~blocks:0 ~fault_blocks:!fault_blocks
+            ~dropped:0)
+        metrics);
+  { n_vectors = nv; rows }
+
+(* First detections only: fault dropping — a detected fault never
+   touches another block.  The activation word is recomputed once more
+   on the (rare) detecting block so the scan itself stays unboxed. *)
+let first_detections_with ?(domains = 1) ?metrics c ~measurable ~vectors
+    ~faults =
+  let packed = P.pack_all vectors in
+  let goods = good_values_flat ~domains ?metrics c packed in
+  let n = Circuit.num_nodes c in
+  let faults = Array.of_list faults in
+  let nf = Array.length faults in
+  let nb = P.num_blocks packed in
+  let masks = Array.init nb (fun b -> P.block_mask packed b) in
+  let act_word blk (fault : Fault.t) =
+    match fault with
+    | Fault.Bridge (a, b) ->
+      Int64.logand
+        (Int64.logxor
+           (Bigarray.Array1.unsafe_get goods ((blk * n) + a))
+           (Bigarray.Array1.unsafe_get goods ((blk * n) + b)))
+        (Array.unsafe_get masks blk)
+    | Fault.Gate_oxide_short (id, polarity) ->
+      if polarity then
+        Int64.logand
+          (Bigarray.Array1.unsafe_get goods ((blk * n) + id))
+          (Array.unsafe_get masks blk)
+      else
+        Int64.logand
+          (Int64.lognot (Bigarray.Array1.unsafe_get goods ((blk * n) + id)))
+          (Array.unsafe_get masks blk)
+    | Fault.Floating_gate _ -> Array.unsafe_get masks blk
+  in
+  let first = Array.make nf (-1) in
+  parallel_ranges ~domains nf (fun lo hi ->
+      let fault_blocks = ref 0 and dropped = ref 0 in
+      for f = lo to hi - 1 do
+        let inj = faults.(f) in
+        if measurable inj then begin
+          let rec scan b =
+            if b < nb then begin
+              incr fault_blocks;
+              if act_word b inj.Fault.fault <> 0L then begin
+                first.(f) <- (b * 64) + Bitvec.ctz64 (act_word b inj.Fault.fault);
+                incr dropped
+              end
+              else scan (b + 1)
+            end
+          in
+          scan 0
+        end
+      done;
+      Option.iter
+        (fun m ->
+          Metrics.record_fault_sim m ~blocks:0 ~fault_blocks:!fault_blocks
+            ~dropped:!dropped)
+        metrics);
+  first
+
+(* The pre-CSR packed engine, verbatim: boxed per-block node words via
+   {!P.eval}, one [activation_word] per (fault, block).  Kept as the
+   oracle the flat kernel is differentially pinned to (tests and the
+   [kernels] bench). *)
+let detection_matrix_boxed_with ?(domains = 1) ?metrics c ~measurable ~vectors
     ~faults =
   let packed = P.pack_all vectors in
   let goods = good_values ~domains ?metrics c packed in
@@ -92,50 +240,14 @@ let detection_matrix_with ?(domains = 1) ?metrics c ~measurable ~vectors
         metrics);
   { n_vectors = nv; rows }
 
-(* First detections only: fault dropping — a detected fault never
-   touches another block. *)
-let first_detections_with ?(domains = 1) ?metrics c ~measurable ~vectors
-    ~faults =
-  let packed = P.pack_all vectors in
-  let goods = good_values ~domains ?metrics c packed in
-  let faults = Array.of_list faults in
-  let nf = Array.length faults in
-  let nb = P.num_blocks packed in
-  let first = Array.make nf (-1) in
-  parallel_ranges ~domains nf (fun lo hi ->
-      let fault_blocks = ref 0 and dropped = ref 0 in
-      for f = lo to hi - 1 do
-        let inj = faults.(f) in
-        if measurable inj then begin
-          let rec scan b =
-            if b < nb then begin
-              incr fault_blocks;
-              let act =
-                Int64.logand
-                  (activation_word inj.Fault.fault ~good:goods.(b))
-                  (P.block_mask packed b)
-              in
-              if act <> 0L then begin
-                first.(f) <- (b * 64) + Bitvec.ctz64 act;
-                incr dropped
-              end
-              else scan (b + 1)
-            end
-          in
-          scan 0
-        end
-      done;
-      Option.iter
-        (fun m ->
-          Metrics.record_fault_sim m ~blocks:0 ~fault_blocks:!fault_blocks
-            ~dropped:!dropped)
-        metrics);
-  first
-
 let circuit_of p = Charac.circuit (Partition.charac p)
 
 let detection_matrix ?domains ?metrics p ~vectors ~faults =
   detection_matrix_with ?domains ?metrics (circuit_of p)
+    ~measurable:(measurable p) ~vectors ~faults
+
+let detection_matrix_boxed ?domains ?metrics p ~vectors ~faults =
+  detection_matrix_boxed_with ?domains ?metrics (circuit_of p)
     ~measurable:(measurable p) ~vectors ~faults
 
 let first_detections ?domains ?metrics p ~vectors ~faults =

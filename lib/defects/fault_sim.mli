@@ -54,8 +54,21 @@ val good_values :
   Iddq_patterns.Parallel_sim.packed ->
   int64 array array
 (** Good-machine node words for every block, evaluated in parallel
-    over the [Domain] pool.  Shared read-only by all fault chunks
-    (also by {!Stuck_at.fault_simulate}). *)
+    over the [Domain] pool, in the boxed pre-CSR representation.
+    Shared read-only by all fault chunks (also by
+    {!Stuck_at.fault_simulate}). *)
+
+val good_values_flat :
+  ?domains:int ->
+  ?metrics:Metrics.t ->
+  Iddq_netlist.Circuit.t ->
+  Iddq_patterns.Parallel_sim.packed ->
+  Iddq_patterns.Parallel_sim.ba
+(** The flat-kernel good machine: one GC-opaque buffer holding block
+    [b]'s word for node [id] at [b * num_nodes + id], each block
+    evaluated allocation-free over the CSR arrays
+    ({!Iddq_patterns.Parallel_sim.eval_block_into}).  What
+    {!detection_matrix} and {!first_detections} run on. *)
 
 (** {1 Partition-thresholded entry points}
 
@@ -107,7 +120,31 @@ val first_detections_with :
   faults:Fault.injected list ->
   int array
 
-(** {1 Scalar reference oracle} *)
+(** {1 Reference oracles} *)
+
+val detection_matrix_boxed :
+  ?domains:int ->
+  ?metrics:Metrics.t ->
+  Iddq_core.Partition.t ->
+  vectors:bool array array ->
+  faults:Fault.injected list ->
+  matrix
+(** The pre-CSR packed engine, verbatim: boxed per-block node words,
+    {!activation_word} per (fault, block).  Bit-identical to
+    {!detection_matrix} by construction — kept as the differential
+    oracle and the [bench kernels] baseline. *)
+
+val detection_matrix_boxed_with :
+  ?domains:int ->
+  ?metrics:Metrics.t ->
+  Iddq_netlist.Circuit.t ->
+  measurable:(Fault.injected -> bool) ->
+  vectors:bool array array ->
+  faults:Fault.injected list ->
+  matrix
+(** {!detection_matrix_boxed} under an arbitrary measurability
+    predicate (the circuit-level form the [kernels] bench times the
+    flat engine against). *)
 
 val detection_matrix_scalar :
   Iddq_core.Partition.t ->

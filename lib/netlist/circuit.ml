@@ -1,114 +1,196 @@
 type node = Input | Gate of Gate.kind * int array
 
+(* CSR (structure-of-arrays) adjacency: one byte of gate-kind code per
+   node (inputs hold [input_code]), fanins and fanouts as flat target
+   arrays indexed by an offsets array of length [n + 1].  Everything a
+   hot kernel touches is a flat unboxed array; the [node] variant above
+   survives only as a construction/inspection view. *)
 type t = {
   name : string;
-  nodes : node array;
-  node_names : string array;
   num_inputs : int;
+  kinds : Bytes.t; (* per node: Gate.code, or input_code for inputs *)
+  fanin_offsets : int array; (* length n+1, non-decreasing *)
+  fanin_targets : int array; (* concatenated fanin node ids *)
+  fanout_offsets : int array; (* length n+1 *)
+  fanout_targets : int array; (* concatenated fanout node ids, ascending *)
+  node_names : string array;
   outputs : int array;
   output_set : bool array;
-  fanouts : int array array;
-  name_index : (string, int) Hashtbl.t;
+  name_index : (string, int) Hashtbl.t Lazy.t;
 }
 
-let build_fanouts nodes =
-  let n = Array.length nodes in
-  let counts = Array.make n 0 in
-  let record_fanin id = counts.(id) <- counts.(id) + 1 in
-  Array.iter
-    (function Input -> () | Gate (_, fanins) -> Array.iter record_fanin fanins)
-    nodes;
-  let fanouts = Array.map (fun c -> Array.make c (-1)) counts in
-  let fill = Array.make n 0 in
-  Array.iteri
-    (fun id node ->
-      match node with
-      | Input -> ()
-      | Gate (_, fanins) ->
-        Array.iter
-          (fun src ->
-            fanouts.(src).(fill.(src)) <- id;
-            fill.(src) <- fill.(src) + 1)
-          fanins)
-    nodes;
-  fanouts
+let input_code = 255
+
+(* Counting sort of the reversed edges.  Iterating sinks in id order
+   keeps each node's fanout list ascending (and preserves duplicate
+   edges), exactly like the old per-node append order. *)
+let build_fanouts_csr n fanin_offsets fanin_targets =
+  let ne = Array.length fanin_targets in
+  let fanout_offsets = Array.make (n + 1) 0 in
+  for k = 0 to ne - 1 do
+    let src = fanin_targets.(k) in
+    fanout_offsets.(src + 1) <- fanout_offsets.(src + 1) + 1
+  done;
+  for id = 0 to n - 1 do
+    fanout_offsets.(id + 1) <- fanout_offsets.(id + 1) + fanout_offsets.(id)
+  done;
+  let fill = Array.sub fanout_offsets 0 n in
+  let fanout_targets = Array.make ne 0 in
+  for id = 0 to n - 1 do
+    for k = fanin_offsets.(id) to fanin_offsets.(id + 1) - 1 do
+      let src = fanin_targets.(k) in
+      fanout_targets.(fill.(src)) <- id;
+      fill.(src) <- fill.(src) + 1
+    done
+  done;
+  (fanout_offsets, fanout_targets)
+
+let lazy_name_index node_names =
+  lazy
+    (let index = Hashtbl.create (2 * Array.length node_names) in
+     Array.iteri (fun id nm -> Hashtbl.replace index nm id) node_names;
+     index)
+
+let unsafe_make_csr ~name ~num_inputs ~kinds ~fanin_offsets ~fanin_targets
+    ~node_names ~outputs =
+  let n = Bytes.length kinds in
+  let output_set = Array.make n false in
+  Array.iter (fun id -> output_set.(id) <- true) outputs;
+  let fanout_offsets, fanout_targets =
+    build_fanouts_csr n fanin_offsets fanin_targets
+  in
+  {
+    name;
+    num_inputs;
+    kinds;
+    fanin_offsets;
+    fanin_targets;
+    fanout_offsets;
+    fanout_targets;
+    node_names;
+    outputs;
+    output_set;
+    name_index = lazy_name_index node_names;
+  }
 
 let unsafe_make ~name ~nodes ~node_names ~num_inputs ~outputs =
   let n = Array.length nodes in
-  let output_set = Array.make n false in
-  Array.iter (fun id -> output_set.(id) <- true) outputs;
-  let name_index = Hashtbl.create (2 * n) in
-  Array.iteri (fun id nm -> Hashtbl.replace name_index nm id) node_names;
-  {
-    name;
-    nodes = Array.copy nodes;
-    node_names = Array.copy node_names;
-    num_inputs;
-    outputs = Array.copy outputs;
-    output_set;
-    fanouts = build_fanouts nodes;
-    name_index;
-  }
+  let kinds = Bytes.make n (Char.chr input_code) in
+  let total_fanins =
+    Array.fold_left
+      (fun acc -> function Input -> acc | Gate (_, fi) -> acc + Array.length fi)
+      0 nodes
+  in
+  let fanin_offsets = Array.make (n + 1) 0 in
+  let fanin_targets = Array.make total_fanins 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun id node ->
+      fanin_offsets.(id) <- !pos;
+      match node with
+      | Input -> ()
+      | Gate (kind, fanins) ->
+        Bytes.set kinds id (Char.chr (Gate.code kind));
+        Array.iter
+          (fun src ->
+            fanin_targets.(!pos) <- src;
+            incr pos)
+          fanins)
+    nodes;
+  fanin_offsets.(n) <- !pos;
+  unsafe_make_csr ~name ~num_inputs ~kinds ~fanin_offsets ~fanin_targets
+    ~node_names:(Array.copy node_names) ~outputs:(Array.copy outputs)
 
 let name c = c.name
-let num_nodes c = Array.length c.nodes
+let num_nodes c = Bytes.length c.kinds
 let num_inputs c = c.num_inputs
-let num_gates c = Array.length c.nodes - c.num_inputs
+let num_gates c = Bytes.length c.kinds - c.num_inputs
 let num_outputs c = Array.length c.outputs
-let node c id = c.nodes.(id)
+let kind_code c id = Char.code (Bytes.unsafe_get c.kinds id)
+
+let node c id =
+  let code = kind_code c id in
+  if code = input_code then Input
+  else
+    let s = c.fanin_offsets.(id) in
+    Gate (Gate.of_code code, Array.sub c.fanin_targets s (c.fanin_offsets.(id + 1) - s))
+
 let node_name c id = c.node_names.(id)
-let node_id_of_name c nm = Hashtbl.find_opt c.name_index nm
+let node_id_of_name c nm = Hashtbl.find_opt (Lazy.force c.name_index) nm
 let outputs c = Array.copy c.outputs
 let inputs c = Array.init c.num_inputs Fun.id
 
 let fanins c id =
-  match c.nodes.(id) with Input -> [||] | Gate (_, fi) -> Array.copy fi
+  let s = c.fanin_offsets.(id) in
+  Array.sub c.fanin_targets s (c.fanin_offsets.(id + 1) - s)
 
-let fanouts c id = Array.copy c.fanouts.(id)
-let fanout_count c id = Array.length c.fanouts.(id)
+let fanouts c id =
+  let s = c.fanout_offsets.(id) in
+  Array.sub c.fanout_targets s (c.fanout_offsets.(id + 1) - s)
 
-let fanin_count c id =
-  match c.nodes.(id) with Input -> 0 | Gate (_, fi) -> Array.length fi
+let fanout_count c id = c.fanout_offsets.(id + 1) - c.fanout_offsets.(id)
+let fanin_count c id = c.fanin_offsets.(id + 1) - c.fanin_offsets.(id)
+
+let iter_fanins c id f =
+  for k = c.fanin_offsets.(id) to c.fanin_offsets.(id + 1) - 1 do
+    f (Array.unsafe_get c.fanin_targets k)
+  done
+
+let iter_fanouts c id f =
+  for k = c.fanout_offsets.(id) to c.fanout_offsets.(id + 1) - 1 do
+    f (Array.unsafe_get c.fanout_targets k)
+  done
 
 let is_gate c id = id >= c.num_inputs
 let is_input c id = id < c.num_inputs
 let is_output c id = c.output_set.(id)
 
 let gate_kind c id =
-  match c.nodes.(id) with
-  | Input -> invalid_arg "Circuit.gate_kind: node is a primary input"
-  | Gate (kind, _) -> kind
+  let code = kind_code c id in
+  if code = input_code then
+    invalid_arg "Circuit.gate_kind: node is a primary input"
+  else Gate.of_code code
 
 let node_of_gate c g = c.num_inputs + g
 let gate_of_node c id = id - c.num_inputs
 
 let gate_fanin_gates c g =
-  match c.nodes.(node_of_gate c g) with
-  | Input -> [||]
-  | Gate (_, fi) ->
-    Array.of_list
-      (Array.fold_right
-         (fun id acc -> if is_gate c id then gate_of_node c id :: acc else acc)
-         fi [])
+  let id = node_of_gate c g in
+  let out = ref [] in
+  for k = c.fanin_offsets.(id + 1) - 1 downto c.fanin_offsets.(id) do
+    let src = c.fanin_targets.(k) in
+    if is_gate c src then out := gate_of_node c src :: !out
+  done;
+  Array.of_list !out
 
 let gate_fanout_gates c g =
-  let fo = c.fanouts.(node_of_gate c g) in
-  Array.of_list
-    (Array.fold_right
-       (fun id acc -> if is_gate c id then gate_of_node c id :: acc else acc)
-       fo [])
+  let id = node_of_gate c g in
+  let out = ref [] in
+  for k = c.fanout_offsets.(id + 1) - 1 downto c.fanout_offsets.(id) do
+    let dst = c.fanout_targets.(k) in
+    if is_gate c dst then out := gate_of_node c dst :: !out
+  done;
+  Array.of_list !out
 
 let iter_gates c f =
-  for id = c.num_inputs to Array.length c.nodes - 1 do
-    match c.nodes.(id) with
-    | Input -> assert false
-    | Gate (kind, fanins) -> f (gate_of_node c id) kind fanins
+  for id = c.num_inputs to num_nodes c - 1 do
+    let code = kind_code c id in
+    assert (code <> input_code);
+    f (gate_of_node c id) (Gate.of_code code) (fanins c id)
   done
 
 let fold_gates c ~init ~f =
   let acc = ref init in
   iter_gates c (fun g kind _ -> acc := f !acc g kind);
   !acc
+
+module Csr = struct
+  let kinds c = c.kinds
+  let fanin_offsets c = c.fanin_offsets
+  let fanin_targets c = c.fanin_targets
+  let fanout_offsets c = c.fanout_offsets
+  let fanout_targets c = c.fanout_targets
+end
 
 type stats = {
   s_inputs : int;
@@ -123,25 +205,22 @@ let stats c =
   let depth = Array.make n 0 in
   let max_depth = ref 0 in
   for id = c.num_inputs to n - 1 do
-    match c.nodes.(id) with
-    | Input -> ()
-    | Gate (_, fanins) ->
-      let d =
-        Array.fold_left (fun acc src -> Stdlib.max acc depth.(src)) 0 fanins + 1
-      in
-      depth.(id) <- d;
-      if d > !max_depth then max_depth := d
+    let d = ref 0 in
+    iter_fanins c id (fun src -> d := Stdlib.max !d depth.(src));
+    let d = !d + 1 in
+    depth.(id) <- d;
+    if d > !max_depth then max_depth := d
   done;
-  let counts = Hashtbl.create 8 in
-  iter_gates c (fun _ kind _ ->
-      let cur = Option.value ~default:0 (Hashtbl.find_opt counts kind) in
-      Hashtbl.replace counts kind (cur + 1));
+  let counts = Array.make 8 0 in
+  for id = c.num_inputs to n - 1 do
+    let code = kind_code c id in
+    counts.(code) <- counts.(code) + 1
+  done;
   let kind_counts =
     List.filter_map
       (fun k ->
-        match Hashtbl.find_opt counts k with
-        | Some v -> Some (k, v)
-        | None -> None)
+        let v = counts.(Gate.code k) in
+        if v > 0 then Some (k, v) else None)
       Gate.all_kinds
   in
   {
@@ -164,18 +243,26 @@ let validate c =
   let n = num_nodes c in
   let err fmt = Format.kasprintf (fun s -> Error s) fmt in
   let check_node id =
-    match c.nodes.(id) with
-    | Input ->
+    let code = kind_code c id in
+    if code = input_code then begin
       if id >= c.num_inputs then err "gate slot %d holds an Input node" id
+      else if fanin_count c id <> 0 then err "input %d has fanins" id
       else Ok ()
-    | Gate (kind, fanins) ->
-      if id < c.num_inputs then err "input slot %d holds a gate" id
-      else if not (Gate.arity_ok kind (Array.length fanins)) then
-        err "node %d: %s with %d fanins" id (Gate.to_string kind)
-          (Array.length fanins)
-      else if Array.exists (fun src -> src < 0 || src >= id) fanins then
-        err "node %d: fanin out of topological order" id
-      else Ok ()
+    end
+    else if code > 7 then err "node %d: bad kind code %d" id code
+    else if id < c.num_inputs then err "input slot %d holds a gate" id
+    else begin
+      let kind = Gate.of_code code in
+      let nf = fanin_count c id in
+      if not (Gate.arity_ok kind nf) then
+        err "node %d: %s with %d fanins" id (Gate.to_string kind) nf
+      else begin
+        let bad = ref false in
+        iter_fanins c id (fun src -> if src < 0 || src >= id then bad := true);
+        if !bad then err "node %d: fanin out of topological order" id
+        else Ok ()
+      end
+    end
   in
   let rec check_all id =
     if id >= n then Ok ()
@@ -183,10 +270,29 @@ let validate c =
       match check_node id with Ok () -> check_all (id + 1) | Error e -> Error e
     end
   in
-  match check_all 0 with
+  let check_offsets offsets label =
+    if Array.length offsets <> n + 1 then err "%s offsets length drifted" label
+    else if offsets.(0) <> 0 then err "%s offsets do not start at 0" label
+    else begin
+      let monotone = ref true in
+      for id = 0 to n - 1 do
+        if offsets.(id + 1) < offsets.(id) then monotone := false
+      done;
+      if not !monotone then err "%s offsets not monotone" label else Ok ()
+    end
+  in
+  match check_offsets c.fanin_offsets "fanin" with
   | Error e -> Error e
-  | Ok () ->
-    if Array.exists (fun o -> o < 0 || o >= n) c.outputs then
-      err "output id out of range"
-    else if Array.length c.outputs = 0 then err "circuit has no outputs"
-    else Ok ()
+  | Ok () -> begin
+    match check_offsets c.fanout_offsets "fanout" with
+    | Error e -> Error e
+    | Ok () -> begin
+      match check_all 0 with
+      | Error e -> Error e
+      | Ok () ->
+        if Array.exists (fun o -> o < 0 || o >= n) c.outputs then
+          err "output id out of range"
+        else if Array.length c.outputs = 0 then err "circuit has no outputs"
+        else Ok ()
+    end
+  end

@@ -5,10 +5,18 @@
     in topological order (every fanin of a node has a smaller id).
     Gates additionally carry a dense {e gate index} in
     [0 .. num_gates-1]; the partitioning machinery works on gate
-    indices.  Use {!Builder} to construct circuits. *)
+    indices.  Use {!Builder} to construct circuits.
+
+    Internally the graph is stored in CSR (structure-of-arrays) form:
+    gate kinds as one byte per node, fanins and fanouts as flat
+    offsets+targets [int] arrays.  The accessors below are views over
+    that layout; simulation kernels that cannot afford per-node
+    allocation read the flat arrays directly through {!Csr} and
+    {!kind_code}. *)
 
 type node = Input | Gate of Gate.kind * int array
-(** A node is a primary input or a gate with its fanin node ids. *)
+(** A node is a primary input or a gate with its fanin node ids.
+    A construction/inspection view — the stored form is CSR. *)
 
 type t
 
@@ -42,6 +50,12 @@ val fanouts : t -> int -> int array
 val fanout_count : t -> int -> int
 val fanin_count : t -> int -> int
 
+val iter_fanins : t -> int -> (int -> unit) -> unit
+(** Allocation-free iteration over a node's fanin node ids. *)
+
+val iter_fanouts : t -> int -> (int -> unit) -> unit
+(** Allocation-free iteration over a node's fanout node ids. *)
+
 val is_gate : t -> int -> bool
 val is_input : t -> int -> bool
 val is_output : t -> int -> bool
@@ -71,6 +85,41 @@ val iter_gates : t -> (int -> Gate.kind -> int array -> unit) -> unit
     topological order.  The fanin array must not be mutated. *)
 
 val fold_gates : t -> init:'a -> f:('a -> int -> Gate.kind -> 'a) -> 'a
+
+(** {1 Flat CSR access (simulation kernels)}
+
+    The borrowed arrays are the circuit's own storage: callers MUST
+    NOT mutate them (the type system cannot enforce this without
+    copying, which is exactly what these accessors exist to avoid).
+    Layout: node [id]'s fanins are
+    [fanin_targets.(fanin_offsets.(id)) ..
+     fanin_targets.(fanin_offsets.(id+1) - 1)], and symmetrically for
+    fanouts; fanout lists are ascending by sink id. *)
+
+val input_code : int
+(** The {!kind_code} of a primary input ([255], outside [Gate.code]'s
+    [0..7] range). *)
+
+val kind_code : t -> int -> int
+(** [Gate.code] of the node's kind, or {!input_code} for inputs.
+    Branch-free byte read — the kernels' dispatch key. *)
+
+module Csr : sig
+  val kinds : t -> Bytes.t
+  (** One {!kind_code} byte per node.  Borrowed — do not mutate. *)
+
+  val fanin_offsets : t -> int array
+  (** Length [num_nodes + 1].  Borrowed — do not mutate. *)
+
+  val fanin_targets : t -> int array
+  (** Borrowed — do not mutate. *)
+
+  val fanout_offsets : t -> int array
+  (** Length [num_nodes + 1].  Borrowed — do not mutate. *)
+
+  val fanout_targets : t -> int array
+  (** Borrowed — do not mutate. *)
+end
 
 (** {1 Statistics and validation} *)
 
@@ -103,3 +152,18 @@ val unsafe_make :
   num_inputs:int ->
   outputs:int array ->
   t
+
+val unsafe_make_csr :
+  name:string ->
+  num_inputs:int ->
+  kinds:Bytes.t ->
+  fanin_offsets:int array ->
+  fanin_targets:int array ->
+  node_names:string array ->
+  outputs:int array ->
+  t
+(** Raw CSR constructor for generators that already hold the flat
+    form: one kind-code byte per node ({!input_code} for inputs),
+    fanin offsets of length [n + 1].  Takes ownership of every array
+    (no copies); trusts topological order and arities like
+    {!unsafe_make}.  Fanouts are derived by counting sort. *)

@@ -49,6 +49,27 @@ let eval kind inputs =
   | Not -> not inputs.(0)
   | Buff -> inputs.(0)
 
+let code = function
+  | And -> 0
+  | Nand -> 1
+  | Or -> 2
+  | Nor -> 3
+  | Xor -> 4
+  | Xnor -> 5
+  | Not -> 6
+  | Buff -> 7
+
+let of_code = function
+  | 0 -> And
+  | 1 -> Nand
+  | 2 -> Or
+  | 3 -> Nor
+  | 4 -> Xor
+  | 5 -> Xnor
+  | 6 -> Not
+  | 7 -> Buff
+  | c -> invalid_arg (Printf.sprintf "Gate.of_code: %d" c)
+
 let pp fmt kind = Format.pp_print_string fmt (to_string kind)
 let equal (a : kind) b = a = b
 let compare (a : kind) b = Stdlib.compare a b

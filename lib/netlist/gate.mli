@@ -22,6 +22,15 @@ val of_string : string -> kind option
 (** Case-insensitive parse of the ISCAS85 mnemonic.  [BUF] is accepted
     as a synonym for [BUFF]. *)
 
+val code : kind -> int
+(** Dense integer code in [0..7], stable across runs.  The CSR circuit
+    form stores one code per gate in a byte array; the packed
+    simulation kernels dispatch on it without touching the boxed
+    constructor. *)
+
+val of_code : int -> kind
+(** Inverse of {!code}.  Raises [Invalid_argument] outside [0..7]. *)
+
 val arity_ok : kind -> int -> bool
 (** [arity_ok k n] checks that a gate of kind [k] may have [n] inputs. *)
 

@@ -38,36 +38,77 @@ let layer_sizes rng ~num_gates ~depth =
   done;
   sizes
 
+(* Built straight in CSR over integer node ids — no Builder, no name
+   hashtables on the construction path, and O(1) fresh-gate tracking —
+   so a million-gate DAG generates in linear time.  Names are still
+   materialized ("I1..", "G1.." in creation order) for the Circuit
+   view. *)
 let layered_dag ~rng ~name ~num_inputs ~num_outputs ~num_gates ~depth
     ?(kind_mix = iscas_kind_mix) ?(max_fanin = 4) () =
   if num_inputs < 1 then invalid_arg "Generator.layered_dag: no inputs";
   if depth < 1 || num_gates < depth then
     invalid_arg "Generator.layered_dag: need num_gates >= depth >= 1";
   if num_outputs < 1 then invalid_arg "Generator.layered_dag: no outputs";
-  let b = Builder.create ~name () in
-  let input_names = Array.init num_inputs (fun i -> Printf.sprintf "I%d" (i + 1)) in
-  Array.iter (Builder.add_input b) input_names;
+  let n = num_inputs + num_gates in
+  let kinds = Bytes.make n (Char.chr Circuit.input_code) in
+  let node_names =
+    Array.init n (fun id ->
+        if id < num_inputs then Printf.sprintf "I%d" (id + 1)
+        else Printf.sprintf "G%d" (id - num_inputs + 1))
+  in
+  let fanin_offsets = Array.make (n + 1) 0 in
+  (* arity is capped at 4 below, so this bound is exact *)
+  let fanin_targets = Array.make (4 * num_gates) 0 in
+  let tpos = ref 0 in
   let sizes = layer_sizes rng ~num_gates ~depth in
-  (* layers.(0) = inputs; layers.(d) = names of gates at depth d *)
+  (* layers.(0) = input ids; layers.(d) = node ids of gates at depth d *)
   let layers = Array.make (depth + 1) [||] in
-  layers.(0) <- input_names;
-  let fanout_count = Hashtbl.create num_gates in
-  let bump nm =
-    let cur = Option.value ~default:0 (Hashtbl.find_opt fanout_count nm) in
-    Hashtbl.replace fanout_count nm (cur + 1)
+  layers.(0) <- Array.init num_inputs Fun.id;
+  (* The still-unread nodes of each finished layer, as a compact array
+     with a position index per node — membership test, uniform pick
+     and removal are all O(1) (the old per-pick list filter made
+     generation quadratic in the layer width). *)
+  let fresh = Array.make (depth + 1) [||] in
+  let fresh_count = Array.make (depth + 1) 0 in
+  let fresh_pos = Array.make n (-1) in
+  let node_layer = Array.make n 0 in
+  let init_fresh l ids =
+    fresh.(l) <- Array.copy ids;
+    fresh_count.(l) <- Array.length ids;
+    Array.iteri
+      (fun i id ->
+        fresh_pos.(id) <- i;
+        node_layer.(id) <- l)
+      ids
+  in
+  init_fresh 0 layers.(0);
+  let has_fanout = Array.make n false in
+  let bump id =
+    has_fanout.(id) <- true;
+    if fresh_pos.(id) >= 0 then begin
+      let l = node_layer.(id) in
+      let i = fresh_pos.(id) in
+      let last = fresh_count.(l) - 1 in
+      let moved = fresh.(l).(last) in
+      fresh.(l).(i) <- moved;
+      fresh_pos.(moved) <- i;
+      fresh_count.(l) <- last;
+      fresh_pos.(id) <- -1
+    end
   in
   (* geometric locality bias: fanins come mostly from nearby layers *)
   let pick_source_layer d =
     let rec back l = if l <= 0 then 0 else if Rng.float rng 1.0 < 0.55 then l else back (l - 1) in
     back (d - 1)
   in
-  let counter = ref 0 in
+  let counter = ref num_inputs in
   for d = 1 to depth do
     let here =
       Array.init sizes.(d - 1) (fun _ ->
+          let id = !counter in
           incr counter;
-          let nm = Printf.sprintf "G%d" !counter in
           let kind = pick_kind rng kind_mix in
+          Bytes.set kinds id (Char.chr (Gate.code kind));
           let arity =
             match kind with
             | Gate.Not | Gate.Buff -> 1
@@ -86,13 +127,12 @@ let layered_dag ~rng ~name ~num_inputs ~num_outputs ~num_gates ~depth
             (* prefer a still-unread gate of the source layer: real
                netlists have no dangling logic, so soak up would-be
                sinks as fanins (inputs and primary outputs aside) *)
-            let fresh =
-              Array.to_list layers.(source_layer)
-              |> List.filter (fun nm -> not (Hashtbl.mem fanout_count nm))
-            in
             let candidate =
-              if fresh <> [] && source_layer > 0 && Rng.float rng 1.0 < 0.8
-              then Rng.choose_list rng fresh
+              if
+                fresh_count.(source_layer) > 0
+                && source_layer > 0
+                && Rng.float rng 1.0 < 0.8
+              then fresh.(source_layer).(Rng.int rng fresh_count.(source_layer))
               else Rng.choose rng layers.(source_layer)
             in
             (* a few attempts at distinct fanins; duplicates are legal *)
@@ -103,38 +143,46 @@ let layered_dag ~rng ~name ~num_inputs ~num_outputs ~num_gates ~depth
             in
             rest := candidate :: !rest
           done;
-          let fanins = first :: List.rev !rest in
-          List.iter bump fanins;
-          Builder.add_gate b nm kind fanins;
-          nm)
+          fanin_offsets.(id) <- !tpos;
+          let push src =
+            bump src;
+            fanin_targets.(!tpos) <- src;
+            incr tpos
+          in
+          push first;
+          List.iter push (List.rev !rest);
+          id)
     in
-    layers.(d) <- here
+    layers.(d) <- here;
+    init_fresh d here
   done;
+  fanin_offsets.(n) <- !tpos;
   (* Outputs: fanout-free gates first (deep first), then random gates. *)
-  let all_gates =
-    Array.concat (Array.to_list (Array.sub layers 1 depth))
-  in
-  let sinks =
-    Array.to_list all_gates
-    |> List.filter (fun nm -> not (Hashtbl.mem fanout_count nm))
-  in
-  let chosen = Hashtbl.create num_outputs in
-  let add_output nm =
-    if Hashtbl.length chosen < num_outputs && not (Hashtbl.mem chosen nm) then begin
-      Hashtbl.replace chosen nm ();
-      Builder.add_output b nm
+  let chosen = Array.make n false in
+  let n_chosen = ref 0 in
+  let out_rev = ref [] in
+  let add_output id =
+    if !n_chosen < num_outputs && not chosen.(id) then begin
+      chosen.(id) <- true;
+      incr n_chosen;
+      out_rev := id :: !out_rev
     end
   in
-  List.iter add_output (List.rev sinks);
+  for id = n - 1 downto num_inputs do
+    if not has_fanout.(id) then add_output id
+  done;
   (* top up from the deepest layers *)
   let rec top_up d =
-    if Hashtbl.length chosen < num_outputs && d >= 1 then begin
+    if !n_chosen < num_outputs && d >= 1 then begin
       Array.iter add_output layers.(d);
       top_up (d - 1)
     end
   in
   top_up depth;
-  Builder.freeze_exn b
+  Circuit.unsafe_make_csr ~name ~num_inputs ~kinds ~fanin_offsets
+    ~fanin_targets:(Array.sub fanin_targets 0 !tpos)
+    ~node_names
+    ~outputs:(Array.of_list (List.rev !out_rev))
 
 let cell_kind_of_row r =
   match r mod 3 with

@@ -2,11 +2,11 @@ let node_depths c =
   let n = Circuit.num_nodes c in
   let depth = Array.make n 0 in
   for id = Circuit.num_inputs c to n - 1 do
-    match Circuit.node c id with
-    | Circuit.Input -> ()
-    | Circuit.Gate (_, fanins) ->
-      depth.(id) <-
-        Array.fold_left (fun acc src -> Stdlib.max acc depth.(src)) 0 fanins + 1
+    let d = ref 0 in
+    Circuit.iter_fanins c id (fun src ->
+        let ds = Array.unsafe_get depth src in
+        if ds > !d then d := ds);
+    depth.(id) <- !d + 1
   done;
   depth
 
@@ -27,71 +27,169 @@ let gates_by_depth c =
   done;
   Array.map Array.of_list buckets
 
-type undirected = int array array
+(* The undirected gate graph in the same CSR shape as the circuit:
+   flat offsets + targets, one segment of sorted unique neighbours per
+   gate.  A million-gate graph is two int arrays, not a million boxed
+   neighbour arrays. *)
+type undirected = { offsets : int array; targets : int array }
 
 let undirected_of_circuit c =
   let ng = Circuit.num_gates c in
-  let adj = Array.make ng [] in
-  Circuit.iter_gates c (fun g _ _ ->
-      let add other = if other <> g then adj.(g) <- other :: adj.(g) in
-      Array.iter add (Circuit.gate_fanin_gates c g);
-      Array.iter add (Circuit.gate_fanout_gates c g));
-  (* dedupe parallel edges *)
-  Array.map
-    (fun l ->
-      let sorted = List.sort_uniq Stdlib.compare l in
-      Array.of_list sorted)
-    adj
+  let ni = Circuit.num_inputs c in
+  (* upper-bound degrees (parallel edges still included) *)
+  let counts = Array.make (ng + 1) 0 in
+  for g = 0 to ng - 1 do
+    let id = Circuit.node_of_gate c g in
+    let d = ref 0 in
+    Circuit.iter_fanins c id (fun src ->
+        if src >= ni && src <> id then incr d);
+    Circuit.iter_fanouts c id (fun dst ->
+        if dst >= ni && dst <> id then incr d);
+    counts.(g + 1) <- !d
+  done;
+  let raw_offsets = Array.make (ng + 1) 0 in
+  for g = 0 to ng - 1 do
+    raw_offsets.(g + 1) <- raw_offsets.(g) + counts.(g + 1)
+  done;
+  let raw = Array.make raw_offsets.(ng) 0 in
+  let fill = Array.init ng (fun g -> raw_offsets.(g)) in
+  for g = 0 to ng - 1 do
+    let id = Circuit.node_of_gate c g in
+    let add other_id =
+      if other_id >= ni && other_id <> id then begin
+        raw.(fill.(g)) <- other_id - ni;
+        fill.(g) <- fill.(g) + 1
+      end
+    in
+    Circuit.iter_fanins c id add;
+    Circuit.iter_fanouts c id add
+  done;
+  (* per-segment insertion sort (degrees are small) + dedup compaction *)
+  let offsets = Array.make (ng + 1) 0 in
+  let pos = ref 0 in
+  let targets = Array.make (Array.length raw) 0 in
+  for g = 0 to ng - 1 do
+    offsets.(g) <- !pos;
+    let s = raw_offsets.(g) and e = raw_offsets.(g + 1) in
+    for k = s + 1 to e - 1 do
+      let v = raw.(k) in
+      let j = ref (k - 1) in
+      while !j >= s && raw.(!j) > v do
+        raw.(!j + 1) <- raw.(!j);
+        decr j
+      done;
+      raw.(!j + 1) <- v
+    done;
+    for k = s to e - 1 do
+      if k = s || raw.(k) <> raw.(k - 1) then begin
+        targets.(!pos) <- raw.(k);
+        incr pos
+      end
+    done
+  done;
+  offsets.(ng) <- !pos;
+  { offsets; targets = Array.sub targets 0 !pos }
 
-let neighbours u g = Array.copy u.(g)
-let iter_neighbours u g f = Array.iter f u.(g)
-let exists_neighbour u g f = Array.exists f u.(g)
+let num_gates u = Array.length u.offsets - 1
+
+let neighbours u g =
+  let s = u.offsets.(g) in
+  Array.sub u.targets s (u.offsets.(g + 1) - s)
+
+let iter_neighbours u g f =
+  for k = u.offsets.(g) to u.offsets.(g + 1) - 1 do
+    f (Array.unsafe_get u.targets k)
+  done
+
+let exists_neighbour u g f =
+  let e = u.offsets.(g + 1) in
+  let rec scan k = k < e && (f (Array.unsafe_get u.targets k) || scan (k + 1)) in
+  scan u.offsets.(g)
+
+(* Reusable truncated-BFS workspace.  Visited marks are epoch stamps,
+   so starting a new traversal is O(1) — no clearing pass; the queue
+   array doubles as the visited list in discovery order.  One
+   workspace per owner: traversals from two domains (or two partitions)
+   must not share one. *)
+type bfs = {
+  stamp : int array; (* stamp.(g) = epoch when g was last discovered *)
+  dist : int array; (* BFS distance, valid where stamp.(g) = epoch *)
+  queue : int array; (* discovery order; doubles as the visited list *)
+  mutable epoch : int;
+  mutable n_visited : int;
+}
+
+let make_bfs u =
+  let n = num_gates u in
+  {
+    stamp = Array.make n 0;
+    dist = Array.make n 0;
+    queue = Array.make (Stdlib.max n 1) 0;
+    epoch = 0;
+    n_visited = 0;
+  }
 
 (* BFS truncated at [cutoff] intermediate nodes.  The separation of a
    direct neighbour is 0, so BFS distance d corresponds to separation
-   d - 1; source separation is 0 as well. *)
-let separations_from u ~cutoff source =
-  let n = Array.length u in
-  let sep = Array.make n cutoff in
-  let dist = Array.make n (-1) in
-  dist.(source) <- 0;
-  sep.(source) <- 0;
-  let q = Queue.create () in
-  Queue.add source q;
-  while not (Queue.is_empty q) do
-    let v = Queue.pop q in
-    let d = dist.(v) in
+   d - 1; source separation is 0 as well.  Only nodes whose separation
+   would still be below the cutoff are expanded. *)
+let bfs_from u b ~cutoff source =
+  if Array.length b.stamp <> num_gates u then
+    invalid_arg "Graph_algo.bfs_from: workspace sized for another graph";
+  b.epoch <- b.epoch + 1;
+  let epoch = b.epoch in
+  b.stamp.(source) <- epoch;
+  b.dist.(source) <- 0;
+  b.queue.(0) <- source;
+  b.n_visited <- 1;
+  let head = ref 0 in
+  while !head < b.n_visited do
+    let v = Array.unsafe_get b.queue !head in
+    incr head;
+    let d = Array.unsafe_get b.dist v in
     (* a node at BFS distance d+1 has separation d; only expand while
        the next separation would still be below the cutoff *)
     if d < cutoff then
-      Array.iter
-        (fun w ->
-          if dist.(w) < 0 then begin
-            dist.(w) <- d + 1;
-            sep.(w) <- Stdlib.min cutoff d;
-            Queue.add w q
-          end)
-        u.(v)
-  done;
-  sep
+      for k = u.offsets.(v) to u.offsets.(v + 1) - 1 do
+        let w = Array.unsafe_get u.targets k in
+        if Array.unsafe_get b.stamp w <> epoch then begin
+          Array.unsafe_set b.stamp w epoch;
+          Array.unsafe_set b.dist w (d + 1);
+          Array.unsafe_set b.queue b.n_visited w;
+          b.n_visited <- b.n_visited + 1
+        end
+      done
+  done
 
-let separation u ~cutoff g1 g2 =
-  if g1 = g2 then 0
-  else begin
-    let sep = separations_from u ~cutoff g1 in
-    sep.(g2)
+let bfs_visited_count b = b.n_visited
+let bfs_visited b i = b.queue.(i)
+
+let bfs_separation b ~cutoff g =
+  if b.stamp.(g) = b.epoch then begin
+    let d = b.dist.(g) in
+    if d = 0 then 0 else Stdlib.min cutoff (d - 1)
   end
+  else cutoff
+
+let separations_from u ~cutoff source =
+  let b = make_bfs u in
+  bfs_from u b ~cutoff source;
+  Array.init (num_gates u) (fun g -> bfs_separation b ~cutoff g)
 
 let module_separation u ~cutoff gates =
   let k = Array.length gates in
   if k < 2 then 0
   else begin
+    let b = make_bfs u in
     let total = ref 0 in
     (* one truncated BFS per gate; count each unordered pair once *)
     Array.iteri
       (fun i g ->
-        let sep = separations_from u ~cutoff g in
-        Array.iteri (fun j h -> if j > i then total := !total + sep.(h)) gates)
+        bfs_from u b ~cutoff g;
+        Array.iteri
+          (fun j h ->
+            if j > i then total := !total + bfs_separation b ~cutoff h)
+          gates)
       gates;
     !total
   end
@@ -109,36 +207,32 @@ let reachable_from c seeds =
     seeds;
   while not (Queue.is_empty q) do
     let v = Queue.pop q in
-    Array.iter
-      (fun w ->
+    Circuit.iter_fanouts c v (fun w ->
         if not seen.(w) then begin
           seen.(w) <- true;
           Queue.add w q
         end)
-      (Circuit.fanouts c v)
   done;
   seen
 
 let connected_components u =
-  let n = Array.length u in
+  let n = num_gates u in
   let label = Array.make n (-1) in
   let next = ref 0 in
+  let q = Queue.create () in
   for g = 0 to n - 1 do
     if label.(g) < 0 then begin
       let l = !next in
       incr next;
-      let q = Queue.create () in
       label.(g) <- l;
       Queue.add g q;
       while not (Queue.is_empty q) do
         let v = Queue.pop q in
-        Array.iter
-          (fun w ->
+        iter_neighbours u v (fun w ->
             if label.(w) < 0 then begin
               label.(w) <- l;
               Queue.add w q
             end)
-          u.(v)
       done
     end
   done;
@@ -149,12 +243,8 @@ let transitive_fanin_count c id =
   let rec visit v =
     if not (Hashtbl.mem seen v) then begin
       Hashtbl.replace seen v ();
-      match Circuit.node c v with
-      | Circuit.Input -> ()
-      | Circuit.Gate (_, fanins) -> Array.iter visit fanins
+      Circuit.iter_fanins c v visit
     end
   in
-  (match Circuit.node c id with
-  | Circuit.Input -> ()
-  | Circuit.Gate (_, fanins) -> Array.iter visit fanins);
+  Circuit.iter_fanins c id visit;
   Hashtbl.length seen

@@ -26,28 +26,61 @@ val gates_by_depth : Circuit.t -> int array array
 type undirected
 (** Adjacency of the undirected version of the circuit graph over
     {e gate indices} (primary inputs are excluded: the paper's
-    separation measures routing between gates of a module). *)
+    separation measures routing between gates of a module).  Stored in
+    CSR form — two flat int arrays — so a million-gate graph costs two
+    arrays, not a million boxed neighbour lists. *)
 
 val undirected_of_circuit : Circuit.t -> undirected
 
+val num_gates : undirected -> int
+
 val neighbours : undirected -> int -> int array
+(** A fresh array of the gate's neighbours, sorted ascending, no
+    duplicates. *)
 
 val iter_neighbours : undirected -> int -> (int -> unit) -> unit
 (** Allocation-free iteration over a gate's undirected neighbours. *)
 
 val exists_neighbour : undirected -> int -> (int -> bool) -> bool
 
-val separation : undirected -> cutoff:int -> int -> int -> int
-(** [separation u ~cutoff g1 g2] is the paper's [S(g_i,g_j)]: the
-    number of intermediate nodes on a shortest undirected path between
-    the two gates (0 for adjacent gates and for [g1 = g2]); when the
-    distance exceeds [cutoff] or no path exists, the result is the
-    forced value [cutoff]. *)
+(** {2 Reusable truncated BFS}
+
+    Separation queries from a source are truncated BFS traversals.
+    The workspace below makes each traversal O(visited): visited marks
+    are epoch stamps (starting a traversal clears nothing) and the
+    discovery queue doubles as the visited list, which is what lets
+    partition moves touch only the BFS horizon instead of every gate.
+    One workspace per owner — never share across concurrent users. *)
+
+type bfs
+(** A reusable single-source BFS workspace sized for one graph. *)
+
+val make_bfs : undirected -> bfs
+
+val bfs_from : undirected -> bfs -> cutoff:int -> int -> unit
+(** Run a truncated BFS from a source gate, overwriting the
+    workspace's previous traversal.  Nodes are expanded only while
+    their separation from the source is below [cutoff].  Raises
+    [Invalid_argument] if the workspace was sized for a different
+    graph. *)
+
+val bfs_visited_count : bfs -> int
+val bfs_visited : bfs -> int -> int
+(** The gates discovered by the last {!bfs_from}, in discovery order
+    ([bfs_visited b 0] is the source). *)
+
+val bfs_separation : bfs -> cutoff:int -> int -> int
+(** Separation from the last traversal's source to a gate: the
+    paper's [S(g_i,g_j)] — intermediate-node count on a shortest
+    undirected path, 0 for the source itself and for adjacent gates,
+    the forced value [cutoff] beyond the horizon.  Every gate {e not}
+    in the visited set is at [cutoff]. *)
 
 val separations_from : undirected -> cutoff:int -> int -> int array
 (** Single-source BFS truncated at [cutoff]; entry [g] is the
     separation from the source to [g] (sources at 0), [cutoff] where
-    unreachable within the horizon. *)
+    unreachable within the horizon.  Allocates a fresh workspace and a
+    dense array — use the {!bfs} API on hot paths. *)
 
 val module_separation : undirected -> cutoff:int -> int array -> int
 (** [module_separation u ~cutoff gates] is [S(M)]: the sum of

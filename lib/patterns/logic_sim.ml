@@ -3,14 +3,52 @@ module Gate = Iddq_netlist.Gate
 
 type values = bool array
 
+(* Straight over the CSR arrays: no per-gate fanin array, no closure —
+   this is the inner loop of every scalar estimator and of the
+   vector-at-a-time oracle. *)
 let eval c inputs =
   if Array.length inputs <> Circuit.num_inputs c then
     invalid_arg "Logic_sim.eval: input vector length mismatch";
-  let values = Array.make (Circuit.num_nodes c) false in
+  let n = Circuit.num_nodes c in
+  let values = Array.make n false in
   Array.blit inputs 0 values 0 (Array.length inputs);
-  Circuit.iter_gates c (fun g kind fanins ->
-      let id = Circuit.node_of_gate c g in
-      values.(id) <- Gate.eval kind (Array.map (fun src -> values.(src)) fanins));
+  let kinds = Circuit.Csr.kinds c in
+  let offsets = Circuit.Csr.fanin_offsets c in
+  let targets = Circuit.Csr.fanin_targets c in
+  for id = Circuit.num_inputs c to n - 1 do
+    let s = Array.unsafe_get offsets id in
+    let e = Array.unsafe_get offsets (id + 1) in
+    if e <= s then invalid_arg "Logic_sim.eval: gate with no fanins";
+    let code = Char.code (Bytes.unsafe_get kinds id) in
+    let v =
+      match code with
+      | 0 | 1 ->
+        (* And / Nand *)
+        let acc = ref true in
+        for k = s to e - 1 do
+          acc := !acc && Array.unsafe_get values (Array.unsafe_get targets k)
+        done;
+        if code = 0 then !acc else not !acc
+      | 2 | 3 ->
+        (* Or / Nor *)
+        let acc = ref false in
+        for k = s to e - 1 do
+          acc := !acc || Array.unsafe_get values (Array.unsafe_get targets k)
+        done;
+        if code = 2 then !acc else not !acc
+      | 4 | 5 ->
+        (* Xor / Xnor *)
+        let acc = ref false in
+        for k = s to e - 1 do
+          if Array.unsafe_get values (Array.unsafe_get targets k) then
+            acc := not !acc
+        done;
+        if code = 4 then !acc else not !acc
+      | 6 -> not (Array.unsafe_get values (Array.unsafe_get targets s))
+      | _ -> Array.unsafe_get values (Array.unsafe_get targets s)
+    in
+    Array.unsafe_set values id v
+  done;
   values
 
 let output_values c values =

@@ -1,6 +1,13 @@
 module Circuit = Iddq_netlist.Circuit
 module Gate = Iddq_netlist.Gate
 
+type ba = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let ba_create n : ba =
+  let a = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout n in
+  Bigarray.Array1.fill a 0L;
+  a
+
 let pack vectors ~start =
   let n = Array.length vectors in
   if start < 0 || start > n then invalid_arg "Parallel_sim.pack: bad start";
@@ -29,16 +36,29 @@ let active_mask vectors ~start =
 
 type packed = {
   n_vectors : int;
+  n_inputs : int; (* words per block *)
   blocks : int64 array array; (* block -> one word per circuit input *)
+  words : ba; (* the same words flattened block-major: block b at b * n_inputs *)
   masks : int64 array; (* block -> bits backed by real vectors *)
 }
 
 let pack_all vectors =
   let n = Array.length vectors in
   let n_blocks = (n + 63) / 64 in
+  let n_inputs = if n = 0 then 0 else Array.length vectors.(0) in
+  let blocks = Array.init n_blocks (fun b -> pack vectors ~start:(b * 64)) in
+  let words = ba_create (n_blocks * n_inputs) in
+  Array.iteri
+    (fun b block ->
+      Array.iteri
+        (fun i w -> Bigarray.Array1.unsafe_set words ((b * n_inputs) + i) w)
+        block)
+    blocks;
   {
     n_vectors = n;
-    blocks = Array.init n_blocks (fun b -> pack vectors ~start:(b * 64));
+    n_inputs;
+    blocks;
+    words;
     masks = Array.init n_blocks (fun b -> active_mask vectors ~start:(b * 64));
   }
 
@@ -46,6 +66,7 @@ let n_vectors p = p.n_vectors
 let num_blocks p = Array.length p.blocks
 let block p b = p.blocks.(b)
 let block_mask p b = p.masks.(b)
+let packed_words p = p.words
 
 let eval_word kind words =
   (* An [And]/[Nand] fold over zero fanins would silently yield
@@ -65,6 +86,10 @@ let eval_word kind words =
   | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L)
   | Gate.Not -> Int64.lognot words.(0)
   | Gate.Buff -> words.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Boxed evaluation (reference path)                                   *)
+(* ------------------------------------------------------------------ *)
 
 let eval_internal c packed_inputs ~stuck ~stuck_pin =
   if Array.length packed_inputs <> Circuit.num_inputs c then
@@ -107,3 +132,98 @@ let output_diff c good bad =
   Array.fold_left
     (fun acc id -> Int64.logor acc (Int64.logxor good.(id) bad.(id)))
     0L (Circuit.outputs c)
+
+(* ------------------------------------------------------------------ *)
+(* Flat CSR evaluation (hot path)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The whole loop is fused loads / [Int64] intrinsics / stores in
+   single expressions: on the non-flambda compiler that is what keeps
+   every intermediate word unboxed, so one block costs zero minor
+   words (asserted by the kernel tests).  Gate dispatch is a byte read
+   from the CSR kind array; fanin folds are read-modify-write against
+   the destination cell. *)
+let eval_block_into c p ~block ~(dst : ba) ~off =
+  if block < 0 || block >= Array.length p.blocks then
+    invalid_arg "Parallel_sim.eval_block_into: bad block";
+  let n = Circuit.num_nodes c in
+  let ni = Circuit.num_inputs c in
+  if p.n_inputs <> ni then
+    invalid_arg "Parallel_sim.eval_block_into: input word count mismatch";
+  if off < 0 || off + n > Bigarray.Array1.dim dst then
+    invalid_arg "Parallel_sim.eval_block_into: destination too small";
+  let words = p.words in
+  let base = block * ni in
+  for i = 0 to ni - 1 do
+    Bigarray.Array1.unsafe_set dst (off + i)
+      (Bigarray.Array1.unsafe_get words (base + i))
+  done;
+  let kinds = Circuit.Csr.kinds c in
+  let offsets = Circuit.Csr.fanin_offsets c in
+  let targets = Circuit.Csr.fanin_targets c in
+  for id = ni to n - 1 do
+    let s = Array.unsafe_get offsets id in
+    let e = Array.unsafe_get offsets (id + 1) in
+    let code = Char.code (Bytes.unsafe_get kinds id) in
+    (* a zero-fanin gate would make the fold read out of bounds (the
+       boxed [eval_word] rejects it as a bad arity) *)
+    if e <= s then
+      invalid_arg "Parallel_sim.eval_block_into: gate with no fanins";
+    (match code with
+    | 0 | 1 ->
+      (* And / Nand *)
+      Bigarray.Array1.unsafe_set dst (off + id)
+        (Bigarray.Array1.unsafe_get dst (off + Array.unsafe_get targets s));
+      for k = s + 1 to e - 1 do
+        Bigarray.Array1.unsafe_set dst (off + id)
+          (Int64.logand
+             (Bigarray.Array1.unsafe_get dst (off + id))
+             (Bigarray.Array1.unsafe_get dst
+                (off + Array.unsafe_get targets k)))
+      done
+    | 2 | 3 ->
+      (* Or / Nor *)
+      Bigarray.Array1.unsafe_set dst (off + id)
+        (Bigarray.Array1.unsafe_get dst (off + Array.unsafe_get targets s));
+      for k = s + 1 to e - 1 do
+        Bigarray.Array1.unsafe_set dst (off + id)
+          (Int64.logor
+             (Bigarray.Array1.unsafe_get dst (off + id))
+             (Bigarray.Array1.unsafe_get dst
+                (off + Array.unsafe_get targets k)))
+      done
+    | 4 | 5 ->
+      (* Xor / Xnor *)
+      Bigarray.Array1.unsafe_set dst (off + id)
+        (Bigarray.Array1.unsafe_get dst (off + Array.unsafe_get targets s));
+      for k = s + 1 to e - 1 do
+        Bigarray.Array1.unsafe_set dst (off + id)
+          (Int64.logxor
+             (Bigarray.Array1.unsafe_get dst (off + id))
+             (Bigarray.Array1.unsafe_get dst
+                (off + Array.unsafe_get targets k)))
+      done
+    | 6 ->
+      (* Not *)
+      Bigarray.Array1.unsafe_set dst (off + id)
+        (Int64.lognot
+           (Bigarray.Array1.unsafe_get dst (off + Array.unsafe_get targets s)))
+    | _ ->
+      (* Buff *)
+      Bigarray.Array1.unsafe_set dst (off + id)
+        (Bigarray.Array1.unsafe_get dst (off + Array.unsafe_get targets s)));
+    (* the inverting kinds share the fold above; flip in place *)
+    if code = 1 || code = 3 || code = 5 then
+      Bigarray.Array1.unsafe_set dst (off + id)
+        (Int64.lognot (Bigarray.Array1.unsafe_get dst (off + id)))
+  done
+
+type scratch = { values : ba }
+
+let create_scratch c = { values = ba_create (Circuit.num_nodes c) }
+let scratch_values s = s.values
+
+let eval_block c s p ~block =
+  if Bigarray.Array1.dim s.values < Circuit.num_nodes c then
+    invalid_arg "Parallel_sim.eval_block: scratch sized for another circuit";
+  eval_block_into c p ~block ~dst:s.values ~off:0

@@ -48,6 +48,42 @@ val block : packed -> int -> int64 array
 val block_mask : packed -> int -> int64
 (** {!active_mask} of the block: all-ones except at the tail. *)
 
+(** {1 Flat GC-free kernel}
+
+    The hot path: packed blocks live in one block-major [Bigarray] of
+    [int64] words, gate evaluation walks the circuit's CSR arrays, and
+    a preallocated scratch holds the node words — a block evaluates
+    with {e zero} minor-heap allocation (asserted by the kernel
+    tests).  Scratch ownership: one scratch per domain; the engine
+    never shares a scratch across concurrent evaluations. *)
+
+type ba = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The word-buffer type every flat kernel trades in. *)
+
+val packed_words : packed -> ba
+(** The packed input words, flattened block-major: block [b]'s word
+    for input [i] sits at [b * num_inputs + i].  Borrowed — do not
+    mutate. *)
+
+val eval_block_into : Iddq_netlist.Circuit.t -> packed -> block:int -> dst:ba -> off:int -> unit
+(** [eval_block_into c p ~block ~dst ~off] evaluates one packed block
+    and writes one word per node into [dst.(off) ..
+    dst.(off + num_nodes - 1)].  Allocation-free.  Raises
+    [Invalid_argument] on a bad block index, an input-width mismatch,
+    a too-small destination, or a zero-fanin gate. *)
+
+type scratch
+(** Preallocated per-domain node-word buffer. *)
+
+val create_scratch : Iddq_netlist.Circuit.t -> scratch
+val eval_block : Iddq_netlist.Circuit.t -> scratch -> packed -> block:int -> unit
+(** {!eval_block_into} at offset 0 of the scratch's buffer. *)
+
+val scratch_values : scratch -> ba
+(** The scratch buffer (one word per node after {!eval_block}).
+    Borrowed — valid until the next {!eval_block} on the same
+    scratch. *)
+
 val eval_word : Iddq_netlist.Gate.kind -> int64 array -> int64
 (** One gate over packed fanin words.  Raises [Invalid_argument] when
     the word count violates the gate's arity (in particular zero

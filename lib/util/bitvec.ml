@@ -1,24 +1,50 @@
-type t = { len : int; words : int64 array }
+type words =
+  (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { len : int; words : words }
+
+let ba_create n : words =
+  let a = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout n in
+  Bigarray.Array1.fill a 0L;
+  a
 
 let create len =
   if len < 0 then invalid_arg "Bitvec.create: negative length";
-  { len; words = Array.make ((len + 63) / 64) 0L }
+  { len; words = ba_create ((len + 63) / 64) }
 
 let length t = t.len
-let copy t = { t with words = Array.copy t.words }
-let num_words t = Array.length t.words
+let num_words t = Bigarray.Array1.dim t.words
+
+let copy t =
+  let words = ba_create (num_words t) in
+  Bigarray.Array1.blit t.words words;
+  { t with words }
 
 let check_index t i op =
   if i < 0 || i >= t.len then invalid_arg ("Bitvec." ^ op ^ ": index out of range")
 
+(* Word indices get the same labeled validation as bit indices: an
+   out-of-range [w] must not escape as a bare Bigarray bounds error,
+   and [create 0] (zero words) must reject every [w] rather than
+   behave differently from the checked bit accessors. *)
+let check_word t w op =
+  if w < 0 || w >= num_words t then
+    invalid_arg ("Bitvec." ^ op ^ ": word index out of range")
+
 let get t i =
   check_index t i "get";
-  Int64.logand (Int64.shift_right_logical t.words.(i / 64) (i land 63)) 1L = 1L
+  Int64.logand
+    (Int64.shift_right_logical (Bigarray.Array1.unsafe_get t.words (i / 64))
+       (i land 63))
+    1L
+  = 1L
 
 let set t i =
   check_index t i "set";
-  t.words.(i / 64) <-
-    Int64.logor t.words.(i / 64) (Int64.shift_left 1L (i land 63))
+  Bigarray.Array1.unsafe_set t.words (i / 64)
+    (Int64.logor
+       (Bigarray.Array1.unsafe_get t.words (i / 64))
+       (Int64.shift_left 1L (i land 63)))
 
 (* Bits of the last word at index >= len, as a clearing mask. *)
 let tail_mask t =
@@ -26,14 +52,19 @@ let tail_mask t =
   if used = 0 then Int64.minus_one
   else Int64.sub (Int64.shift_left 1L used) 1L
 
-let word t w = t.words.(w)
+let word t w =
+  check_word t w "word";
+  Bigarray.Array1.unsafe_get t.words w
 
 let set_word t w bits =
+  check_word t w "set_word";
   let bits =
-    if w = Array.length t.words - 1 then Int64.logand bits (tail_mask t)
-    else bits
+    if w = num_words t - 1 then Int64.logand bits (tail_mask t) else bits
   in
-  t.words.(w) <- bits
+  Bigarray.Array1.unsafe_set t.words w bits
+
+let unsafe_words t = t.words
+let unsafe_tail_mask = tail_mask
 
 let popcount64 x =
   let open Int64 in
@@ -49,19 +80,43 @@ let ctz64 x =
   if x = 0L then 64
   else popcount64 (Int64.sub (Int64.logand x (Int64.neg x)) 1L)
 
-let count t = Array.fold_left (fun acc w -> acc + popcount64 w) 0 t.words
-let is_empty t = Array.for_all (fun w -> w = 0L) t.words
+let count t =
+  let acc = ref 0 in
+  for w = 0 to num_words t - 1 do
+    acc := !acc + popcount64 (Bigarray.Array1.unsafe_get t.words w)
+  done;
+  !acc
 
-let first_set t =
-  let n = Array.length t.words in
+let is_empty t =
+  let n = num_words t in
   let rec scan w =
-    if w >= n then -1
-    else if t.words.(w) = 0L then scan (w + 1)
-    else (w * 64) + ctz64 t.words.(w)
+    w >= n || (Bigarray.Array1.unsafe_get t.words w = 0L && scan (w + 1))
   in
   scan 0
 
-let equal a b = a.len = b.len && a.words = b.words
+let first_set t =
+  let n = num_words t in
+  let rec scan w =
+    if w >= n then -1
+    else begin
+      let bits = Bigarray.Array1.unsafe_get t.words w in
+      if bits = 0L then scan (w + 1) else (w * 64) + ctz64 bits
+    end
+  in
+  scan 0
+
+let equal a b =
+  a.len = b.len
+  && begin
+    let n = num_words a in
+    let rec scan w =
+      w >= n
+      || (Bigarray.Array1.unsafe_get a.words w
+            = Bigarray.Array1.unsafe_get b.words w
+         && scan (w + 1))
+    in
+    scan 0
+  end
 
 let check_lengths a b op =
   if a.len <> b.len then invalid_arg ("Bitvec." ^ op ^ ": length mismatch")
@@ -69,33 +124,44 @@ let check_lengths a b op =
 let inter_count a b =
   check_lengths a b "inter_count";
   let acc = ref 0 in
-  for w = 0 to Array.length a.words - 1 do
-    acc := !acc + popcount64 (Int64.logand a.words.(w) b.words.(w))
+  for w = 0 to num_words a - 1 do
+    acc :=
+      !acc
+      + popcount64
+          (Int64.logand
+             (Bigarray.Array1.unsafe_get a.words w)
+             (Bigarray.Array1.unsafe_get b.words w))
   done;
   !acc
 
 let intersects a b =
   check_lengths a b "intersects";
-  let n = Array.length a.words in
+  let n = num_words a in
   let rec scan w =
     w < n
-    && (Int64.logand a.words.(w) b.words.(w) <> 0L || scan (w + 1))
+    && (Int64.logand
+          (Bigarray.Array1.unsafe_get a.words w)
+          (Bigarray.Array1.unsafe_get b.words w)
+        <> 0L
+       || scan (w + 1))
   in
   scan 0
 
 let diff_inplace a b =
   check_lengths a b "diff_inplace";
-  for w = 0 to Array.length a.words - 1 do
-    a.words.(w) <- Int64.logand a.words.(w) (Int64.lognot b.words.(w))
+  for w = 0 to num_words a - 1 do
+    Bigarray.Array1.unsafe_set a.words w
+      (Int64.logand
+         (Bigarray.Array1.unsafe_get a.words w)
+         (Int64.lognot (Bigarray.Array1.unsafe_get b.words w)))
   done
 
 let iter_set t f =
-  Array.iteri
-    (fun w bits ->
-      let bits = ref bits in
-      while !bits <> 0L do
-        let k = ctz64 !bits in
-        f ((w * 64) + k);
-        bits := Int64.logand !bits (Int64.sub !bits 1L)
-      done)
-    t.words
+  for w = 0 to num_words t - 1 do
+    let bits = ref (Bigarray.Array1.unsafe_get t.words w) in
+    while !bits <> 0L do
+      let k = ctz64 !bits in
+      f ((w * 64) + k);
+      bits := Int64.logand !bits (Int64.sub !bits 1L)
+    done
+  done

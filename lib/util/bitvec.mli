@@ -5,7 +5,12 @@
     coverage query (curves, subset coverage, greedy compaction gains)
     with word-wide [AND]/[popcount] passes instead of per-bit scans.
     Bits at index [>= length] are kept zero as an invariant, so counts
-    never need a trailing mask. *)
+    never need a trailing mask.
+
+    Storage is a GC-opaque [Bigarray] of [int64] words ([c_layout]):
+    million-bit detection matrices cost the garbage collector nothing
+    to scan, and the packed fault-simulation kernels write whole words
+    through {!unsafe_words} without boxing. *)
 
 type t
 
@@ -34,7 +39,22 @@ val num_words : t -> int
 val word : t -> int -> int64
 val set_word : t -> int -> int64 -> unit
 (** [set_word t w bits] overwrites word [w].  Bits beyond [length] in
-    the final word are silently cleared to preserve the invariant. *)
+    the final word are silently cleared to preserve the invariant.
+    Both raise a labeled [Invalid_argument] when [w] is outside
+    [0 .. num_words - 1] — in particular {e every} [w] on a
+    zero-length vector, mirroring {!get}/{!set}'s checked behaviour. *)
+
+val unsafe_words : t -> (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The backing word buffer, borrowed.  For allocation-free kernels
+    that fuse loads, [Int64] ops and stores in single expressions; a
+    writer must preserve the tail invariant itself (mask the final
+    word with {!unsafe_tail_mask}).  Everyone else wants
+    {!word}/{!set_word}. *)
+
+val unsafe_tail_mask : t -> int64
+(** All-ones below [length] in the final word ([-1L] when [length] is
+    a multiple of 64) — the mask a {!unsafe_words} writer must AND
+    into the last word. *)
 
 (** {1 Whole-vector queries} *)
 

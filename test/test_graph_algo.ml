@@ -18,6 +18,10 @@ let diamond () =
 let gate_of c name =
   Circuit.gate_of_node c (Option.get (Circuit.node_id_of_name c name))
 
+(* per-pair separation via the single-source API (the per-pair entry
+   point is gone: hot paths must go through the reusable BFS) *)
+let separation u ~cutoff g h = (Graph_algo.separations_from u ~cutoff g).(h)
+
 let test_depths () =
   let c = diamond () in
   let gd = Graph_algo.gate_depths c in
@@ -55,11 +59,11 @@ let test_separation_values () =
   (* chain g1-g2-g3-g4-g5: separation g1..g3 = 1 (one node between) *)
   let c = Generator.chain ~length:5 () in
   let u = Graph_algo.undirected_of_circuit c in
-  Alcotest.(check int) "self" 0 (Graph_algo.separation u ~cutoff:10 0 0);
-  Alcotest.(check int) "adjacent" 0 (Graph_algo.separation u ~cutoff:10 0 1);
-  Alcotest.(check int) "one between" 1 (Graph_algo.separation u ~cutoff:10 0 2);
-  Alcotest.(check int) "three between" 3 (Graph_algo.separation u ~cutoff:10 0 4);
-  Alcotest.(check int) "cutoff forces p" 2 (Graph_algo.separation u ~cutoff:2 0 4)
+  Alcotest.(check int) "self" 0 (separation u ~cutoff:10 0 0);
+  Alcotest.(check int) "adjacent" 0 (separation u ~cutoff:10 0 1);
+  Alcotest.(check int) "one between" 1 (separation u ~cutoff:10 0 2);
+  Alcotest.(check int) "three between" 3 (separation u ~cutoff:10 0 4);
+  Alcotest.(check int) "cutoff forces p" 2 (separation u ~cutoff:2 0 4)
 
 let test_separation_disconnected () =
   (* two independent chains in one circuit *)
@@ -73,7 +77,7 @@ let test_separation_disconnected () =
   let c = Builder.freeze_exn b in
   let u = Graph_algo.undirected_of_circuit c in
   Alcotest.(check int) "disconnected forces p" 7
-    (Graph_algo.separation u ~cutoff:7 0 1);
+    (separation u ~cutoff:7 0 1);
   let comp = Graph_algo.connected_components u in
   Alcotest.(check bool) "two components" true (comp.(0) <> comp.(1))
 
@@ -87,7 +91,7 @@ let test_module_separation_brute_force () =
     (fun i g ->
       Array.iteri
         (fun j h ->
-          if j > i then expected := !expected + Graph_algo.separation u ~cutoff g h)
+          if j > i then expected := !expected + separation u ~cutoff g h)
         gates;
       ignore g)
     gates;
@@ -136,7 +140,7 @@ let qcheck_module_separation_matches_bruteforce =
         (fun i g ->
           Array.iteri
             (fun j h ->
-              if j > i then brute := !brute + Graph_algo.separation u ~cutoff g h)
+              if j > i then brute := !brute + separation u ~cutoff g h)
             members;
           ignore g)
         members;

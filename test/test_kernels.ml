@@ -1,0 +1,280 @@
+(* The flat-kernel invariants: Bigarray-backed Bitvec against a
+   bool-array model (word boundaries included), the CSR circuit
+   against its own boxed view, the zero-allocation guarantee of the
+   packed evaluation loop, the flat fault-sim engine against the boxed
+   oracle, and the incremental c3 bookkeeping against full
+   recomputation. *)
+
+module Bitvec = Iddq_util.Bitvec
+module Rng = Iddq_util.Rng
+module Circuit = Iddq_netlist.Circuit
+module Gate = Iddq_netlist.Gate
+module Generator = Iddq_netlist.Generator
+module Graph_algo = Iddq_netlist.Graph_algo
+module P = Iddq_patterns.Parallel_sim
+module Pattern_gen = Iddq_patterns.Pattern_gen
+module Fault = Iddq_defects.Fault
+module Fault_sim = Iddq_defects.Fault_sim
+module Charac = Iddq_analysis.Charac
+module Library = Iddq_celllib.Library
+module Partition = Iddq_core.Partition
+
+(* ---------------- Bitvec word-index bounds (regressions) ------------- *)
+
+let raises_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let test_word_bounds_len0 () =
+  let v = Bitvec.create 0 in
+  Alcotest.(check int) "no words" 0 (Bitvec.num_words v);
+  raises_invalid "word 0 of empty" (fun () -> Bitvec.word v 0);
+  raises_invalid "word -1 of empty" (fun () -> Bitvec.word v (-1));
+  raises_invalid "set_word 0 of empty" (fun () -> Bitvec.set_word v 0 1L);
+  raises_invalid "set_word -1 of empty" (fun () -> Bitvec.set_word v (-1) 1L)
+
+let test_word_bounds_multiple_of_64 () =
+  (* len mod 64 = 0: the last word is full, there is no tail word *)
+  let v = Bitvec.create 128 in
+  Alcotest.(check int) "two words" 2 (Bitvec.num_words v);
+  Bitvec.set_word v 1 Int64.minus_one;
+  Alcotest.(check int64) "full word survives unmasked" Int64.minus_one
+    (Bitvec.word v 1);
+  Alcotest.(check int) "count" 64 (Bitvec.count v);
+  raises_invalid "word 2" (fun () -> Bitvec.word v 2);
+  raises_invalid "set_word 2" (fun () -> Bitvec.set_word v 2 1L);
+  raises_invalid "word -1" (fun () -> Bitvec.word v (-1))
+
+let test_set_word_masks_tail () =
+  let v = Bitvec.create 65 in
+  Bitvec.set_word v 1 Int64.minus_one;
+  Alcotest.(check int64) "tail masked to 1 bit" 1L (Bitvec.word v 1);
+  Alcotest.(check int) "count" 1 (Bitvec.count v)
+
+(* ---------------- Bitvec vs bool-array model (qcheck) ---------------- *)
+
+let bits_gen =
+  QCheck.make
+    ~print:(fun (len, _) -> Printf.sprintf "len=%d" len)
+    QCheck.Gen.(
+      int_range 0 200 >>= fun len ->
+      list_size (int_range 0 64) (int_range 0 (Stdlib.max 0 (len - 1)))
+      >>= fun sets -> return (len, sets))
+
+let qcheck_bitvec_matches_model =
+  QCheck.Test.make ~name:"bitvec matches bool-array model" ~count:200 bits_gen
+    (fun (len, sets) ->
+      let v = Bitvec.create len in
+      let model = Array.make len false in
+      List.iter
+        (fun i ->
+          if len > 0 then begin
+            Bitvec.set v i;
+            model.(i) <- true
+          end)
+        sets;
+      let gets_ok =
+        Array.for_all Fun.id (Array.init len (fun i -> Bitvec.get v i = model.(i)))
+      in
+      let count_ok =
+        Bitvec.count v
+        = Array.fold_left (fun a b -> if b then a + 1 else a) 0 model
+      in
+      let first_model =
+        let rec scan i =
+          if i >= len then -1 else if model.(i) then i else scan (i + 1)
+        in
+        scan 0
+      in
+      let words_ok =
+        (* every stored word reconstructs the model bit-for-bit *)
+        let ok = ref true in
+        for w = 0 to Bitvec.num_words v - 1 do
+          let word = Bitvec.word v w in
+          for k = 0 to 63 do
+            let i = (w * 64) + k in
+            let bit = Int64.logand (Int64.shift_right_logical word k) 1L = 1L in
+            let expected = i < len && model.(i) in
+            if bit <> expected then ok := false
+          done
+        done;
+        !ok
+      in
+      gets_ok && count_ok && Bitvec.first_set v = first_model && words_ok)
+
+let qcheck_bitvec_set_word_roundtrip =
+  QCheck.Test.make ~name:"set_word/word roundtrip respects the tail" ~count:200
+    QCheck.(pair (int_range 1 200) (map Int64.of_int int))
+    (fun (len, pattern) ->
+      let v = Bitvec.create len in
+      let w = Bitvec.num_words v - 1 in
+      Bitvec.set_word v w pattern;
+      let stored = Bitvec.word v w in
+      (* stored = pattern masked to the bits that exist *)
+      let ok = ref true in
+      for k = 0 to 63 do
+        let i = (w * 64) + k in
+        let bit = Int64.logand (Int64.shift_right_logical stored k) 1L = 1L in
+        let expected =
+          i < len && Int64.logand (Int64.shift_right_logical pattern k) 1L = 1L
+        in
+        if bit <> expected then ok := false
+      done;
+      !ok && Bitvec.count v <= len)
+
+(* ---------------- CSR circuit vs its boxed view (qcheck) ------------- *)
+
+let dag_gen =
+  QCheck.make
+    ~print:(fun (g, s) -> Printf.sprintf "gates=%d seed=%d" g s)
+    QCheck.Gen.(pair (int_range 10 120) (int_range 1 1_000_000))
+
+let qcheck_csr_circuit_consistent =
+  QCheck.Test.make ~name:"CSR circuit: views, inverse adjacency, validate"
+    ~count:60 dag_gen (fun (gates, seed) ->
+      let rng = Rng.create seed in
+      let c =
+        Generator.layered_dag ~rng ~name:"k" ~num_inputs:5 ~num_outputs:3
+          ~num_gates:gates ~depth:(1 + (gates / 6)) ()
+      in
+      let n = Circuit.num_nodes c in
+      let valid = Circuit.validate c = Ok () in
+      (* boxed views agree with the allocation-free iterators *)
+      let views_ok = ref true in
+      for id = 0 to n - 1 do
+        let fi = ref [] in
+        Circuit.iter_fanins c id (fun s -> fi := s :: !fi);
+        if Array.of_list (List.rev !fi) <> Circuit.fanins c id then
+          views_ok := false;
+        let fo = ref [] in
+        Circuit.iter_fanouts c id (fun s -> fo := s :: !fo);
+        if Array.of_list (List.rev !fo) <> Circuit.fanouts c id then
+          views_ok := false;
+        if Circuit.is_gate c id then begin
+          match Circuit.node c id with
+          | Circuit.Gate (k, fanins) ->
+            if Gate.code k <> Circuit.kind_code c id then views_ok := false;
+            if fanins <> Circuit.fanins c id then views_ok := false
+          | Circuit.Input -> views_ok := false
+        end
+      done;
+      (* fanouts are exactly the inverse of fanins (multiset), sorted
+         ascending by sink *)
+      let inverse_ok = ref true in
+      let expected = Array.make n [] in
+      for id = n - 1 downto 0 do
+        Circuit.iter_fanins c id (fun src ->
+            expected.(src) <- id :: expected.(src))
+      done;
+      for id = 0 to n - 1 do
+        if Array.to_list (Circuit.fanouts c id) <> List.sort compare expected.(id)
+        then inverse_ok := false
+      done;
+      valid && !views_ok && !inverse_ok)
+
+(* ---------------- zero-allocation packed evaluation ------------------ *)
+
+let test_eval_block_allocation_free () =
+  let rng = Rng.create 99 in
+  let c =
+    Generator.layered_dag ~rng ~name:"alloc" ~num_inputs:32 ~num_outputs:16
+      ~num_gates:2_000 ~depth:30 ()
+  in
+  let vectors = Pattern_gen.random ~rng c ~count:128 in
+  let packed = P.pack_all vectors in
+  let scratch = P.create_scratch c in
+  (* warm up: first call may fault pages / fill the scratch *)
+  for b = 0 to P.num_blocks packed - 1 do
+    P.eval_block c scratch packed ~block:b
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 50 do
+    for b = 0 to P.num_blocks packed - 1 do
+      P.eval_block c scratch packed ~block:b
+    done
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check (float 0.0)) "minor words allocated across 100 block evals"
+    0.0 delta
+
+(* ---------------- flat engine vs boxed oracle (qcheck) --------------- *)
+
+let qcheck_flat_matches_boxed =
+  QCheck.Test.make ~name:"flat detection matrix = boxed oracle" ~count:30
+    dag_gen (fun (gates, seed) ->
+      let rng = Rng.create seed in
+      let c =
+        Generator.layered_dag ~rng ~name:"k" ~num_inputs:6 ~num_outputs:3
+          ~num_gates:gates ~depth:(1 + (gates / 6)) ()
+      in
+      let vectors = Pattern_gen.random ~rng c ~count:130 in
+      let faults =
+        Fault.random_population ~rng c ~count:40 ~defect_current:2e-6
+      in
+      let measurable _ = true in
+      let flat =
+        Fault_sim.detection_matrix_with c ~measurable ~vectors ~faults
+      in
+      let boxed =
+        Fault_sim.detection_matrix_boxed_with c ~measurable ~vectors ~faults
+      in
+      let first =
+        Fault_sim.first_detections_with c ~measurable ~vectors ~faults
+      in
+      (* fault dropping must agree with the first set bit of each row *)
+      let first_ok =
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun f first_v -> first_v = Bitvec.first_set flat.Fault_sim.rows.(f))
+             first)
+      in
+      Fault_sim.equal flat boxed && first_ok)
+
+(* ---------------- incremental c3 vs full recomputation --------------- *)
+
+let qcheck_incremental_c3_exact =
+  QCheck.Test.make ~name:"incremental c3 = module_separation recomputation"
+    ~count:30
+    QCheck.(pair (int_range 20 80) (int_range 1 1_000_000))
+    (fun (gates, seed) ->
+      let rng = Rng.create seed in
+      let c =
+        Generator.layered_dag ~rng ~name:"c3" ~num_inputs:5 ~num_outputs:3
+          ~num_gates:gates ~depth:(1 + (gates / 6)) ()
+      in
+      let ch = Charac.make ~library:Library.default c in
+      let n = Charac.num_gates ch in
+      let k = 2 + Rng.int rng 5 in
+      let p =
+        Partition.create ch ~assignment:(Array.init n (fun g -> g mod k))
+      in
+      for _ = 1 to 60 do
+        let g = Rng.int rng n in
+        let target = Rng.int rng k in
+        if
+          Partition.size p target > 0
+          && Partition.size p (Partition.module_of_gate p g) > 1
+        then Partition.move_gate p g target
+      done;
+      (* check_consistent recomputes every module's S(M) with
+         Graph_algo.module_separation and demands exact equality *)
+      match Partition.check_consistent p with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "inconsistent after moves: %s" e)
+
+let tests =
+  [
+    Alcotest.test_case "bitvec word bounds: len 0" `Quick test_word_bounds_len0;
+    Alcotest.test_case "bitvec word bounds: len mod 64 = 0" `Quick
+      test_word_bounds_multiple_of_64;
+    Alcotest.test_case "bitvec set_word masks tail" `Quick
+      test_set_word_masks_tail;
+    Alcotest.test_case "eval_block allocation-free" `Quick
+      test_eval_block_allocation_free;
+    QCheck_alcotest.to_alcotest qcheck_bitvec_matches_model;
+    QCheck_alcotest.to_alcotest qcheck_bitvec_set_word_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_csr_circuit_consistent;
+    QCheck_alcotest.to_alcotest qcheck_flat_matches_boxed;
+    QCheck_alcotest.to_alcotest qcheck_incremental_c3_exact;
+  ]
