@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke campaign-smoke faultsim-smoke kernels-smoke fuzz-smoke serve-smoke ci examples doc clean
+.PHONY: all build test bench bench-quick bench-smoke campaign-smoke faultsim-smoke kernels-smoke diagnose-smoke fuzz-smoke serve-smoke ci examples doc clean
 
 all: build
 
@@ -60,6 +60,16 @@ kernels-smoke:
 	dune exec bench/main.exe -- kernels | grep -q "PASS >= 3x"
 	@echo "kernels-smoke: flat kernel >= 3x, matrices identical, c3 exact - PASS"
 
+# Diagnosis gate: signature-based localization across the ISCAS85
+# stand-ins x {2,4,8,16} uniform modules.  Noiseless exact matching
+# must put the true defect in its top ambiguity class on every trial,
+# and with 2% measurement noise the aggregate top-3 module accuracy
+# must stay >= 0.9; accuracy and diagnosability vs module count land
+# in BENCH_diagnose.json (seconds).
+diagnose-smoke:
+	dune exec bench/main.exe -- diagnose | grep -q "PASS exact"
+	@echo "diagnose-smoke: exact localization, noisy top-k >= 0.9 - PASS"
+
 # Bounded mutation-fuzz pass (fixed seed): >= 10k corrupted variants
 # of valid files through all five parsers plus the JSONL store; every
 # outcome must be Ok/Error -- no exception, no descriptor leak
@@ -82,8 +92,8 @@ serve-smoke:
 
 # What a per-PR check runs: build, tests, evaluation-count smoke,
 # campaign resume smoke, packed fault-sim speedup gate, flat-kernel
-# gate, mutation fuzz, resident-service smoke.
-ci: build test bench-smoke campaign-smoke faultsim-smoke kernels-smoke fuzz-smoke serve-smoke
+# gate, diagnosis accuracy gate, mutation fuzz, resident-service smoke.
+ci: build test bench-smoke campaign-smoke faultsim-smoke kernels-smoke diagnose-smoke fuzz-smoke serve-smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -8,8 +8,8 @@
 
    Experiments: table1 fig2 c17 fig1 ablation-opt ablation-weights
    ablation-es ablation-resynth validation tradeoff variants compaction
-   logic-vs-iddq schedule routing atpg sizing stability faultsim perf
-   campaign *)
+   logic-vs-iddq schedule routing atpg sizing stability faultsim
+   kernels diagnose perf campaign *)
 
 module Table = Iddq_util.Table
 module Rng = Iddq_util.Rng
@@ -1509,6 +1509,146 @@ let run_campaign () =
     campaign_store
 
 (* ------------------------------------------------------------------ *)
+(* diagnose: signature-based localization accuracy vs module count     *)
+(* ------------------------------------------------------------------ *)
+
+(* The diagnosis question (DESIGN.md §11): once a partition's sensors
+   report pass/fail per vector, how well does the signature localize
+   the defect, and how does that resolution grow with module count?
+   For each ISCAS85 stand-in and uniform k-module partition we build
+   the diagnosis engine, record its ambiguity/diagnosability summary,
+   and Monte-Carlo the localization accuracy — noiseless exact
+   matching must place the true defect in the top ambiguity class on
+   every trial (a structural property: distance 0 iff same class), and
+   with every pass/fail cell flipped at 2% the top-3 module accuracy
+   must stay >= 0.9 in aggregate.  Numbers land in
+   BENCH_diagnose.json. *)
+let diagnose_json = "BENCH_diagnose.json"
+
+let run_diagnose () =
+  section "diagnose: IDDQ signature localization vs module count";
+  let module Diagnose = Iddq_diagnose.Diagnose in
+  let module Fault = Iddq_defects.Fault in
+  let module Json = Iddq_util.Json in
+  let n_vectors = 128 and n_faults = 200 and trials = 40 in
+  let eps = 0.02 and top_k = 3 in
+  let t =
+    Table.create
+      [
+        ("circuit", Table.Left);
+        ("modules", Table.Right);
+        ("detectable", Table.Right);
+        ("classes", Table.Right);
+        ("E[ambig]", Table.Right);
+        ("entropy", Table.Right);
+        ("exact top-1", Table.Right);
+        ("noisy top-1 mod", Table.Right);
+        ("noisy top-3 mod", Table.Right);
+      ]
+  in
+  let exact_ok = ref true in
+  let noisy_hits = ref 0 and noisy_trials = ref 0 in
+  let records = ref [] in
+  List.iter
+    (fun (name, circuit) ->
+      let ch = Charac.make ~library:Library.default circuit in
+      List.iter
+        (fun k ->
+          let p = Standard.partition_uniform ch ~num_modules:k in
+          let rng = Rng.create 42 in
+          let faults =
+            Fault.random_population ~rng circuit ~count:n_faults
+              ~defect_current:2e-6
+          in
+          let vectors =
+            Iddq_patterns.Pattern_gen.random ~rng circuit ~count:n_vectors
+          in
+          let d = Diagnose.build p ~vectors ~faults in
+          let s = Diagnose.diagnosability d in
+          let exact = Diagnose.measure_accuracy ~rng ~top_k ~trials d in
+          let noisy =
+            Diagnose.measure_accuracy ~rng ~epsilon:eps ~top_k ~trials d
+          in
+          if exact.Diagnose.top1_class < 1.0 then exact_ok := false;
+          noisy_hits :=
+            !noisy_hits
+            + int_of_float
+                (Float.round
+                   (noisy.Diagnose.topk_module
+                   *. float_of_int noisy.Diagnose.trials));
+          noisy_trials := !noisy_trials + noisy.Diagnose.trials;
+          Table.add_row t
+            [
+              name;
+              string_of_int (Diagnose.num_modules d);
+              Printf.sprintf "%d/%d" s.Diagnose.detectable s.Diagnose.faults;
+              string_of_int s.Diagnose.classes;
+              Printf.sprintf "%.2f" s.Diagnose.expected_ambiguity;
+              Printf.sprintf "%.2f b" s.Diagnose.entropy_bits;
+              Printf.sprintf "%.2f" exact.Diagnose.top1_class;
+              Printf.sprintf "%.2f" noisy.Diagnose.top1_module;
+              Printf.sprintf "%.2f" noisy.Diagnose.topk_module;
+            ];
+          records :=
+            Json.Obj
+              [
+                ("circuit", Json.String name);
+                ("modules", Json.Int (Diagnose.num_modules d));
+                ("vectors", Json.Int n_vectors);
+                ("faults", Json.Int s.Diagnose.faults);
+                ("detectable", Json.Int s.Diagnose.detectable);
+                ("classes", Json.Int s.Diagnose.classes);
+                ("silent", Json.Int s.Diagnose.silent);
+                ("expected_ambiguity", Json.Float s.Diagnose.expected_ambiguity);
+                ("entropy_bits", Json.Float s.Diagnose.entropy_bits);
+                ("diagnosability_cost", Json.Float (Diagnose.c6_diagnosability d));
+                ("exact_top1_class", Json.Float exact.Diagnose.top1_class);
+                ("exact_top1_module", Json.Float exact.Diagnose.top1_module);
+                ("epsilon", Json.Float eps);
+                ("noisy_top1_module", Json.Float noisy.Diagnose.top1_module);
+                ("noisy_topk_module", Json.Float noisy.Diagnose.topk_module);
+                ("top_k", Json.Int top_k);
+                ("trials", Json.Int trials);
+              ]
+            :: !records)
+        [ 2; 4; 8; 16 ])
+    [
+      ("C432", Iscas.c432_like ());
+      ("C880", Iscas.c880_like ());
+      ("C1908", Iscas.c1908_like ());
+      ("C3540", Iscas.c3540_like ());
+    ];
+  Table.print t;
+  let noisy_rate =
+    if !noisy_trials = 0 then 0.0
+    else float_of_int !noisy_hits /. float_of_int !noisy_trials
+  in
+  let pass = !exact_ok && noisy_rate >= 0.9 in
+  let doc =
+    Json.Obj
+      [
+        ("experiment", Json.String "diagnose");
+        ("records", Json.List (List.rev !records));
+        ("noisy_topk_aggregate", Json.Float noisy_rate);
+        ("pass", Json.Bool pass);
+      ]
+  in
+  (match
+     Iddq_util.Io.write_file_atomic diagnose_json (Json.to_string doc ^ "\n")
+   with
+  | Ok () -> Printf.printf "\nwrote %s\n" diagnose_json
+  | Error e ->
+    Printf.printf "\nFAILED writing %s: %s\n" diagnose_json
+      (Iddq_util.Io_error.to_string e));
+  Printf.printf
+    "diagnose: exact top-1 class %s, eps=%.2f top-%d module %.3f aggregate -> \
+     %s\n"
+    (if !exact_ok then "1.00 everywhere" else "BELOW 1.0")
+    eps top_k noisy_rate
+    (if pass then "PASS exact localization, noisy top-k >= 0.9"
+     else "FAIL (needs exact top-1 class 1.0 and noisy top-k >= 0.9)")
+
+(* ------------------------------------------------------------------ *)
 
 let quick_suite () = [ ("C432", Iscas.c432_like ()) ]
 
@@ -1535,6 +1675,7 @@ let run_all ~quick =
   run_cooptimize ();
   run_faultsim ();
   run_kernels ();
+  run_diagnose ();
   run_perf ()
 
 let () =
@@ -1568,11 +1709,12 @@ let () =
         | "smoke" -> run_smoke ()
         | "faultsim" -> run_faultsim ()
         | "kernels" -> run_kernels ()
+        | "diagnose" -> run_diagnose ()
         | "campaign" -> run_campaign ()
         | other ->
           Printf.eprintf
             "unknown experiment %S (try: table1 fig2 c17 fig1 ablation-opt \
-             ablation-weights ablation-es ablation-resynth validation tradeoff variants compaction logic-vs-iddq schedule routing atpg sizing stability cooptimize faultsim kernels perf smoke campaign quick all)\n"
+             ablation-weights ablation-es ablation-resynth validation tradeoff variants compaction logic-vs-iddq schedule routing atpg sizing stability cooptimize faultsim kernels diagnose perf smoke campaign quick all)\n"
             other;
           exit 1)
       args

@@ -15,6 +15,7 @@ module Generator = Iddq_netlist.Generator
 module Partition = Iddq_core.Partition
 module Pipeline = Iddq.Pipeline
 module Report = Iddq.Report
+module Diagnose = Iddq_diagnose.Diagnose
 
 open Cmdliner
 
@@ -222,6 +223,116 @@ let simulate_cmd =
     Term.(
       const run $ circuit_arg $ bench_arg $ seed_arg $ module_size_arg
       $ library_arg $ defects $ vectors $ current)
+
+let diagnose_cmd =
+  let defects =
+    Arg.(value & opt int 200 & info [ "defects" ] ~docv:"N" ~doc:"Injected defect count.")
+  in
+  let vectors =
+    Arg.(value & opt int 64 & info [ "vectors" ] ~docv:"N" ~doc:"Random test vectors.")
+  in
+  let current =
+    Arg.(
+      value & opt float 2.0
+      & info [ "defect-current" ] ~docv:"UA" ~doc:"Defect current in microamperes.")
+  in
+  let epsilon =
+    Arg.(
+      value & opt float 0.0
+      & info [ "epsilon" ] ~docv:"P"
+          ~doc:"Per-measurement pass/fail flip probability in [0, 0.5); 0 = \
+                noiseless exact matching.")
+  in
+  let trials =
+    Arg.(
+      value & opt int 20
+      & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo localization trials.")
+  in
+  let top_k =
+    Arg.(
+      value & opt int 3
+      & info [ "top-k" ] ~docv:"K" ~doc:"K for the top-K module accuracy.")
+  in
+  let run circuit bench method_ seed module_size library defects vectors current
+      epsilon trials top_k =
+    match load_circuit ~circuit ~bench with
+    | Error e -> exit_err e
+    | Ok c ->
+      if epsilon < 0.0 || epsilon >= 0.5 then
+        exit_err "--epsilon must lie in [0, 0.5)";
+      let result =
+        Pipeline.run ~config:(config ~seed ~module_size ~library) method_ c
+      in
+      let rng = Iddq_util.Rng.create (seed + 1) in
+      let faults =
+        Iddq_defects.Fault.random_population ~rng c ~count:defects
+          ~defect_current:(current *. 1.0e-6)
+      in
+      let vs = Iddq_patterns.Pattern_gen.random ~rng c ~count:vectors in
+      let d = Diagnose.build result.Pipeline.partition ~vectors:vs ~faults in
+      let module_id f = (Diagnose.module_ids d).(Diagnose.fault_module d f) in
+      let s = Diagnose.diagnosability d in
+      Format.printf
+        "%s: %d modules, %d vectors, %d defects at %.1f uA@.  detectable \
+         %d/%d  ambiguity classes %d (largest %d, silent %d)@.  expected \
+         ambiguity %.2f  resolution entropy %.2f bits  c6 %.3f@."
+        (Circuit.name c) (Diagnose.num_modules d) vectors defects current
+        s.Diagnose.detectable s.Diagnose.faults s.Diagnose.classes
+        s.Diagnose.max_class s.Diagnose.silent s.Diagnose.expected_ambiguity
+        s.Diagnose.entropy_bits
+        (Diagnose.c6_diagnosability d);
+      let acc = Diagnose.measure_accuracy ~rng ~epsilon ~top_k ~trials d in
+      Format.printf
+        "  localization over %d trials (epsilon %.3f): top-1 ambiguity class \
+         %.2f  top-1 module %.2f  top-%d module %.2f@."
+        acc.Diagnose.trials epsilon acc.Diagnose.top1_class
+        acc.Diagnose.top1_module top_k acc.Diagnose.topk_module;
+      (* worked example: diagnose the first detectable defect *)
+      let rec first_detectable i =
+        if i >= Diagnose.num_faults d then None
+        else if Diagnose.detectable d i then Some i
+        else first_detectable (i + 1)
+      in
+      match first_detectable 0 with
+      | None -> Format.printf "  no detectable defect to diagnose@."
+      | Some truth ->
+        let mode =
+          if epsilon > 0.0 then Diagnose.Noisy epsilon else Diagnose.Exact
+        in
+        let obs =
+          if epsilon > 0.0 then Diagnose.observe_noisy ~rng ~epsilon d truth
+          else Diagnose.predicted d truth
+        in
+        let ranked = Diagnose.rank ~mode d obs in
+        Format.printf "@.  example: defect %d is %a (module %d)@." truth
+          (Iddq_defects.Fault.pp c)
+          (Diagnose.fault d truth).Iddq_defects.Fault.fault (module_id truth);
+        let rec take n = function
+          | x :: rest when n > 0 -> x :: take (n - 1) rest
+          | _ -> []
+        in
+        List.iter
+          (fun (cand : Diagnose.candidate) ->
+            Format.printf
+              "    candidate %3d  class %3d  module %2d  distance %3d%s@."
+              cand.Diagnose.fault cand.Diagnose.class_id
+              (module_id cand.Diagnose.fault)
+              cand.Diagnose.distance
+              (if epsilon > 0.0 then
+                 Printf.sprintf "  log-likelihood %.1f"
+                   cand.Diagnose.log_likelihood
+               else ""))
+          (take 5 ranked)
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:"Rank injected defects against observed IDDQ pass/fail signatures \
+             and report ambiguity sets, diagnosability, and localization \
+             accuracy.")
+    Term.(
+      const run $ circuit_arg $ bench_arg $ method_arg $ seed_arg
+      $ module_size_arg $ library_arg $ defects $ vectors $ current $ epsilon
+      $ trials $ top_k)
 
 let compare_cmd =
   let all_methods =
@@ -712,6 +823,41 @@ let serve_smoke_cmd =
           Option.bind (Json.member "coverage" p) Json.to_float)
       = None
     then fail "fault_sim response lacks partitioned coverage";
+    (* diagnose twice: the second must reuse the cached engine, and
+       noiseless localization must be exact *)
+    let diagnose () =
+      check "diagnose"
+        (Client.request a
+           (Protocol.Diagnose
+              {
+                handle;
+                method_ = Pipeline.Evolution;
+                seed = 42;
+                vectors = 32;
+                defects = 50;
+                defect_current = 2.0e-6;
+                epsilon = 0.0;
+                trials = 10;
+                top_k = 3;
+              }))
+    in
+    step "diagnose 1";
+    let d1 = diagnose () in
+    (match
+       Option.bind (Json.member "top1_class_accuracy" d1) Json.to_float
+     with
+    | Some a when a = 1.0 -> ()
+    | Some a -> fail "noiseless top-1 ambiguity accuracy %g, expected 1" a
+    | None -> fail "diagnose response lacks top1_class_accuracy");
+    let hits_d1 = counter "cache_hits" (metrics ()) in
+    step "diagnose 2";
+    let d2 = diagnose () in
+    if Json.to_string d1 <> Json.to_string d2 then
+      fail "repeated diagnose answers differ";
+    let hits_d2 = counter "cache_hits" (metrics ()) in
+    if hits_d2 <= hits_d1 then
+      fail "second diagnose did not hit the session cache (hits %d -> %d)"
+        hits_d1 hits_d2;
     (* a second client misbehaving must not disturb the first: a
        malformed payload gets a structured error and the stream stays
        in sync; then it vanishes mid-frame *)
@@ -776,17 +922,44 @@ let serve_smoke_cmd =
   Cmd.v
     (Cmd.info "serve-smoke"
        ~doc:"End-to-end service check: scripted client through load, \
-             partition (twice, asserting a session-cache hit), fault_sim, a \
-             misbehaving second client, campaign, shutdown; verifies no \
-             descriptor leaks.")
+             partition (twice, asserting a session-cache hit), fault_sim, \
+             diagnose (twice, asserting the engine is cached and noiseless \
+             localization is exact), a misbehaving second client, campaign, \
+             shutdown; verifies no descriptor leaks.")
     Term.(const run $ const ())
+
+(* One list drives both the dispatch table and the no-args synopsis, so
+   they cannot drift; the cli-usage test parses the "commands:" line
+   and compares it against the documented set. *)
+let commands =
+  [
+    partition_cmd;
+    compare_cmd;
+    simulate_cmd;
+    diagnose_cmd;
+    atpg_cmd;
+    dump_library_cmd;
+    stats_cmd;
+    generate_cmd;
+    campaign_cmd;
+    serve_cmd;
+    client_cmd;
+    serve_smoke_cmd;
+  ]
+
+let usage_term =
+  Term.(
+    const (fun () ->
+        print_endline "usage: iddq_synth COMMAND [OPTIONS]";
+        print_endline
+          ("commands: " ^ String.concat " " (List.map Cmd.name commands));
+        print_endline "run 'iddq_synth COMMAND --help' for details";
+        Stdlib.exit 2)
+    $ const ())
 
 let () =
   let info =
     Cmd.info "iddq_synth" ~version:"0.1.0"
       ~doc:"Synthesis of IDDQ-testable circuits with built-in current sensors."
   in
-  exit (Cmd.eval (Cmd.group info
-       [ partition_cmd; compare_cmd; simulate_cmd; atpg_cmd; dump_library_cmd;
-         stats_cmd; generate_cmd; campaign_cmd; serve_cmd; client_cmd;
-         serve_smoke_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default:usage_term info commands))

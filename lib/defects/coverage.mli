@@ -50,7 +50,8 @@ val coverage_curve : detection_matrix -> float array
 
 val first_detection : detection_matrix -> int array
 (** Per fault, the index of its first detecting vector, [-1] when
-    undetectable by the set. *)
+    undetectable by the set.  [-1] is the {e only} sentinel: every
+    other entry is a valid vector index in [0, num_vectors). *)
 
 val compact : detection_matrix -> int array
 (** Greedy set-cover vector selection: repeatedly keep the vector
@@ -61,4 +62,9 @@ val compact : detection_matrix -> int array
     the selection is identical to the scalar greedy loop's. *)
 
 val coverage_of_selection : detection_matrix -> int array -> float
-(** Coverage achieved by an arbitrary subset of vector indices. *)
+(** Coverage achieved by an arbitrary subset of vector indices.  The
+    selection is treated as a set: duplicates and ordering are
+    irrelevant.  Every index must lie in [0, num_vectors);
+    out-of-range indices raise [Invalid_argument].  An empty selection
+    of a non-empty fault set yields [0.]; with no faults the coverage
+    is vacuously [1.]. *)

@@ -1,0 +1,194 @@
+(** Signature-based defect diagnosis over the per-module detection
+    matrix (DESIGN.md §11).
+
+    The paper's partitioning argument runs in one direction — enough
+    modules that every defect's current crosses its sensor's threshold.
+    This module runs the arrow backwards, in the spirit of E-QED's
+    electrical bug localization: an observed {e signature} (pass/fail
+    per applied vector and per module sensor) is matched against the
+    signature each candidate defect {e would} produce, and candidates
+    are ranked by consistency.
+
+    Concretely, for fault [f] located in module [m(f)], the predicted
+    signature is zero everywhere except row [m(f)], where it equals
+    fault [f]'s packed detection row from
+    {!Iddq_defects.Fault_sim.detection_matrix}.  Scoring an observation
+    [o] against candidate [f] is a Hamming distance over the
+    [modules x vectors] grid, computed in O(words of one row):
+
+    {v d(f) = |o| - |o_{m(f)}| + hamming(o_{m(f)}, row_f) v}
+
+    Under the symmetric per-measurement noise model (each of the
+    [modules x vectors] pass/fail cells flips independently with
+    probability [e < 1/2]) the log-likelihood of [o] given [f] is
+    [(cells - d) log (1-e) + d log e] — {e monotone decreasing} in
+    [d(f)], so noisy maximum-likelihood ranking and Hamming ranking
+    order candidates identically; the noisy mode only changes which
+    candidates are kept and attaches the likelihood score.
+
+    Faults with identical predicted signatures are indistinguishable by
+    IDDQ measurement no matter which vectors are applied — they form
+    {e ambiguity classes} (found by hashing the packed rows), and the
+    distribution of class sizes yields the {e diagnosability} of a
+    partition: the expected ambiguity-set size a uniformly random
+    defect leaves after perfect diagnosis, and the resolution entropy
+    in bits.  {!c6_diagnosability} packages the former as a candidate
+    cost term alongside c1–c5 (see DESIGN.md §11.4; it is {e not} wired
+    into {!Iddq_core.Cost.evaluate}). *)
+
+module Bitvec = Iddq_util.Bitvec
+module Rng = Iddq_util.Rng
+module Metrics = Iddq_util.Metrics
+
+type t
+(** A diagnosis engine: detection matrix + fault locations + ambiguity
+    classes for one (partition, vector set, fault population). *)
+
+type signature = {
+  n_vectors : int;
+  fails : Bitvec.t array;
+      (** One row per live module, in the dense order of
+          {!module_ids}; bit [v] set iff the module's sensor flagged
+          vector [v] as failing. *)
+}
+
+type mode =
+  | Exact  (** Keep only candidates fully consistent with the
+               observation (Hamming distance 0). *)
+  | Noisy of float
+      (** Per-measurement flip probability [e], [0 < e < 1/2]; every
+          candidate is kept, ranked by log-likelihood (equivalently,
+          Hamming distance). *)
+
+type candidate = {
+  fault : int;  (** Index into the engine's fault population. *)
+  class_id : int;  (** Ambiguity class of the fault. *)
+  distance : int;  (** Hamming distance over the modules x vectors grid. *)
+  log_likelihood : float;
+      (** Log-likelihood of the observation under the candidate and the
+          [Noisy] flip probability; [0.] in [Exact] mode. *)
+}
+
+type summary = {
+  faults : int;  (** Population size. *)
+  detectable : int;  (** Faults with at least one failing cell. *)
+  classes : int;  (** Number of ambiguity classes. *)
+  silent : int;  (** Size of the all-pass class (0 when absent). *)
+  max_class : int;  (** Largest class size. *)
+  expected_ambiguity : float;
+      (** Expected ambiguity-set size of a uniformly random fault:
+          [sum |c|^2 / faults].  [1.0] = perfect resolution. *)
+  entropy_bits : float;
+      (** Resolution entropy [- sum (|c|/N) log2 (|c|/N)]: bits of
+          localization the signature carries about the fault. *)
+}
+
+type accuracy = {
+  trials : int;
+  top_k : int;
+  epsilon : float;
+  top1_class : float;
+      (** Fraction of trials where the best-ranked candidate's
+          ambiguity class is the true fault's class. *)
+  top1_module : float;
+      (** Fraction where the best-ranked module is the true one. *)
+  topk_module : float;
+      (** Fraction where the true module appears among the first
+          [top_k] distinct ranked modules. *)
+}
+
+(** {1 Construction} *)
+
+val build :
+  ?domains:int ->
+  ?metrics:Metrics.t ->
+  Iddq_core.Partition.t ->
+  vectors:bool array array ->
+  faults:Iddq_defects.Fault.injected list ->
+  t
+(** Runs the packed fault simulator
+    ({!Iddq_defects.Fault_sim.detection_matrix}) and indexes the result
+    for diagnosis: per-fault module locations
+    ({!Iddq_defects.Fault.location} + partition lookup) and ambiguity
+    classes (packed rows hashed with the module index; all silent
+    faults share one class regardless of location). *)
+
+val num_faults : t -> int
+val num_vectors : t -> int
+val num_modules : t -> int
+
+val module_ids : t -> int array
+(** Live module ids in dense order — index [i] of a signature's
+    [fails] array corresponds to module id [(module_ids t).(i)]. *)
+
+val fault : t -> int -> Iddq_defects.Fault.injected
+val fault_module : t -> int -> int
+(** Dense module index ([0 .. num_modules - 1]) of the fault's
+    location. *)
+
+val detectable : t -> int -> bool
+(** At least one (vector, module) cell fails for this fault. *)
+
+(** {1 Signatures} *)
+
+val predicted : t -> int -> signature
+(** The noiseless signature fault [i] produces (fresh copy). *)
+
+val observe_noisy : rng:Rng.t -> epsilon:float -> t -> int -> signature
+(** {!predicted} with every cell of the [modules x vectors] grid
+    flipped independently with probability [epsilon].  Raises
+    [Invalid_argument] unless [0 <= epsilon < 0.5]. *)
+
+(** {1 Ranking} *)
+
+val distance : t -> signature -> int -> int
+(** Hamming distance between the observation and fault [i]'s predicted
+    signature, over the full [modules x vectors] grid.  Raises
+    [Invalid_argument] if the signature's shape does not match the
+    engine. *)
+
+val rank : ?mode:mode -> t -> signature -> candidate list
+(** Candidates sorted by ascending distance (ties by ascending fault
+    index, so the order is total and reproducible).  [Exact] (default)
+    keeps only distance-0 candidates — possibly none for a noisy
+    observation; [Noisy e] keeps all and fills in log-likelihoods.
+    Raises [Invalid_argument] on a shape mismatch or an out-of-range
+    [e]. *)
+
+val top_modules : ?mode:mode -> t -> signature -> int list
+(** Distinct module {e ids} in first-appearance order of the ranked
+    candidates — the localization answer ("look in module 3, else 7,
+    else ..."). *)
+
+(** {1 Ambiguity} *)
+
+val num_classes : t -> int
+val class_of : t -> int -> int
+val class_members : t -> int -> int array
+(** Fault indices of a class, ascending. *)
+
+val silent_class : t -> int option
+(** The class of faults with all-pass signatures, when any. *)
+
+val diagnosability : t -> summary
+
+val c6_diagnosability : t -> float
+(** Candidate cost term: [log expected_ambiguity] — [0.] at perfect
+    resolution, growing with the ambiguity a partition leaves.  [0.]
+    for an empty population. *)
+
+(** {1 Accuracy harness} *)
+
+val measure_accuracy :
+  rng:Rng.t ->
+  ?epsilon:float ->
+  ?top_k:int ->
+  ?trials:int ->
+  t ->
+  accuracy
+(** Monte-Carlo localization accuracy: each trial draws a uniform
+    {e detectable} fault, observes its signature ([epsilon = 0.], the
+    default, means noiseless + [Exact] ranking; [> 0.] means
+    {!observe_noisy} + [Noisy] ranking) and checks the ranking against
+    the truth.  [trials] defaults to 50, [top_k] to 3.  Returns zeroed
+    rates with [trials = 0] when no fault is detectable. *)

@@ -13,6 +13,7 @@ type t = {
   characs : (string, Charac.t) Hashtbl.t;
   vector_sets :
     (string * int * int, bool array array * Parallel_sim.packed) Hashtbl.t;
+  diagnoses : (string, Iddq_diagnose.Diagnose.t) Hashtbl.t;
 }
 
 let create ?(metrics = Metrics.global)
@@ -24,6 +25,7 @@ let create ?(metrics = Metrics.global)
     circuits = Hashtbl.create 16;
     characs = Hashtbl.create 16;
     vector_sets = Hashtbl.create 16;
+    diagnoses = Hashtbl.create 16;
   }
 
 let handle_of_circuit c = Digest.to_hex (Digest.string (Bench_io.to_string c))
@@ -65,7 +67,14 @@ let vectors t ~handle ~seed ~count c =
       let vs = Iddq_patterns.Pattern_gen.random ~rng c ~count in
       (vs, Parallel_sim.pack_all vs))
 
-type stats = { circuits : int; characs : int; vector_sets : int }
+let diagnosis t ~key compute = memo t t.diagnoses key compute
+
+type stats = {
+  circuits : int;
+  characs : int;
+  vector_sets : int;
+  diagnoses : int;
+}
 
 let stats t =
   locked t (fun () ->
@@ -73,4 +82,5 @@ let stats t =
         circuits = Hashtbl.length t.circuits;
         characs = Hashtbl.length t.characs;
         vector_sets = Hashtbl.length t.vector_sets;
+        diagnoses = Hashtbl.length t.diagnoses;
       })

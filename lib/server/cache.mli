@@ -41,6 +41,20 @@ val vectors :
     [Rng.create seed], together with their 64-way packed form —
     generated and packed once per (handle, seed, count). *)
 
-type stats = { circuits : int; characs : int; vector_sets : int }
+val diagnosis :
+  t -> key:string -> (unit -> Iddq_diagnose.Diagnose.t) -> Iddq_diagnose.Diagnose.t
+(** Memoized diagnosis engine ({!Iddq_diagnose.Diagnose.build} is a
+    full fault simulation).  The caller's [key] must capture every
+    input of the build — handle, method, seed, vectors, defects,
+    defect current — but {e not} the measurement parameters (epsilon,
+    trials, top_k), so accuracy sweeps over the noise model reuse one
+    engine. *)
+
+type stats = {
+  circuits : int;
+  characs : int;
+  vector_sets : int;
+  diagnoses : int;
+}
 
 val stats : t -> stats

@@ -20,6 +20,17 @@ type request =
       defects : int;
       defect_current : float;
     }
+  | Diagnose of {
+      handle : string;
+      method_ : Pipeline.method_;
+      seed : int;
+      vectors : int;
+      defects : int;
+      defect_current : float;
+      epsilon : float;
+      trials : int;
+      top_k : int;
+    }
   | Campaign_submit of { spec : string; domains : int }
   | Campaign_status of { campaign : string }
   | Metrics
@@ -77,6 +88,9 @@ let default_vectors = 64
 let default_defects = 200
 let default_defect_current = 2.0e-6
 let default_domains = 1
+let default_epsilon = 0.0
+let default_trials = 20
+let default_top_k = 3
 
 let member_id j = Option.bind (Json.member "id" j) Json.to_int
 
@@ -182,6 +196,59 @@ let request_of_json j =
                                       defects;
                                       defect_current;
                                     } ))))))
+      | "diagnose" ->
+        required_str "handle" (fun handle ->
+            with_method (fun method_ ->
+                with_int "seed" ~default:default_seed (fun seed ->
+                    with_int "vectors" ~default:default_vectors (fun vectors ->
+                        with_int "defects" ~default:default_defects
+                          (fun defects ->
+                            with_int "trials" ~default:default_trials
+                              (fun trials ->
+                                with_int "top_k" ~default:default_top_k
+                                  (fun top_k ->
+                                    let defect_current =
+                                      match
+                                        Option.bind
+                                          (Json.member "defect_current" j)
+                                          Json.to_float
+                                      with
+                                      | Some c -> c
+                                      | None -> default_defect_current
+                                    in
+                                    let epsilon =
+                                      match
+                                        Option.bind (Json.member "epsilon" j)
+                                          Json.to_float
+                                      with
+                                      | Some e -> e
+                                      | None -> default_epsilon
+                                    in
+                                    if
+                                      vectors < 1 || defects < 1 || trials < 1
+                                      || top_k < 1
+                                    then
+                                      fail Bad_request
+                                        "diagnose needs positive \"vectors\", \
+                                         \"defects\", \"trials\" and \"top_k\""
+                                    else if epsilon < 0. || epsilon >= 0.5 then
+                                      fail Bad_request
+                                        "\"epsilon\" must lie in [0, 0.5)"
+                                    else
+                                      Ok
+                                        ( id,
+                                          Diagnose
+                                            {
+                                              handle;
+                                              method_;
+                                              seed;
+                                              vectors;
+                                              defects;
+                                              defect_current;
+                                              epsilon;
+                                              trials;
+                                              top_k;
+                                            } ))))))))
       | "campaign_submit" ->
         required_str "spec" (fun spec ->
             with_int "domains" ~default:default_domains (fun domains ->
@@ -227,6 +294,30 @@ let request_to_json ?id r =
         ("vectors", Json.Int vectors);
         ("defects", Json.Int defects);
         ("defect_current", Json.Float defect_current);
+      ]
+    | Diagnose
+        {
+          handle;
+          method_;
+          seed;
+          vectors;
+          defects;
+          defect_current;
+          epsilon;
+          trials;
+          top_k;
+        } ->
+      [
+        ("op", Json.String "diagnose");
+        ("handle", Json.String handle);
+        ("method", Json.String (Pipeline.method_to_string method_));
+        ("seed", Json.Int seed);
+        ("vectors", Json.Int vectors);
+        ("defects", Json.Int defects);
+        ("defect_current", Json.Float defect_current);
+        ("epsilon", Json.Float epsilon);
+        ("trials", Json.Int trials);
+        ("top_k", Json.Int top_k);
       ]
     | Campaign_submit { spec; domains } ->
       [

@@ -31,6 +31,23 @@ type request =
       defects : int;
       defect_current : float;  (** Amperes. *)
     }
+  | Diagnose of {
+      handle : string;
+      method_ : Iddq.Pipeline.method_;
+      seed : int;
+      vectors : int;
+      defects : int;
+      defect_current : float;  (** Amperes. *)
+      epsilon : float;
+          (** Per-measurement flip probability, [0 <= e < 0.5];
+              [0.] = noiseless exact matching. *)
+      trials : int;  (** Monte-Carlo localization trials. *)
+      top_k : int;  (** [k] for the top-[k] module accuracy. *)
+    }
+      (** Build the diagnosis engine ({!Iddq_diagnose.Diagnose}) for
+          the handle's partition — sharing the partition and vector-set
+          session cache with [fault_sim] — and answer with its
+          diagnosability summary plus measured localization accuracy. *)
   | Campaign_submit of { spec : string; domains : int }
       (** [spec] is campaign spec-file text ({!Iddq_campaign.Spec.parse}). *)
   | Campaign_status of { campaign : string }

@@ -197,6 +197,81 @@ let fault_sim t ~handle ~method_ ~seed ~vectors ~defects ~defect_current c =
            ("single_sensor", sim_payload single);
          ])
 
+let diagnose t ~handle ~method_ ~seed ~vectors ~defects ~defect_current
+    ~epsilon ~trials ~top_k c =
+  match
+    run_partition t ~handle ~method_ ~seed ~module_size:None
+      ~require_feasible:false c
+  with
+  | Error e -> Error e
+  | Ok r ->
+    (* The engine key omits the measurement parameters on purpose:
+       epsilon/trials/top_k sweeps reuse one simulated matrix. *)
+    let key =
+      Printf.sprintf "%s:diagnose:%s:%d:%d:%d:%h" handle
+        (Pipeline.method_to_string method_)
+        seed vectors defects defect_current
+    in
+    (* Fetched before the diagnosis memo: the cache mutex is not
+       re-entrant, so nesting the vectors lookup inside the compute
+       closure would self-deadlock. *)
+    let vec_seed = derived_seed ~key:(handle ^ ":vectors") ~seed in
+    let vs, _packed =
+      Cache.vectors t.cache ~handle ~seed:vec_seed ~count:vectors c
+    in
+    let engine =
+      Cache.diagnosis t.cache ~key (fun () ->
+          let fault_rng =
+            Rng.create (derived_seed ~key:(handle ^ ":faults") ~seed)
+          in
+          let faults =
+            Iddq_defects.Fault.random_population ~rng:fault_rng c
+              ~count:defects ~defect_current
+          in
+          Iddq_diagnose.Diagnose.build ~metrics:t.metrics r.Pipeline.partition
+            ~vectors:vs ~faults)
+    in
+    let s = Iddq_diagnose.Diagnose.diagnosability engine in
+    (* Trials draw from a stream keyed by the full request, so replies
+       are a pure function of the request whether or not the engine was
+       cached. *)
+    let trial_rng =
+      Rng.create
+        (derived_seed
+           ~key:(Printf.sprintf "%s:trials:%h:%d:%d" key epsilon trials top_k)
+           ~seed)
+    in
+    let acc =
+      Iddq_diagnose.Diagnose.measure_accuracy ~rng:trial_rng ~epsilon ~top_k
+        ~trials engine
+    in
+    Ok
+      (Json.Obj
+         [
+           ("handle", Json.String handle);
+           ("modules", Json.Int (Iddq_diagnose.Diagnose.num_modules engine));
+           ("vectors", Json.Int vectors);
+           ("faults", Json.Int s.Iddq_diagnose.Diagnose.faults);
+           ("detectable", Json.Int s.Iddq_diagnose.Diagnose.detectable);
+           ("classes", Json.Int s.Iddq_diagnose.Diagnose.classes);
+           ("silent", Json.Int s.Iddq_diagnose.Diagnose.silent);
+           ("max_class", Json.Int s.Iddq_diagnose.Diagnose.max_class);
+           ( "expected_ambiguity",
+             Json.Float s.Iddq_diagnose.Diagnose.expected_ambiguity );
+           ("entropy_bits", Json.Float s.Iddq_diagnose.Diagnose.entropy_bits);
+           ( "diagnosability_cost",
+             Json.Float (Iddq_diagnose.Diagnose.c6_diagnosability engine) );
+           ("epsilon", Json.Float epsilon);
+           ("trials", Json.Int acc.Iddq_diagnose.Diagnose.trials);
+           ("top_k", Json.Int top_k);
+           ( "top1_class_accuracy",
+             Json.Float acc.Iddq_diagnose.Diagnose.top1_class );
+           ( "top1_module_accuracy",
+             Json.Float acc.Iddq_diagnose.Diagnose.top1_module );
+           ( "topk_module_accuracy",
+             Json.Float acc.Iddq_diagnose.Diagnose.topk_module );
+         ])
+
 let campaign_submit t ~spec ~domains =
   match Spec.parse spec with
   | Error e ->
@@ -305,6 +380,7 @@ let metrics_payload t =
             ("circuits", Json.Int s.Cache.circuits);
             ("characs", Json.Int s.Cache.characs);
             ("vector_sets", Json.Int s.Cache.vector_sets);
+            ("diagnoses", Json.Int s.Cache.diagnoses);
           ] );
     ]
 
@@ -335,6 +411,21 @@ let dispatch t (req : Protocol.request) =
     ->
     Result.bind (find_circuit t handle) (fun c ->
         fault_sim t ~handle ~method_ ~seed ~vectors ~defects ~defect_current c)
+  | Protocol.Diagnose
+      {
+        handle;
+        method_;
+        seed;
+        vectors;
+        defects;
+        defect_current;
+        epsilon;
+        trials;
+        top_k;
+      } ->
+    Result.bind (find_circuit t handle) (fun c ->
+        diagnose t ~handle ~method_ ~seed ~vectors ~defects ~defect_current
+          ~epsilon ~trials ~top_k c)
   | Protocol.Campaign_submit { spec; domains } ->
     campaign_submit t ~spec ~domains
   | Protocol.Campaign_status { campaign } -> campaign_status t ~campaign

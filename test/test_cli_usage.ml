@@ -1,0 +1,84 @@
+(* The CLI's no-args synopsis is generated from the same command list
+   Cmd.group dispatches on; this regression test pins the synopsis,
+   the dispatch table, and this documented set to each other — adding
+   a subcommand without updating the docs (or vice versa) fails
+   here. *)
+
+let expected_commands =
+  [
+    "partition";
+    "compare";
+    "simulate";
+    "diagnose";
+    "atpg";
+    "dump-library";
+    "stats";
+    "generate";
+    "campaign";
+    "serve";
+    "client";
+    "serve-smoke";
+  ]
+
+(* dune runs the suite with cwd _build/default/test; the binary is a
+   declared dep of the test stanza. *)
+let exe = Filename.concat ".." (Filename.concat "bin" "iddq_synth.exe")
+
+let run_capture args =
+  let cmd = Filename.quote_command exe args ^ " 2>&1" in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1024
+     done
+   with End_of_file -> ());
+  ignore (Unix.close_process_in ic);
+  Buffer.contents buf
+
+let test_synopsis_matches_dispatch () =
+  Alcotest.(check bool)
+    (Printf.sprintf "binary %s present" exe)
+    true (Sys.file_exists exe);
+  let out = run_capture [] in
+  let commands_line =
+    List.find_opt
+      (fun l -> String.length l >= 9 && String.sub l 0 9 = "commands:")
+      (String.split_on_char '\n' out)
+  in
+  match commands_line with
+  | None -> Alcotest.failf "no-args output lacks a commands: line:\n%s" out
+  | Some line ->
+    let listed =
+      String.split_on_char ' '
+        (String.sub line 9 (String.length line - 9))
+      |> List.filter (fun s -> s <> "")
+    in
+    Alcotest.(check (list string))
+      "synopsis enumerates exactly the documented subcommands"
+      (List.sort compare expected_commands)
+      (List.sort compare listed)
+
+let test_unknown_subcommand_enumerates () =
+  let out = run_capture [ "no-such-subcommand" ] in
+  let contains needle =
+    let nl = String.length needle and hl = String.length out in
+    let rec scan i =
+      i + nl <= hl && (String.sub out i nl = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "unknown-command error mentions %S" name)
+        true (contains name))
+    expected_commands
+
+let tests =
+  [
+    Alcotest.test_case "synopsis = dispatch table" `Quick
+      test_synopsis_matches_dispatch;
+    Alcotest.test_case "unknown subcommand enumerates" `Quick
+      test_unknown_subcommand_enumerates;
+  ]

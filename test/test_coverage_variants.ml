@@ -98,6 +98,92 @@ let test_empty_faults () =
   Alcotest.(check (float 0.0)) "vacuous" 1.0
     (Coverage.coverage_of_selection m [||])
 
+(* ------------- selection / sentinel edge behaviour ------------- *)
+
+let exhaustive_matrix () =
+  Coverage.detection_matrix (partition ())
+    ~vectors:(Pattern_gen.exhaustive c17)
+    ~faults:(some_faults ())
+
+(* The naive model: a fault is covered iff any selected vector detects
+   it, read bit by bit through [detects] — an independent path from
+   the packed mask + intersects implementation. *)
+let naive_coverage m selection =
+  let nf = Coverage.num_faults m in
+  if nf = 0 then 1.0
+  else begin
+    let hit = ref 0 in
+    for f = 0 to nf - 1 do
+      if Array.exists (fun v -> Coverage.detects m ~fault:f ~vector:v) selection
+      then incr hit
+    done;
+    float_of_int !hit /. float_of_int nf
+  end
+
+let test_selection_duplicates_and_order () =
+  let m = exhaustive_matrix () in
+  let canonical = Coverage.coverage_of_selection m [| 0; 3; 7 |] in
+  Alcotest.(check (float 0.0)) "duplicates and order are irrelevant" canonical
+    (Coverage.coverage_of_selection m [| 7; 3; 0; 3; 7; 7; 0 |]);
+  Alcotest.(check (float 0.0)) "matches the naive model"
+    (naive_coverage m [| 0; 3; 7 |])
+    canonical
+
+let test_selection_out_of_range () =
+  let m = exhaustive_matrix () in
+  let raises sel =
+    match Coverage.coverage_of_selection m sel with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "index = num_vectors raises" true (raises [| 32 |]);
+  Alcotest.(check bool) "negative index raises" true (raises [| -1 |]);
+  Alcotest.(check bool) "valid prefix does not save it" true
+    (raises [| 0; 1; 32 |])
+
+let qcheck_selection_matches_naive =
+  let m = exhaustive_matrix () in
+  QCheck.Test.make
+    ~name:"coverage_of_selection = naive model under duplicates and any order"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 48) (int_range 0 31))
+    (fun sel ->
+      let sel = Array.of_list sel in
+      Coverage.coverage_of_selection m sel = naive_coverage m sel)
+
+let qcheck_first_detection_matches_naive =
+  QCheck.Test.make
+    ~name:"first_detection = naive earliest-vector scan with -1 sentinel"
+    ~count:25
+    QCheck.(pair (int_range 1 80) (int_range 1 100000))
+    (fun (nv, seed) ->
+      let rng = Rng.create seed in
+      let circuit = Iscas.c432_like () in
+      let ch = Charac.make ~library:Library.default circuit in
+      let n = Charac.num_gates ch in
+      let p =
+        Partition.create ch ~assignment:(Array.init n (fun g -> g mod 3))
+      in
+      let faults =
+        (* a mixed population plus guaranteed-silent defects, so the
+           -1 sentinel is always exercised *)
+        Fault.random_population ~rng circuit ~count:20 ~defect_current:2e-6
+        @ Fault.random_population ~rng circuit ~count:5 ~defect_current:1e-12
+      in
+      let vectors = Pattern_gen.random ~rng circuit ~count:nv in
+      let m = Coverage.detection_matrix p ~vectors ~faults in
+      let naive f =
+        let rec scan v =
+          if v >= nv then -1
+          else if Coverage.detects m ~fault:f ~vector:v then v
+          else scan (v + 1)
+        in
+        scan 0
+      in
+      let first = Coverage.first_detection m in
+      Array.length first = List.length faults
+      && Array.for_all Fun.id (Array.mapi (fun f got -> got = naive f) first))
+
 (* -------------------- sensor variants -------------------- *)
 
 let test_variant_identity () =
@@ -177,6 +263,12 @@ let tests =
     Alcotest.test_case "first detection" `Quick test_first_detection_consistent;
     Alcotest.test_case "compaction" `Quick test_compaction_preserves_coverage;
     Alcotest.test_case "empty faults" `Quick test_empty_faults;
+    Alcotest.test_case "selection duplicates/order" `Quick
+      test_selection_duplicates_and_order;
+    Alcotest.test_case "selection out of range" `Quick
+      test_selection_out_of_range;
+    QCheck_alcotest.to_alcotest qcheck_selection_matches_naive;
+    QCheck_alcotest.to_alcotest qcheck_first_detection_matches_naive;
     Alcotest.test_case "variant identity" `Quick test_variant_identity;
     Alcotest.test_case "pn junction tradeoff" `Quick test_pn_junction_tradeoff;
     Alcotest.test_case "proportional tradeoff" `Quick test_proportional_tradeoff;

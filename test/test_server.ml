@@ -124,6 +124,18 @@ let all_requests =
         defects = 10;
         defect_current = 2.0e-6;
       };
+    Protocol.Diagnose
+      {
+        handle;
+        method_ = Pipeline.Standard;
+        seed = 3;
+        vectors = 32;
+        defects = 25;
+        defect_current = 2.0e-6;
+        epsilon = 0.02;
+        trials = 10;
+        top_k = 3;
+      };
     Protocol.Campaign_submit { spec = "circuits = C17\n"; domains = 2 };
     Protocol.Campaign_status { campaign = "campaign-1" };
     Protocol.Metrics;
@@ -170,6 +182,20 @@ let test_protocol_rejects () =
          ("bench", Json.String "x");
        ])
     "load with both name and bench";
+  reject ~code:Protocol.Bad_request
+    (Json.Obj
+       [
+         ("op", Json.String "diagnose"); ("handle", Json.String "h");
+         ("epsilon", Json.Float 0.5);
+       ])
+    "diagnose with epsilon out of range";
+  reject ~code:Protocol.Bad_request
+    (Json.Obj
+       [
+         ("op", Json.String "diagnose"); ("handle", Json.String "h");
+         ("trials", Json.Int 0);
+       ])
+    "diagnose with zero trials";
   (* the id is echoed even when the request is bad *)
   match
     Protocol.request_of_json
@@ -277,6 +303,63 @@ let test_service_errors () =
   | Ok _ -> Alcotest.fail "module_size 0 accepted");
   let failed = (Metrics.snapshot (Service.metrics service)).Metrics.requests_failed in
   Alcotest.(check bool) "failures counted" true (failed >= 3);
+  Service.stop service
+
+let test_service_diagnose_cached () =
+  let metrics = Metrics.create () in
+  let service = Service.create ~metrics () in
+  let handle = load_c17 service in
+  let diagnose epsilon =
+    ask_ok "diagnose" service
+      (Protocol.Diagnose
+         {
+           handle;
+           method_ = Pipeline.Standard;
+           seed = 2;
+           vectors = 16;
+           defects = 12;
+           defect_current = 2.0e-6;
+           epsilon;
+           trials = 8;
+           top_k = 2;
+         })
+  in
+  let p1 = diagnose 0.0 in
+  (match Option.bind (Json.member "top1_class_accuracy" p1) Json.to_float with
+  | Some a ->
+    Alcotest.(check (float 0.0)) "noiseless top-1 class accuracy" 1.0 a
+  | None -> Alcotest.fail "diagnose payload lacks top1_class_accuracy");
+  let s1 = Metrics.snapshot metrics in
+  let p2 = diagnose 0.0 in
+  let s2 = Metrics.snapshot metrics in
+  Alcotest.check json "repeated diagnose is identical" p1 p2;
+  Alcotest.(check bool) "repeated diagnose hits the engine cache" true
+    (s2.Metrics.server_cache_hits > s1.Metrics.server_cache_hits);
+  (* the engine cache key deliberately omits the measurement knobs, so
+     an epsilon sweep reuses the detection matrix: no new misses *)
+  ignore (diagnose 0.05);
+  let s3 = Metrics.snapshot metrics in
+  Alcotest.(check int) "epsilon sweep reuses the cached engine"
+    s2.Metrics.server_cache_misses s3.Metrics.server_cache_misses;
+  Service.stop service
+
+(* A client from the future speaks an op this build has never heard
+   of.  The contract: a typed unknown_op error with the id echoed —
+   never internal, and never a dropped connection. *)
+let test_service_future_op_typed () =
+  let service = Service.create () in
+  let resp, _ =
+    Service.handle service
+      (Json.Obj [ ("op", Json.String "diagnose_v2"); ("id", Json.Int 4) ])
+  in
+  (match Protocol.response_payload resp with
+  | Error e ->
+    Alcotest.(check string) "future op is unknown_op, not internal"
+      (Protocol.code_to_string Protocol.Unknown_op)
+      (Protocol.code_to_string e.Protocol.code)
+  | Ok _ -> Alcotest.fail "future op accepted");
+  Alcotest.(check (option int)) "id echoed on a future op" (Some 4)
+    (Protocol.response_id resp);
   Service.stop service
 
 let test_service_deterministic_across_instances () =
@@ -391,6 +474,29 @@ let test_two_clients_interleaved () =
         Alcotest.(check int) "no leaked descriptors" before after
       | _ -> ())
 
+let test_future_op_over_socket () =
+  with_server (fun ~socket ~metrics:_ ->
+      let c = connect socket in
+      Client.send c
+        (Json.Obj [ ("op", Json.String "quantum_diagnose"); ("id", Json.Int 41) ]);
+      (match Client.recv c with
+      | Ok resp -> begin
+        Alcotest.(check (option int)) "id echoed over the wire" (Some 41)
+          (Protocol.response_id resp);
+        match Protocol.response_payload resp with
+        | Error e ->
+          Alcotest.(check string) "typed unknown_op over the wire"
+            (Protocol.code_to_string Protocol.Unknown_op)
+            (Protocol.code_to_string e.Protocol.code)
+        | Ok _ -> Alcotest.fail "future op answered ok"
+      end
+      | Error e -> Alcotest.failf "no response to a future op: %s" e);
+      (* the connection survives: the same client keeps working *)
+      (match Client.request c Protocol.Metrics with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "connection lost after a future op: %s" e);
+      Client.close c)
+
 let test_oversized_frame_closes_connection () =
   with_server (fun ~socket ~metrics:_ ->
       let c = connect socket in
@@ -444,10 +550,16 @@ let tests =
     Alcotest.test_case "response shapes" `Quick test_response_shapes;
     Alcotest.test_case "service cache hits" `Quick test_service_cache_hits;
     Alcotest.test_case "service errors" `Quick test_service_errors;
+    Alcotest.test_case "service diagnose cached" `Quick
+      test_service_diagnose_cached;
+    Alcotest.test_case "service future op typed" `Quick
+      test_service_future_op_typed;
     Alcotest.test_case "service deterministic" `Quick
       test_service_deterministic_across_instances;
     Alcotest.test_case "two clients interleaved" `Quick
       test_two_clients_interleaved;
+    Alcotest.test_case "future op over socket" `Quick
+      test_future_op_over_socket;
     Alcotest.test_case "oversized frame closes connection" `Quick
       test_oversized_frame_closes_connection;
     Alcotest.test_case "shutdown request stops server" `Quick
