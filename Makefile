@@ -57,8 +57,8 @@ faultsim-smoke:
 # gates*vectors/s floor, and the incremental c3 totals must equal full
 # recomputation.  Numbers land in BENCH_kernels.json (seconds).
 kernels-smoke:
-	dune exec bench/main.exe -- kernels | grep -q "PASS >= 3x"
-	@echo "kernels-smoke: flat kernel >= 3x, matrices identical, c3 exact - PASS"
+	dune exec bench/main.exe -- kernels | grep -q "PASS >= 3x flat, >= 2x @ 4 domains, striping >= 1.2x, alloc-free"
+	@echo "kernels-smoke: flat >= 3x, 4-domain striped >= 2x, striping >= 1.2x, alloc-free, matrices identical, c3 exact - PASS"
 
 # Diagnosis gate: signature-based localization across the ISCAS85
 # stand-ins x {2,4,8,16} uniform modules.  Noiseless exact matching

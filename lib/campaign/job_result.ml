@@ -125,6 +125,7 @@ let metrics_json (m : Metrics.snapshot) =
       ("sim_blocks", Json.Int m.Metrics.sim_blocks);
       ("sim_fault_blocks", Json.Int m.Metrics.sim_fault_blocks);
       ("sim_dropped", Json.Int m.Metrics.sim_faults_dropped);
+      ("sim_steals", Json.Int m.Metrics.sim_steals);
       ("requests", Json.Int m.Metrics.requests);
       ("requests_failed", Json.Int m.Metrics.requests_failed);
       ("sec_requests", Json.Float m.Metrics.seconds_requests);
@@ -244,6 +245,7 @@ let of_json j =
   let sim_blocks = mfield_default "sim_blocks" in
   let sim_fault_blocks = mfield_default "sim_fault_blocks" in
   let sim_faults_dropped = mfield_default "sim_dropped" in
+  let sim_steals = mfield_default "sim_steals" in
   (* server counters postdate the first stores: absent means 0 *)
   let requests = mfield_default "requests" in
   let requests_failed = mfield_default "requests_failed" in
@@ -287,6 +289,7 @@ let of_json j =
           sim_blocks;
           sim_fault_blocks;
           sim_faults_dropped;
+          sim_steals;
           requests;
           requests_failed;
           seconds_requests;

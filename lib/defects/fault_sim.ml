@@ -6,6 +6,7 @@ module P = Iddq_patterns.Parallel_sim
 module Partition = Iddq_core.Partition
 module Bitvec = Iddq_util.Bitvec
 module Metrics = Iddq_util.Metrics
+module Domain_pool = Iddq_util.Domain_pool
 
 type matrix = { n_vectors : int; rows : Bitvec.t array }
 
@@ -58,20 +59,26 @@ let good_values ?(domains = 1) ?metrics c packed =
     metrics;
   goods
 
-(* Good-machine words for every block in one flat GC-opaque buffer:
-   block [b]'s word for node [id] at [b * num_nodes + id].  Each
-   domain evaluates straight into its disjoint slice — no per-block
-   allocation at all. *)
-let good_values_flat ?(domains = 1) ?metrics c packed =
+(* Good-machine words for every block in one flat GC-opaque buffer,
+   {e node-major}: node [id]'s word for block [b] at
+   [id * num_blocks + b].  The striped levelized kernel fills it [W]
+   consecutive blocks per gate visit; the layout also makes every
+   fault sweep below a contiguous per-row scan.  Stripes (and level
+   slices) write disjoint regions — the shared buffer is each
+   domain's scratch. *)
+let good_values_flat ?(domains = 1) ?metrics ?pool ?stripe c packed =
   let nb = P.num_blocks packed in
   let n = Circuit.num_nodes c in
   let goods : P.ba =
     Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout (nb * n)
   in
-  parallel_ranges ~domains nb (fun lo hi ->
-      for b = lo to hi - 1 do
-        P.eval_block_into c packed ~block:b ~dst:goods ~off:(b * n)
-      done);
+  (match pool with
+  | Some pool -> P.eval_all_into ~pool ?stripe c packed ~dst:goods
+  | None ->
+    if domains <= 1 then P.eval_all_into ?stripe c packed ~dst:goods
+    else
+      Domain_pool.with_pool ~domains (fun pool ->
+          P.eval_all_into ~pool ?stripe c packed ~dst:goods));
   Option.iter
     (fun m -> Metrics.record_fault_sim m ~blocks:nb ~fault_blocks:0 ~dropped:0)
     metrics;
@@ -79,32 +86,34 @@ let good_values_flat ?(domains = 1) ?metrics c packed =
 
 (* One fault's activation word for block [b], phrased so every load,
    [Int64] op and store fuses into a single expression — the fault
-   sweep allocates nothing on the minor heap.  [mask] is the block's
-   active mask, which also maintains the rows' tail-bit invariant. *)
+   sweep allocates nothing on the minor heap.  The good machine is
+   node-major, so each sweep reads one or two contiguous [nb]-word
+   rows.  [mask] is the block's active mask, which also maintains the
+   rows' tail-bit invariant. *)
 
-let sweep_bridge_row row goods ~n ~nb ~masks ~a ~b =
+let sweep_bridge_row row goods ~nb ~masks ~a ~b =
   for blk = 0 to nb - 1 do
     Bigarray.Array1.unsafe_set row blk
       (Int64.logand
          (Int64.logxor
-            (Bigarray.Array1.unsafe_get goods ((blk * n) + a))
-            (Bigarray.Array1.unsafe_get goods ((blk * n) + b)))
+            (Bigarray.Array1.unsafe_get goods ((a * nb) + blk))
+            (Bigarray.Array1.unsafe_get goods ((b * nb) + blk)))
          (Array.unsafe_get masks blk))
   done
 
-let sweep_gos_row row goods ~n ~nb ~masks ~id ~polarity =
+let sweep_gos_row row goods ~nb ~masks ~id ~polarity =
   if polarity then
     for blk = 0 to nb - 1 do
       Bigarray.Array1.unsafe_set row blk
         (Int64.logand
-           (Bigarray.Array1.unsafe_get goods ((blk * n) + id))
+           (Bigarray.Array1.unsafe_get goods ((id * nb) + blk))
            (Array.unsafe_get masks blk))
     done
   else
     for blk = 0 to nb - 1 do
       Bigarray.Array1.unsafe_set row blk
         (Int64.logand
-           (Int64.lognot (Bigarray.Array1.unsafe_get goods ((blk * n) + id)))
+           (Int64.lognot (Bigarray.Array1.unsafe_get goods ((id * nb) + blk)))
            (Array.unsafe_get masks blk))
     done
 
@@ -113,39 +122,54 @@ let sweep_floating_row row ~nb ~masks =
     Bigarray.Array1.unsafe_set row blk (Array.unsafe_get masks blk)
   done
 
+(* Faults are scheduled as round-robin chunks over the pool rather
+   than fixed per-domain ranges: fault dropping (and the measurable
+   filter) makes per-fault cost wildly uneven, and a domain whose
+   static range emptied early used to idle.  Chunks small enough to
+   rebalance, large enough that one atomic claim amortizes. *)
+let fault_chunk = 64
+
+let chunk_count nf = (nf + fault_chunk - 1) / fault_chunk
+
 (* Full matrix: every measurable fault visits every block (no
    dropping — callers want the complete detection sets).  Writes are
    disjoint per fault, so the fault chunks need no synchronization. *)
 let detection_matrix_with ?(domains = 1) ?metrics c ~measurable ~vectors
     ~faults =
+  Domain_pool.with_pool ~domains @@ fun pool ->
   let packed = P.pack_all vectors in
-  let goods = good_values_flat ~domains ?metrics c packed in
-  let n = Circuit.num_nodes c in
+  let goods = good_values_flat ~pool ?metrics c packed in
   let faults = Array.of_list faults in
   let nf = Array.length faults in
   let nb = P.num_blocks packed in
   let nv = P.n_vectors packed in
   let masks = Array.init nb (fun b -> P.block_mask packed b) in
   let rows = Array.init nf (fun _ -> Bitvec.create nv) in
-  parallel_ranges ~domains nf (fun lo hi ->
-      let fault_blocks = ref 0 in
-      for f = lo to hi - 1 do
-        let inj = faults.(f) in
-        if measurable inj then begin
-          let row = Bitvec.unsafe_words rows.(f) in
-          (match inj.Fault.fault with
-          | Fault.Bridge (a, b) -> sweep_bridge_row row goods ~n ~nb ~masks ~a ~b
-          | Fault.Gate_oxide_short (id, polarity) ->
-            sweep_gos_row row goods ~n ~nb ~masks ~id ~polarity
-          | Fault.Floating_gate _ -> sweep_floating_row row ~nb ~masks);
-          fault_blocks := !fault_blocks + nb
-        end
-      done;
-      Option.iter
-        (fun m ->
-          Metrics.record_fault_sim m ~blocks:0 ~fault_blocks:!fault_blocks
-            ~dropped:0)
-        metrics);
+  let fault_blocks = Atomic.make 0 in
+  let steals =
+    Domain_pool.run pool ~chunks:(chunk_count nf) (fun ch ->
+        let lo = ch * fault_chunk in
+        let hi = Stdlib.min nf (lo + fault_chunk) in
+        let fb = ref 0 in
+        for f = lo to hi - 1 do
+          let inj = faults.(f) in
+          if measurable inj then begin
+            let row = Bitvec.unsafe_words rows.(f) in
+            (match inj.Fault.fault with
+            | Fault.Bridge (a, b) -> sweep_bridge_row row goods ~nb ~masks ~a ~b
+            | Fault.Gate_oxide_short (id, polarity) ->
+              sweep_gos_row row goods ~nb ~masks ~id ~polarity
+            | Fault.Floating_gate _ -> sweep_floating_row row ~nb ~masks);
+            fb := !fb + nb
+          end
+        done;
+        ignore (Atomic.fetch_and_add fault_blocks !fb))
+  in
+  Option.iter
+    (fun m ->
+      Metrics.record_fault_sim ~steals m ~blocks:0
+        ~fault_blocks:(Atomic.get fault_blocks) ~dropped:0)
+    metrics;
   { n_vectors = nv; rows }
 
 (* First detections only: fault dropping — a detected fault never
@@ -153,9 +177,9 @@ let detection_matrix_with ?(domains = 1) ?metrics c ~measurable ~vectors
    on the (rare) detecting block so the scan itself stays unboxed. *)
 let first_detections_with ?(domains = 1) ?metrics c ~measurable ~vectors
     ~faults =
+  Domain_pool.with_pool ~domains @@ fun pool ->
   let packed = P.pack_all vectors in
-  let goods = good_values_flat ~domains ?metrics c packed in
-  let n = Circuit.num_nodes c in
+  let goods = good_values_flat ~pool ?metrics c packed in
   let faults = Array.of_list faults in
   let nf = Array.length faults in
   let nb = P.num_blocks packed in
@@ -165,44 +189,52 @@ let first_detections_with ?(domains = 1) ?metrics c ~measurable ~vectors
     | Fault.Bridge (a, b) ->
       Int64.logand
         (Int64.logxor
-           (Bigarray.Array1.unsafe_get goods ((blk * n) + a))
-           (Bigarray.Array1.unsafe_get goods ((blk * n) + b)))
+           (Bigarray.Array1.unsafe_get goods ((a * nb) + blk))
+           (Bigarray.Array1.unsafe_get goods ((b * nb) + blk)))
         (Array.unsafe_get masks blk)
     | Fault.Gate_oxide_short (id, polarity) ->
       if polarity then
         Int64.logand
-          (Bigarray.Array1.unsafe_get goods ((blk * n) + id))
+          (Bigarray.Array1.unsafe_get goods ((id * nb) + blk))
           (Array.unsafe_get masks blk)
       else
         Int64.logand
-          (Int64.lognot (Bigarray.Array1.unsafe_get goods ((blk * n) + id)))
+          (Int64.lognot (Bigarray.Array1.unsafe_get goods ((id * nb) + blk)))
           (Array.unsafe_get masks blk)
     | Fault.Floating_gate _ -> Array.unsafe_get masks blk
   in
   let first = Array.make nf (-1) in
-  parallel_ranges ~domains nf (fun lo hi ->
-      let fault_blocks = ref 0 and dropped = ref 0 in
-      for f = lo to hi - 1 do
-        let inj = faults.(f) in
-        if measurable inj then begin
-          let rec scan b =
-            if b < nb then begin
-              incr fault_blocks;
-              if act_word b inj.Fault.fault <> 0L then begin
-                first.(f) <- (b * 64) + Bitvec.ctz64 (act_word b inj.Fault.fault);
-                incr dropped
+  let fault_blocks = Atomic.make 0 and dropped = Atomic.make 0 in
+  let steals =
+    Domain_pool.run pool ~chunks:(chunk_count nf) (fun ch ->
+        let lo = ch * fault_chunk in
+        let hi = Stdlib.min nf (lo + fault_chunk) in
+        let fb = ref 0 and dr = ref 0 in
+        for f = lo to hi - 1 do
+          let inj = faults.(f) in
+          if measurable inj then begin
+            let rec scan b =
+              if b < nb then begin
+                incr fb;
+                if act_word b inj.Fault.fault <> 0L then begin
+                  first.(f) <-
+                    (b * 64) + Bitvec.ctz64 (act_word b inj.Fault.fault);
+                  incr dr
+                end
+                else scan (b + 1)
               end
-              else scan (b + 1)
-            end
-          in
-          scan 0
-        end
-      done;
-      Option.iter
-        (fun m ->
-          Metrics.record_fault_sim m ~blocks:0 ~fault_blocks:!fault_blocks
-            ~dropped:!dropped)
-        metrics);
+            in
+            scan 0
+          end
+        done;
+        ignore (Atomic.fetch_and_add fault_blocks !fb);
+        ignore (Atomic.fetch_and_add dropped !dr))
+  in
+  Option.iter
+    (fun m ->
+      Metrics.record_fault_sim ~steals m ~blocks:0
+        ~fault_blocks:(Atomic.get fault_blocks) ~dropped:(Atomic.get dropped))
+    metrics;
   first
 
 (* The pre-CSR packed engine, verbatim: boxed per-block node words via

@@ -18,8 +18,11 @@
       complement; a floating gate everywhere: the block mask);
     - {e fault dropping}: a detected fault never touches another
       block;
-    - fault chunks are distributed over a [Domain] pool (the
-      [lib/campaign] runner pattern), the good machine being shared
+    - fault chunks are claimed round-robin off one atomic index by a
+      reusable {!Iddq_util.Domain_pool} (work stealing: dropping makes
+      per-fault cost uneven, and a domain whose static range emptied
+      early used to idle — the rebalanced chunks are counted as
+      [steals] in {!Metrics}), the good machine being shared
       read-only.
 
     The scalar path survives as {!detection_matrix_scalar}, the
@@ -61,14 +64,19 @@ val good_values :
 val good_values_flat :
   ?domains:int ->
   ?metrics:Metrics.t ->
+  ?pool:Iddq_util.Domain_pool.t ->
+  ?stripe:int ->
   Iddq_netlist.Circuit.t ->
   Iddq_patterns.Parallel_sim.packed ->
   Iddq_patterns.Parallel_sim.ba
-(** The flat-kernel good machine: one GC-opaque buffer holding block
-    [b]'s word for node [id] at [b * num_nodes + id], each block
-    evaluated allocation-free over the CSR arrays
-    ({!Iddq_patterns.Parallel_sim.eval_block_into}).  What
-    {!detection_matrix} and {!first_detections} run on. *)
+(** The flat-kernel good machine: one GC-opaque {e node-major} buffer
+    holding node [id]'s word for block [b] at [id * num_blocks + b],
+    filled by the striped levelized kernel
+    ({!Iddq_patterns.Parallel_sim.eval_all_into} — [stripe] words per
+    gate visit, levels split over [pool] when given, else over a
+    transient [domains]-wide pool).  The layout makes every fault
+    sweep a contiguous per-node row scan.  What {!detection_matrix}
+    and {!first_detections} run on. *)
 
 (** {1 Partition-thresholded entry points}
 

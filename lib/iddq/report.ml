@@ -95,6 +95,7 @@ let metrics_table (s : Iddq_util.Metrics.snapshot) =
         ("sim blocks", Table.Right);
         ("sim fault-blocks", Table.Right);
         ("sim dropped", Table.Right);
+        ("sim steals", Table.Right);
       ]
   in
   Table.add_row t
@@ -111,6 +112,7 @@ let metrics_table (s : Iddq_util.Metrics.snapshot) =
       string_of_int s.Iddq_util.Metrics.sim_blocks;
       string_of_int s.Iddq_util.Metrics.sim_fault_blocks;
       string_of_int s.Iddq_util.Metrics.sim_faults_dropped;
+      string_of_int s.Iddq_util.Metrics.sim_steals;
     ];
   t
 

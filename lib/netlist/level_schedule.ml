@@ -1,0 +1,142 @@
+type t = {
+  node_level : int array; (* per node id; inputs at 0 *)
+  offsets : int array; (* length num_levels + 1, indexes order *)
+  order : int array; (* gate node ids, level-major, ascending id per level *)
+}
+
+(* One pass in id order computes every node's level (fanins have
+   smaller ids), then a counting sort places the gates level-major —
+   the same recipe as [Circuit.build_fanouts_csr], so filling in id
+   order keeps each level's ids ascending. *)
+let compute c =
+  let n = Circuit.num_nodes c in
+  let ni = Circuit.num_inputs c in
+  let fanin_offsets = Circuit.Csr.fanin_offsets c in
+  let fanin_targets = Circuit.Csr.fanin_targets c in
+  let node_level = Array.make n 0 in
+  let max_level = ref 0 in
+  for id = ni to n - 1 do
+    let d = ref 0 in
+    for k = fanin_offsets.(id) to fanin_offsets.(id + 1) - 1 do
+      let src = Array.unsafe_get fanin_targets k in
+      if node_level.(src) > !d then d := node_level.(src)
+    done;
+    let d = !d + 1 in
+    node_level.(id) <- d;
+    if d > !max_level then max_level := d
+  done;
+  let offsets = Array.make (!max_level + 1) 0 in
+  for id = ni to n - 1 do
+    offsets.(node_level.(id)) <- offsets.(node_level.(id)) + 1
+  done;
+  (* offsets.(l) currently holds the width of level l+1 (slot 0 is
+     unused by gates); shift into a prefix sum over levels 1.. *)
+  let acc = ref 0 in
+  for l = 1 to !max_level do
+    let w = offsets.(l) in
+    offsets.(l - 1) <- !acc;
+    acc := !acc + w
+  done;
+  offsets.(!max_level) <- !acc;
+  let fill = Array.sub offsets 0 (Stdlib.max 1 !max_level) in
+  let order = Array.make (n - ni) 0 in
+  for id = ni to n - 1 do
+    let l = node_level.(id) - 1 in
+    order.(fill.(l)) <- id;
+    fill.(l) <- fill.(l) + 1
+  done;
+  { node_level; offsets; order }
+
+(* Per-circuit cache, keyed on physical identity so structurally
+   equal circuits don't alias and a dead circuit doesn't pin its
+   schedule.  The ephemeron table is not domain-safe; every access
+   holds the mutex (the computation itself runs outside it only on
+   the cold path, where recomputing twice is harmless). *)
+module Cache = Ephemeron.K1.Make (struct
+  type nonrec t = Circuit.t
+
+  let equal = ( == )
+  let hash c = Hashtbl.hash (Circuit.name c, Circuit.num_nodes c)
+end)
+
+let cache : t Cache.t = Cache.create 16
+let cache_mutex = Mutex.create ()
+
+let of_circuit c =
+  let cached =
+    Mutex.protect cache_mutex (fun () -> Cache.find_opt cache c)
+  in
+  match cached with
+  | Some s -> s
+  | None ->
+    let s = compute c in
+    Mutex.protect cache_mutex (fun () -> Cache.replace cache c s);
+    s
+
+let num_levels t = Array.length t.offsets - 1
+let num_gates t = Array.length t.order
+let level_of_node t id = t.node_level.(id)
+let order t = t.order
+let offsets t = t.offsets
+
+let level_width t l =
+  if l < 1 || l > num_levels t then
+    invalid_arg "Level_schedule.level_width: bad level";
+  t.offsets.(l) - t.offsets.(l - 1)
+
+let max_level_width t =
+  let w = ref 0 in
+  for l = 1 to num_levels t do
+    let lw = level_width t l in
+    if lw > !w then w := lw
+  done;
+  !w
+
+let validate c t =
+  let n = Circuit.num_nodes c in
+  let ni = Circuit.num_inputs c in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let nl = num_levels t in
+  if Array.length t.node_level <> n then err "node_level length drifted"
+  else if Array.length t.order <> n - ni then err "order length drifted"
+  else if t.offsets.(0) <> 0 || t.offsets.(nl) <> n - ni then
+    err "offsets do not span the gates"
+  else begin
+    let monotone = ref true in
+    for l = 0 to nl - 1 do
+      if t.offsets.(l + 1) < t.offsets.(l) then monotone := false
+    done;
+    if not !monotone then err "offsets not monotone"
+    else begin
+      let seen = Array.make n false in
+      let bad = ref None in
+      for l = 1 to nl do
+        for k = t.offsets.(l - 1) to t.offsets.(l) - 1 do
+          let id = t.order.(k) in
+          if id < ni || id >= n then bad := Some (err "order id %d out of range" id)
+          else if seen.(id) then bad := Some (err "node %d scheduled twice" id)
+          else begin
+            seen.(id) <- true;
+            if t.node_level.(id) <> l then
+              bad := Some (err "node %d filed under level %d" id l);
+            let deepest = ref 0 in
+            Circuit.iter_fanins c id (fun src ->
+                if t.node_level.(src) >= l then
+                  bad := Some (err "node %d: fanin %d not at an earlier level" id src);
+                if t.node_level.(src) > !deepest then deepest := t.node_level.(src));
+            if !deepest + 1 <> l then
+              bad := Some (err "node %d: level %d but deepest fanin %d" id l !deepest)
+          end
+        done
+      done;
+      match !bad with
+      | Some e -> e
+      | None ->
+        let missing = ref (-1) in
+        for id = ni to n - 1 do
+          if not seen.(id) then missing := id
+        done;
+        if !missing >= 0 then err "gate node %d never scheduled" !missing
+        else Ok ()
+    end
+  end

@@ -1,0 +1,59 @@
+(** Levelized evaluation schedule.
+
+    A topological {e levelization} of a circuit: every primary input
+    sits at level 0 and every gate at one plus the maximum level of
+    its fanins, so all gates of one level are pairwise independent —
+    they can be evaluated in any order (or in parallel) once every
+    earlier level is done.  Simulation kernels use the flat arrays
+    below to sweep the circuit level by level instead of node by
+    node; the within-level independence is what the domain-parallel
+    evaluation driver splits across workers.
+
+    Like the CSR circuit itself the schedule is all flat [int] arrays
+    (built by the same counting-sort recipe as the fanout arrays), and
+    it is {e cached per circuit}: {!of_circuit} memoizes on the
+    circuit's physical identity behind a mutex, so the scalar
+    simulator can ask for it on every call without rebuilding. *)
+
+type t
+
+val of_circuit : Circuit.t -> t
+(** The circuit's schedule, computed on first use and cached (weakly,
+    keyed on physical identity — dropping the circuit drops the
+    schedule).  Thread-safe; cheap after the first call. *)
+
+val compute : Circuit.t -> t
+(** Build a fresh schedule, bypassing the cache (tests). *)
+
+val num_levels : t -> int
+(** Number of gate levels — the circuit's logic depth.  [0] for a
+    gate-free circuit. *)
+
+val num_gates : t -> int
+
+val level_of_node : t -> int -> int
+(** Level of a node id: [0] for inputs, [>= 1] for gates. *)
+
+val order : t -> int array
+(** All gate node ids, level-major (level 1 first), ascending id
+    within a level.  Every non-input node appears exactly once; any
+    prefix is closed under fanins — a valid topological order.
+    Borrowed — do not mutate. *)
+
+val offsets : t -> int array
+(** Length [num_levels + 1]: level [l] ([1]-based) occupies
+    [order.(offsets.(l-1)) .. order.(offsets.(l) - 1)].  Borrowed —
+    do not mutate. *)
+
+val level_width : t -> int -> int
+(** Gates in ([1]-based) level [l]. *)
+
+val max_level_width : t -> int
+(** The widest level — the parallelism cap for within-level
+    splitting. *)
+
+val validate : Circuit.t -> t -> (unit, string) result
+(** Re-checks the schedule invariants against the circuit: offsets
+    partition [order], every gate appears exactly once, every fanin
+    sits at a strictly smaller level, every gate at exactly one plus
+    its deepest fanin.  Tests and deserialization. *)

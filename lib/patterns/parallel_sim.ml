@@ -1,5 +1,7 @@
 module Circuit = Iddq_netlist.Circuit
 module Gate = Iddq_netlist.Gate
+module Level_schedule = Iddq_netlist.Level_schedule
+module Domain_pool = Iddq_util.Domain_pool
 
 type ba = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
@@ -142,8 +144,13 @@ let output_diff c good bad =
    every intermediate word unboxed, so one block costs zero minor
    words (asserted by the kernel tests).  Gate dispatch is a byte read
    from the CSR kind array; fanin folds are read-modify-write against
-   the destination cell. *)
-let eval_block_into c p ~block ~(dst : ba) ~off =
+   the destination cell.
+
+   The gate loop walks the circuit's levelized [order] (level-major,
+   any topological order is equivalent serially) rather than raw id
+   order: the same traversal the striped and domain-parallel drivers
+   below slice up, so all flat kernels share one schedule. *)
+let eval_block_order_into c ~order p ~block ~(dst : ba) ~off =
   if block < 0 || block >= Array.length p.blocks then
     invalid_arg "Parallel_sim.eval_block_into: bad block";
   let n = Circuit.num_nodes c in
@@ -161,7 +168,8 @@ let eval_block_into c p ~block ~(dst : ba) ~off =
   let kinds = Circuit.Csr.kinds c in
   let offsets = Circuit.Csr.fanin_offsets c in
   let targets = Circuit.Csr.fanin_targets c in
-  for id = ni to n - 1 do
+  for g = 0 to Array.length order - 1 do
+    let id = Array.unsafe_get order g in
     let s = Array.unsafe_get offsets id in
     let e = Array.unsafe_get offsets (id + 1) in
     let code = Char.code (Bytes.unsafe_get kinds id) in
@@ -218,12 +226,219 @@ let eval_block_into c p ~block ~(dst : ba) ~off =
         (Int64.lognot (Bigarray.Array1.unsafe_get dst (off + id)))
   done
 
-type scratch = { values : ba }
+let eval_block_into c p ~block ~(dst : ba) ~off =
+  let sched = Level_schedule.of_circuit c in
+  eval_block_order_into c ~order:(Level_schedule.order sched) p ~block ~dst ~off
 
-let create_scratch c = { values = ba_create (Circuit.num_nodes c) }
+type scratch = { values : ba; order : int array }
+
+let create_scratch c =
+  {
+    values = ba_create (Circuit.num_nodes c);
+    order = Level_schedule.order (Level_schedule.of_circuit c);
+  }
+
 let scratch_values s = s.values
 
 let eval_block c s p ~block =
   if Bigarray.Array1.dim s.values < Circuit.num_nodes c then
     invalid_arg "Parallel_sim.eval_block: scratch sized for another circuit";
-  eval_block_into c p ~block ~dst:s.values ~off:0
+  eval_block_order_into c ~order:s.order p ~block ~dst:s.values ~off:0
+
+(* ------------------------------------------------------------------ *)
+(* Striped levelized evaluation                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Node-major striping: the value matrix holds [stride] consecutive
+   block words per node ([dst.(id * stride + blk)]), and one gate
+   visit evaluates [width] consecutive blocks.  One CSR traversal —
+   dispatch byte, fanin indices, bounds — is amortized over [width]
+   words, and every fanin read is a contiguous [width]-word run: at
+   width 8 exactly one 64-byte cache line, fully used, where the
+   block-at-a-time kernel uses 8 bytes per line touched. *)
+
+let seed_inputs_striped c p ~block0 ~width ~stride ~(dst : ba) =
+  let ni = Circuit.num_inputs c in
+  if p.n_inputs <> ni then
+    invalid_arg "Parallel_sim.seed_inputs_striped: input word count mismatch";
+  let nb = Array.length p.blocks in
+  if block0 < 0 || width < 0 || block0 + width > nb then
+    invalid_arg "Parallel_sim.seed_inputs_striped: bad block range";
+  if stride < block0 + width then
+    invalid_arg "Parallel_sim.seed_inputs_striped: stride below block range";
+  if Circuit.num_nodes c * stride > Bigarray.Array1.dim dst then
+    invalid_arg "Parallel_sim.seed_inputs_striped: destination too small";
+  let words = p.words in
+  (* packed words are block-major (block b, input i at b*ni + i);
+     transpose the stripe into node-major rows *)
+  for i = 0 to ni - 1 do
+    for w = 0 to width - 1 do
+      Bigarray.Array1.unsafe_set dst ((i * stride) + block0 + w)
+        (Bigarray.Array1.unsafe_get words (((block0 + w) * ni) + i))
+    done
+  done
+
+(* The striped gate kernel over one contiguous slice of the level
+   order.  The caller guarantees every fanin row of the slice is
+   already computed for the same stripe: any [lo, hi) prefix-closed
+   under levels qualifies, which is what the level barriers in
+   [eval_all_into] provide.  Allocation-free (the schedule arrays come
+   in as plain [int array]s; no closures, no boxed intermediates). *)
+let eval_order_range_striped c ~order ~lo ~hi ~block0 ~width ~stride ~(dst : ba)
+    =
+  if lo < 0 || hi > Array.length order || lo > hi then
+    invalid_arg "Parallel_sim.eval_order_range_striped: bad order range";
+  if block0 < 0 || width < 0 || stride < block0 + width then
+    invalid_arg "Parallel_sim.eval_order_range_striped: bad stripe";
+  if Circuit.num_nodes c * stride > Bigarray.Array1.dim dst then
+    invalid_arg "Parallel_sim.eval_order_range_striped: destination too small";
+  let kinds = Circuit.Csr.kinds c in
+  let offsets = Circuit.Csr.fanin_offsets c in
+  let targets = Circuit.Csr.fanin_targets c in
+  for g = lo to hi - 1 do
+    let id = Array.unsafe_get order g in
+    let s = Array.unsafe_get offsets id in
+    let e = Array.unsafe_get offsets (id + 1) in
+    let code = Char.code (Bytes.unsafe_get kinds id) in
+    if e <= s then
+      invalid_arg "Parallel_sim.eval_order_range_striped: gate with no fanins";
+    let row = (id * stride) + block0 in
+    let f0 = (Array.unsafe_get targets s * stride) + block0 in
+    (match code with
+    | 0 | 1 ->
+      (* And / Nand *)
+      for w = 0 to width - 1 do
+        Bigarray.Array1.unsafe_set dst (row + w)
+          (Bigarray.Array1.unsafe_get dst (f0 + w))
+      done;
+      for k = s + 1 to e - 1 do
+        let fk = (Array.unsafe_get targets k * stride) + block0 in
+        for w = 0 to width - 1 do
+          Bigarray.Array1.unsafe_set dst (row + w)
+            (Int64.logand
+               (Bigarray.Array1.unsafe_get dst (row + w))
+               (Bigarray.Array1.unsafe_get dst (fk + w)))
+        done
+      done
+    | 2 | 3 ->
+      (* Or / Nor *)
+      for w = 0 to width - 1 do
+        Bigarray.Array1.unsafe_set dst (row + w)
+          (Bigarray.Array1.unsafe_get dst (f0 + w))
+      done;
+      for k = s + 1 to e - 1 do
+        let fk = (Array.unsafe_get targets k * stride) + block0 in
+        for w = 0 to width - 1 do
+          Bigarray.Array1.unsafe_set dst (row + w)
+            (Int64.logor
+               (Bigarray.Array1.unsafe_get dst (row + w))
+               (Bigarray.Array1.unsafe_get dst (fk + w)))
+        done
+      done
+    | 4 | 5 ->
+      (* Xor / Xnor *)
+      for w = 0 to width - 1 do
+        Bigarray.Array1.unsafe_set dst (row + w)
+          (Bigarray.Array1.unsafe_get dst (f0 + w))
+      done;
+      for k = s + 1 to e - 1 do
+        let fk = (Array.unsafe_get targets k * stride) + block0 in
+        for w = 0 to width - 1 do
+          Bigarray.Array1.unsafe_set dst (row + w)
+            (Int64.logxor
+               (Bigarray.Array1.unsafe_get dst (row + w))
+               (Bigarray.Array1.unsafe_get dst (fk + w)))
+        done
+      done
+    | 6 ->
+      (* Not *)
+      for w = 0 to width - 1 do
+        Bigarray.Array1.unsafe_set dst (row + w)
+          (Int64.lognot (Bigarray.Array1.unsafe_get dst (f0 + w)))
+      done
+    | _ ->
+      (* Buff *)
+      for w = 0 to width - 1 do
+        Bigarray.Array1.unsafe_set dst (row + w)
+          (Bigarray.Array1.unsafe_get dst (f0 + w))
+      done);
+    if code = 1 || code = 3 || code = 5 then
+      for w = 0 to width - 1 do
+        Bigarray.Array1.unsafe_set dst (row + w)
+          (Int64.lognot (Bigarray.Array1.unsafe_get dst (row + w)))
+      done
+  done
+
+let eval_stripe_into c sched p ~block0 ~width ~stride ~(dst : ba) =
+  seed_inputs_striped c p ~block0 ~width ~stride ~dst;
+  let order = Level_schedule.order sched in
+  eval_order_range_striped c ~order ~lo:0 ~hi:(Array.length order) ~block0
+    ~width ~stride ~dst
+
+let default_stripe = 8
+
+(* Below this many gates a level is evaluated inline by the caller:
+   publishing a pool job (mutex + broadcast + atomic claims) costs on
+   the order of a few microseconds, which only pays for itself once a
+   level carries roughly a thousand gate visits of real work. *)
+let min_split_width = 1024
+
+let eval_all_into ?pool ?(stripe = default_stripe) c p ~(dst : ba) =
+  if stripe < 1 then invalid_arg "Parallel_sim.eval_all_into: bad stripe";
+  let nb = Array.length p.blocks in
+  let n = Circuit.num_nodes c in
+  if n * nb > Bigarray.Array1.dim dst then
+    invalid_arg "Parallel_sim.eval_all_into: destination too small";
+  if nb = 0 then ()
+  else begin
+    let sched = Level_schedule.of_circuit c in
+    let w = Stdlib.min stripe nb in
+    let stripes = (nb + w - 1) / w in
+    let eval_stripe s =
+      let block0 = s * w in
+      let width = Stdlib.min w (nb - block0) in
+      eval_stripe_into c sched p ~block0 ~width ~stride:nb ~dst
+    in
+    let psize = match pool with None -> 1 | Some t -> Domain_pool.size t in
+    match pool with
+    | None ->
+      for s = 0 to stripes - 1 do
+        eval_stripe s
+      done
+    | Some _ when psize <= 1 ->
+      for s = 0 to stripes - 1 do
+        eval_stripe s
+      done
+    | Some pool when stripes >= psize ->
+      (* Whole stripes are the coarsest independent unit: each chunk
+         seeds and evaluates disjoint columns, no barrier needed. *)
+      ignore (Domain_pool.run pool ~chunks:stripes eval_stripe)
+    | Some pool ->
+      (* Fewer stripes than domains: split inside levels instead.  A
+         [Domain_pool.run] per level is the barrier; narrow levels run
+         inline on the caller to dodge the publish cost. *)
+      let order = Level_schedule.order sched in
+      let offsets = Level_schedule.offsets sched in
+      for s = 0 to stripes - 1 do
+        let block0 = s * w in
+        let width = Stdlib.min w (nb - block0) in
+        seed_inputs_striped c p ~block0 ~width ~stride:nb ~dst;
+        for l = 1 to Level_schedule.num_levels sched do
+          let lo = offsets.(l - 1) and hi = offsets.(l) in
+          let lw = hi - lo in
+          if lw < min_split_width then
+            eval_order_range_striped c ~order ~lo ~hi ~block0 ~width ~stride:nb
+              ~dst
+          else begin
+            let per = (lw + psize - 1) / psize in
+            ignore
+              (Domain_pool.run pool ~chunks:psize (fun k ->
+                   let clo = lo + (k * per) in
+                   let chi = Stdlib.min hi (clo + per) in
+                   if clo < chi then
+                     eval_order_range_striped c ~order ~lo:clo ~hi:chi ~block0
+                       ~width ~stride:nb ~dst))
+          end
+        done
+      done
+  end

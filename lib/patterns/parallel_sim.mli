@@ -68,21 +68,108 @@ val packed_words : packed -> ba
 val eval_block_into : Iddq_netlist.Circuit.t -> packed -> block:int -> dst:ba -> off:int -> unit
 (** [eval_block_into c p ~block ~dst ~off] evaluates one packed block
     and writes one word per node into [dst.(off) ..
-    dst.(off + num_nodes - 1)].  Allocation-free.  Raises
+    dst.(off + num_nodes - 1)].  Gates are visited in the circuit's
+    cached {!Iddq_netlist.Level_schedule} order (one cache probe per
+    call; the gate loop itself is allocation-free).  Raises
     [Invalid_argument] on a bad block index, an input-width mismatch,
     a too-small destination, or a zero-fanin gate. *)
 
 type scratch
-(** Preallocated per-domain node-word buffer. *)
+(** Preallocated per-domain node-word buffer (plus the circuit's
+    levelized order, resolved once at creation). *)
 
 val create_scratch : Iddq_netlist.Circuit.t -> scratch
 val eval_block : Iddq_netlist.Circuit.t -> scratch -> packed -> block:int -> unit
-(** {!eval_block_into} at offset 0 of the scratch's buffer. *)
+(** {!eval_block_into} at offset 0 of the scratch's buffer.
+    Allocation-free: the scratch carries the schedule, so no cache
+    probe. *)
 
 val scratch_values : scratch -> ba
 (** The scratch buffer (one word per node after {!eval_block}).
     Borrowed — valid until the next {!eval_block} on the same
     scratch. *)
+
+(** {1 Striped levelized kernels}
+
+    The multi-word evaluation engine: node-major value matrices hold
+    [stride] consecutive block words per node ([id * stride + blk]),
+    and one gate visit evaluates [width] consecutive blocks — one CSR
+    traversal (dispatch byte, fanin indices) amortized over [width]
+    words, every fanin read a contiguous run (at width 8, exactly one
+    fully-used 64-byte cache line).  Independent stripes, and
+    independent gates of one level within a stripe, may evaluate on
+    different domains concurrently: all writes are disjoint. *)
+
+val seed_inputs_striped :
+  Iddq_netlist.Circuit.t ->
+  packed ->
+  block0:int ->
+  width:int ->
+  stride:int ->
+  dst:ba ->
+  unit
+(** Transpose the packed input words of blocks
+    [block0 .. block0 + width - 1] into the node-major matrix rows of
+    [dst] ([input i, block b] at [i * stride + b]).  Allocation-free.
+    Raises [Invalid_argument] on a bad block range, an input-width
+    mismatch, a stride smaller than [block0 + width], or a too-small
+    destination. *)
+
+val eval_order_range_striped :
+  Iddq_netlist.Circuit.t ->
+  order:int array ->
+  lo:int ->
+  hi:int ->
+  block0:int ->
+  width:int ->
+  stride:int ->
+  dst:ba ->
+  unit
+(** Evaluate gates [order.(lo) .. order.(hi - 1)] over blocks
+    [block0 .. block0 + width - 1] of the node-major matrix [dst].
+    The caller guarantees every fanin of the slice already holds its
+    value for the same blocks — any slice of a topological [order]
+    whose prefix is complete qualifies (whole prefixes, or one level's
+    sub-range once all earlier levels are done).  Allocation-free.
+    Raises [Invalid_argument] on bad ranges or a zero-fanin gate. *)
+
+val eval_stripe_into :
+  Iddq_netlist.Circuit.t ->
+  Iddq_netlist.Level_schedule.t ->
+  packed ->
+  block0:int ->
+  width:int ->
+  stride:int ->
+  dst:ba ->
+  unit
+(** Seed the stripe's inputs and evaluate the whole circuit in level
+    order for [width] consecutive blocks.  Allocation-free (the
+    schedule comes in explicitly — resolve it once with
+    {!Iddq_netlist.Level_schedule.of_circuit} and reuse). *)
+
+val default_stripe : int
+(** Words evaluated per gate visit by {!eval_all_into} unless
+    overridden: [8], one cache line. *)
+
+val eval_all_into :
+  ?pool:Iddq_util.Domain_pool.t ->
+  ?stripe:int ->
+  Iddq_netlist.Circuit.t ->
+  packed ->
+  dst:ba ->
+  unit
+(** Evaluate {e every} packed block into the node-major matrix [dst]
+    (node [id], block [b] at [id * num_blocks p + b]; [dst] must hold
+    [num_nodes * num_blocks] words).  Work is cut into stripes of
+    [stripe] blocks (clamped to the block count; default
+    {!default_stripe}).  Without a [pool] (or with a 1-domain pool)
+    the stripes evaluate serially on the caller.  With a pool, whole
+    stripes are distributed when there are at least as many stripes as
+    domains; otherwise each level of each stripe is split across the
+    pool with a barrier per level, narrow levels (under ~1k gates)
+    running inline because the job-publish cost would dominate.
+    Raises [Invalid_argument] on a bad [stripe], a too-small [dst], or
+    a zero-fanin gate. *)
 
 val eval_word : Iddq_netlist.Gate.kind -> int64 array -> int64
 (** One gate over packed fanin words.  Raises [Invalid_argument] when

@@ -399,4 +399,5 @@ let snapshot_json (s : Metrics.snapshot) =
       ("sim_blocks", Json.Int s.Metrics.sim_blocks);
       ("sim_fault_blocks", Json.Int s.Metrics.sim_fault_blocks);
       ("sim_faults_dropped", Json.Int s.Metrics.sim_faults_dropped);
+      ("sim_steals", Json.Int s.Metrics.sim_steals);
     ]

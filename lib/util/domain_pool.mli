@@ -1,0 +1,44 @@
+(** A small reusable pool of worker domains with work-stealing chunk
+    scheduling.
+
+    [Fault_sim] used to split work into [domains] fixed-size
+    contiguous ranges, one [Domain.spawn] per range per call — fine
+    for one balanced sweep, wasteful for a levelized evaluation that
+    needs a barrier per circuit level (a spawn per level) and unfair
+    for fault sweeps where fault dropping empties some ranges early.
+    This pool spawns its workers {e once}; each {!run} publishes a job
+    of [chunks] indivisible chunks that the caller and every worker
+    claim round-robin off one [Atomic] index until none remain, which
+    is both the per-level barrier (a {!run} per level) and the
+    work-stealing fault scheduler (a chunk per fault batch).
+
+    A pool is owned by one orchestrating caller: concurrent {!run}
+    calls on the same pool are not allowed.  The job function must
+    only write state disjoint per chunk. *)
+
+type t
+
+val create : domains:int -> t
+(** A pool of [max 1 domains] participants: the caller plus
+    [domains - 1] spawned workers (none for [domains <= 1]).  Workers
+    sleep on a condition variable between jobs. *)
+
+val size : t -> int
+(** Participants (caller included). *)
+
+val run : t -> chunks:int -> (int -> unit) -> int
+(** [run t ~chunks f] calls [f c] exactly once for every
+    [c in 0 .. chunks - 1], distributing chunks over the pool by
+    atomic round-robin claiming; returns when all chunks completed
+    (the barrier).  The returned count is the {e steals}: chunks
+    executed beyond an even static split (the work a fixed-range
+    scheduler would have left on an idle domain).  If any [f] raises,
+    the first exception re-raises here after the barrier. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers.  Idempotent; {!run} after shutdown
+    executes inline on the caller. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] — {!create}, run [f], always
+    {!shutdown}. *)

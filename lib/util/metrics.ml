@@ -10,6 +10,7 @@ type t = {
   sim_blocks : int Atomic.t;
   sim_fault_blocks : int Atomic.t;
   sim_faults_dropped : int Atomic.t;
+  sim_steals : int Atomic.t;
   requests : int Atomic.t;
   requests_failed : int Atomic.t;
   seconds_requests : float Atomic.t;
@@ -30,6 +31,7 @@ let create () =
     sim_blocks = Atomic.make 0;
     sim_fault_blocks = Atomic.make 0;
     sim_faults_dropped = Atomic.make 0;
+    sim_steals = Atomic.make 0;
     requests = Atomic.make 0;
     requests_failed = Atomic.make 0;
     seconds_requests = Atomic.make 0.0;
@@ -57,10 +59,11 @@ let record_delta t ~gates ~seconds =
 let record_hit t = ignore (Atomic.fetch_and_add t.cache_hits 1)
 let record_move t = ignore (Atomic.fetch_and_add t.moves 1)
 
-let record_fault_sim t ~blocks ~fault_blocks ~dropped =
+let record_fault_sim ?(steals = 0) t ~blocks ~fault_blocks ~dropped =
   ignore (Atomic.fetch_and_add t.sim_blocks blocks);
   ignore (Atomic.fetch_and_add t.sim_fault_blocks fault_blocks);
-  ignore (Atomic.fetch_and_add t.sim_faults_dropped dropped)
+  ignore (Atomic.fetch_and_add t.sim_faults_dropped dropped);
+  ignore (Atomic.fetch_and_add t.sim_steals steals)
 
 let record_request t ~ok ~seconds =
   ignore (Atomic.fetch_and_add t.requests 1);
@@ -83,6 +86,7 @@ type snapshot = {
   sim_blocks : int;
   sim_fault_blocks : int;
   sim_faults_dropped : int;
+  sim_steals : int;
   requests : int;
   requests_failed : int;
   seconds_requests : float;
@@ -103,6 +107,7 @@ let snapshot (t : t) =
     sim_blocks = Atomic.get t.sim_blocks;
     sim_fault_blocks = Atomic.get t.sim_fault_blocks;
     sim_faults_dropped = Atomic.get t.sim_faults_dropped;
+    sim_steals = Atomic.get t.sim_steals;
     requests = Atomic.get t.requests;
     requests_failed = Atomic.get t.requests_failed;
     seconds_requests = Atomic.get t.seconds_requests;
@@ -122,6 +127,7 @@ let reset (t : t) =
   Atomic.set t.sim_blocks 0;
   Atomic.set t.sim_fault_blocks 0;
   Atomic.set t.sim_faults_dropped 0;
+  Atomic.set t.sim_steals 0;
   Atomic.set t.requests 0;
   Atomic.set t.requests_failed 0;
   Atomic.set t.seconds_requests 0.0;
@@ -141,6 +147,7 @@ let diff after before =
     sim_blocks = after.sim_blocks - before.sim_blocks;
     sim_fault_blocks = after.sim_fault_blocks - before.sim_fault_blocks;
     sim_faults_dropped = after.sim_faults_dropped - before.sim_faults_dropped;
+    sim_steals = after.sim_steals - before.sim_steals;
     requests = after.requests - before.requests;
     requests_failed = after.requests_failed - before.requests_failed;
     seconds_requests = after.seconds_requests -. before.seconds_requests;
@@ -168,10 +175,10 @@ let pp fmt s =
   Format.fprintf fmt
     "evaluations=%d (full=%d delta=%d cached=%d) moves=%d@ gate recomputes: \
      full=%d delta=%d@ evaluate-equivalents=%.1f (%.1fx fewer than naive)@ cpu: \
-     full=%.3fs delta=%.3fs@ fault sim: blocks=%d fault-blocks=%d dropped=%d@ \
+     full=%.3fs delta=%.3fs@ fault sim: blocks=%d fault-blocks=%d dropped=%d steals=%d@ \
      server: requests=%d (failed=%d, %.3fs) cache hits=%d misses=%d"
     (evaluations s) s.full_evals s.delta_evals s.cache_hits s.moves s.gates_full
     s.gates_delta (equivalent_evals s) (speedup s) s.seconds_full
     s.seconds_delta s.sim_blocks s.sim_fault_blocks s.sim_faults_dropped
-    s.requests s.requests_failed s.seconds_requests s.server_cache_hits
+    s.sim_steals s.requests s.requests_failed s.seconds_requests s.server_cache_hits
     s.server_cache_misses

@@ -39,11 +39,14 @@ val record_hit : t -> unit
 val record_move : t -> unit
 (** One gate move applied through an incremental evaluator. *)
 
-val record_fault_sim : t -> blocks:int -> fault_blocks:int -> dropped:int -> unit
+val record_fault_sim :
+  ?steals:int -> t -> blocks:int -> fault_blocks:int -> dropped:int -> unit
 (** One packed fault-simulation run ([Iddq_defects.Fault_sim]):
     [blocks] good-machine 64-vector block evaluations, [fault_blocks]
-    per-fault word-operation block passes, and [dropped] faults
-    removed from further simulation by fault dropping. *)
+    per-fault word-operation block passes, [dropped] faults removed
+    from further simulation by fault dropping, and [steals] fault
+    chunks a pool participant executed beyond an even static split
+    (work the round-robin scheduler rebalanced; default [0]). *)
 
 val record_request : t -> ok:bool -> seconds:float -> unit
 (** One service request ([Iddq_server.Service]): outcome and
@@ -79,6 +82,9 @@ type snapshot = {
   sim_faults_dropped : int;
       (** Faults dropped (detected, never re-simulated) by the packed
           fault simulator. *)
+  sim_steals : int;
+      (** Fault chunks executed beyond an even static split by the
+          work-stealing scheduler (idle-domain work rebalanced). *)
   requests : int;  (** Service requests answered (ok or error). *)
   requests_failed : int;  (** Requests answered with a protocol error. *)
   seconds_requests : float;

@@ -7,7 +7,9 @@
 
 module Bitvec = Iddq_util.Bitvec
 module Rng = Iddq_util.Rng
+module Domain_pool = Iddq_util.Domain_pool
 module Circuit = Iddq_netlist.Circuit
+module Level_schedule = Iddq_netlist.Level_schedule
 module Gate = Iddq_netlist.Gate
 module Generator = Iddq_netlist.Generator
 module Graph_algo = Iddq_netlist.Graph_algo
@@ -198,6 +200,137 @@ let test_eval_block_allocation_free () =
   Alcotest.(check (float 0.0)) "minor words allocated across 100 block evals"
     0.0 delta
 
+let test_eval_stripe_allocation_free () =
+  let rng = Rng.create 77 in
+  let c =
+    Generator.layered_dag ~rng ~name:"salloc" ~num_inputs:32 ~num_outputs:16
+      ~num_gates:2_000 ~depth:30 ()
+  in
+  let vectors = Pattern_gen.random ~rng c ~count:256 in
+  let packed = P.pack_all vectors in
+  let nb = P.num_blocks packed in
+  let n = Circuit.num_nodes c in
+  let sched = Level_schedule.of_circuit c in
+  let dst : P.ba =
+    Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout (n * nb)
+  in
+  Bigarray.Array1.fill dst 0L;
+  P.eval_stripe_into c sched packed ~block0:0 ~width:nb ~stride:nb ~dst;
+  let before = Gc.minor_words () in
+  for _ = 1 to 50 do
+    P.eval_stripe_into c sched packed ~block0:0 ~width:nb ~stride:nb ~dst
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check (float 0.0))
+    "minor words allocated across 50 striped full-matrix evals" 0.0 delta
+
+(* ---------------- striped / domain kernels vs per-block -------------- *)
+
+(* The vector counts cover the edge geometry: an empty set (zero
+   blocks), exactly one full block, one block plus a one-vector tail,
+   and a len mod 64 <> 0 multi-block set. *)
+let stripe_vec_counts = [| 0; 1; 64; 65; 130 |]
+
+let striped_gen =
+  QCheck.make
+    ~print:(fun (g, s, vi) ->
+      Printf.sprintf "gates=%d seed=%d nvec=%d" g s stripe_vec_counts.(vi))
+    QCheck.Gen.(
+      triple (int_range 10 120) (int_range 1 1_000_000)
+        (int_range 0 (Array.length stripe_vec_counts - 1)))
+
+let qcheck_striped_matches_blockwise =
+  QCheck.Test.make
+    ~name:"striped and domain eval_all_into = per-block kernel" ~count:30
+    striped_gen (fun (gates, seed, vi) ->
+      let rng = Rng.create seed in
+      let c =
+        Generator.layered_dag ~rng ~name:"k" ~num_inputs:6 ~num_outputs:3
+          ~num_gates:gates ~depth:(1 + (gates / 6)) ()
+      in
+      let vectors = Pattern_gen.random ~rng c ~count:stripe_vec_counts.(vi) in
+      let p = P.pack_all vectors in
+      let n = Circuit.num_nodes c in
+      let nb = P.num_blocks p in
+      (* reference: the levelized per-block kernel, block-major *)
+      let reference : P.ba =
+        Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout (n * nb)
+      in
+      for b = 0 to nb - 1 do
+        P.eval_block_into c p ~block:b ~dst:reference ~off:(b * n)
+      done;
+      let dst : P.ba =
+        Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout (n * nb)
+      in
+      let matches () =
+        let ok = ref true in
+        for id = 0 to n - 1 do
+          for b = 0 to nb - 1 do
+            if
+              Bigarray.Array1.get dst ((id * nb) + b)
+              <> Bigarray.Array1.get reference ((b * n) + id)
+            then ok := false
+          done
+        done;
+        !ok
+      in
+      (* serial striping at widths dividing and not dividing nb *)
+      let serial_ok =
+        List.for_all
+          (fun w ->
+            Bigarray.Array1.fill dst Int64.minus_one;
+            P.eval_all_into ~stripe:w c p ~dst;
+            nb = 0 || matches ())
+          [ 1; 2; 3; 8 ]
+      in
+      (* domain paths: more stripes than domains (whole-stripe chunks)
+         and fewer (per-level splitting) *)
+      let domain_ok =
+        Domain_pool.with_pool ~domains:3 (fun pool ->
+            List.for_all
+              (fun w ->
+                Bigarray.Array1.fill dst Int64.minus_one;
+                P.eval_all_into ~pool ~stripe:w c p ~dst;
+                nb = 0 || matches ())
+              [ 1; Stdlib.max 1 nb ])
+      in
+      serial_ok && domain_ok)
+
+let qcheck_domain_faultsim_matches_boxed =
+  QCheck.Test.make
+    ~name:"multi-domain detection matrix and first detections = boxed oracle"
+    ~count:15 striped_gen (fun (gates, seed, vi) ->
+      let rng = Rng.create seed in
+      let c =
+        Generator.layered_dag ~rng ~name:"k" ~num_inputs:6 ~num_outputs:3
+          ~num_gates:gates ~depth:(1 + (gates / 6)) ()
+      in
+      let vectors = Pattern_gen.random ~rng c ~count:stripe_vec_counts.(vi) in
+      let faults =
+        Fault.random_population ~rng c ~count:40 ~defect_current:2e-6
+      in
+      let measurable _ = true in
+      let boxed =
+        Fault_sim.detection_matrix_boxed_with c ~measurable ~vectors ~faults
+      in
+      List.for_all
+        (fun domains ->
+          let flat =
+            Fault_sim.detection_matrix_with ~domains c ~measurable ~vectors
+              ~faults
+          in
+          let first =
+            Fault_sim.first_detections_with ~domains c ~measurable ~vectors
+              ~faults
+          in
+          Fault_sim.equal flat boxed
+          && Array.for_all Fun.id
+               (Array.mapi
+                  (fun f first_v ->
+                    first_v = Bitvec.first_set flat.Fault_sim.rows.(f))
+                  first))
+        [ 1; 3 ])
+
 (* ---------------- flat engine vs boxed oracle (qcheck) --------------- *)
 
 let qcheck_flat_matches_boxed =
@@ -272,9 +405,13 @@ let tests =
       test_set_word_masks_tail;
     Alcotest.test_case "eval_block allocation-free" `Quick
       test_eval_block_allocation_free;
+    Alcotest.test_case "eval_stripe allocation-free" `Quick
+      test_eval_stripe_allocation_free;
     QCheck_alcotest.to_alcotest qcheck_bitvec_matches_model;
     QCheck_alcotest.to_alcotest qcheck_bitvec_set_word_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_csr_circuit_consistent;
+    QCheck_alcotest.to_alcotest qcheck_striped_matches_blockwise;
+    QCheck_alcotest.to_alcotest qcheck_domain_faultsim_matches_boxed;
     QCheck_alcotest.to_alcotest qcheck_flat_matches_boxed;
     QCheck_alcotest.to_alcotest qcheck_incremental_c3_exact;
   ]
