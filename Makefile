@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke campaign-smoke faultsim-smoke kernels-smoke diagnose-smoke fuzz-smoke serve-smoke ci examples doc clean
+.PHONY: all build test bench bench-quick bench-smoke campaign-smoke faultsim-smoke kernels-smoke diagnose-smoke fuzz-smoke serve-smoke loadgen-smoke ci examples doc clean
 
 all: build
 
@@ -90,10 +90,25 @@ serve-smoke:
 	  | grep -q "serve-smoke: PASS"
 	@echo "serve-smoke: session cache hit, fault isolation, no fd leaks - PASS"
 
+# Event-loop load gate: a self-hosted server driven by 64 concurrent
+# synthetic clients (mixed characterize/partition/diagnose/
+# campaign-status/metrics stream, 20 requests each).  Every request
+# must be answered, none shed (pipeline depth 1 is under the server's
+# limit), and throughput must clear a floor conservative enough for
+# the single-core container; throughput and p50/p95/p99 latency land
+# in BENCH_serve.json (seconds).
+loadgen-smoke:
+	dune exec bin/iddq_synth.exe -- loadgen \
+	  --clients 64 --requests 20 --pipeline 1 --floor 100 \
+	  --out BENCH_serve.json \
+	  | grep -q "loadgen: PASS"
+	@echo "loadgen-smoke: 64 clients, zero failed/shed, floor cleared - PASS"
+
 # What a per-PR check runs: build, tests, evaluation-count smoke,
 # campaign resume smoke, packed fault-sim speedup gate, flat-kernel
-# gate, diagnosis accuracy gate, mutation fuzz, resident-service smoke.
-ci: build test bench-smoke campaign-smoke faultsim-smoke kernels-smoke diagnose-smoke fuzz-smoke serve-smoke
+# gate, diagnosis accuracy gate, mutation fuzz, resident-service
+# smoke, event-loop load gate.
+ci: build test bench-smoke campaign-smoke faultsim-smoke kernels-smoke diagnose-smoke fuzz-smoke serve-smoke loadgen-smoke
 
 examples:
 	dune exec examples/quickstart.exe

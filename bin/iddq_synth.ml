@@ -684,9 +684,32 @@ let serve_cmd =
           ~doc:"Frame payload cap; a frame declaring more closes the \
                 connection.")
   in
-  let run socket budget max_frame =
-    match Server.create ~socket ~max_frame ?budget () with
-    | Error e -> exit_err e
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains executing requests (min 1).")
+  in
+  let max_pipeline =
+    Arg.(
+      value & opt int 8
+      & info [ "max-pipeline" ] ~docv:"N"
+          ~doc:"Per-connection in-flight request cap; requests beyond it are \
+                answered with an overloaded error.")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 256
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Server-wide pending-request cap; requests beyond it are \
+                answered with an overloaded error.")
+  in
+  let run socket budget max_frame workers max_pipeline max_queue =
+    match
+      Server.create ~socket ~max_frame ~workers ~max_pipeline ~max_queue
+        ?budget ()
+    with
+    | Error e -> exit_err (Server.create_error_to_string e)
     | Ok srv ->
       Format.printf "iddq_synth: serving on %s@." socket;
       Format.print_flush ();
@@ -698,7 +721,9 @@ let serve_cmd =
        ~doc:"Run the resident partition service: a daemon speaking \
              length-prefixed JSON over a Unix-domain socket, with a session \
              cache keyed by circuit content hash.")
-    Term.(const run $ socket_arg $ budget $ max_frame)
+    Term.(
+      const run $ socket_arg $ budget $ max_frame $ workers $ max_pipeline
+      $ max_queue)
 
 let client_cmd =
   let run socket =
@@ -763,7 +788,11 @@ let serve_smoke_cmd =
     let fds_before = Iddq_util.Io.open_fd_count () in
     let socket = Filename.temp_file "iddq-serve-smoke" ".sock" in
     step "create";
-    let srv = check "create" (Server.create ~socket ()) in
+    let srv =
+      match Server.create ~socket () with
+      | Ok srv -> srv
+      | Error e -> fail "create: %s" (Server.create_error_to_string e)
+    in
     let server_domain = Domain.spawn (fun () -> Server.run srv) in
     step "connect";
     let a = check "connect" (Client.connect ~socket) in
@@ -928,6 +957,105 @@ let serve_smoke_cmd =
              shutdown; verifies no descriptor leaks.")
     Term.(const run $ const ())
 
+let loadgen_cmd =
+  let socket_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Socket of a running server to drive.  Default: host a \
+                private server on a temporary socket for the duration of \
+                the run.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 64
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 20
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ] ~docv:"N"
+          ~doc:"Client-side in-flight requests per connection.  Keep at or \
+                below the server's --max-pipeline for a shed-free run.")
+  in
+  let floor =
+    Arg.(
+      value & opt float 0.0
+      & info [ "floor" ] ~docv:"RPS"
+          ~doc:"Fail unless throughput reaches this many responses per \
+                second.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the measured totals as JSON (atomic replace).")
+  in
+  let run socket clients requests pipeline floor out seed =
+    let fail fmt = Format.kasprintf (fun s -> exit_err ("loadgen: " ^ s)) fmt in
+    let hosted, socket, stop =
+      match socket with
+      | Some path -> (false, path, fun () -> ())
+      | None ->
+        let path = Filename.temp_file "iddq-loadgen" ".sock" in
+        let srv =
+          match Server.create ~socket:path () with
+          | Ok srv -> srv
+          | Error e -> fail "%s" (Server.create_error_to_string e)
+        in
+        let d = Domain.spawn (fun () -> Server.run srv) in
+        ( true,
+          path,
+          fun () ->
+            Server.shutdown srv;
+            Domain.join d )
+    in
+    let cfg =
+      Iddq_server.Loadgen.config ~socket ~clients ~requests ~pipeline ~seed ()
+    in
+    let result = Iddq_server.Loadgen.run cfg in
+    stop ();
+    if hosted && Sys.file_exists socket then Sys.remove socket;
+    match result with
+    | Error e -> exit_err e
+    | Ok totals ->
+      Format.printf "%a@." Iddq_server.Loadgen.pp_totals totals;
+      Option.iter
+        (fun path ->
+          match
+            Iddq_util.Io.write_file_atomic path
+              (Json.to_string (Iddq_server.Loadgen.totals_json cfg totals))
+          with
+          | Ok () -> Format.printf "wrote %s@." path
+          | Error e ->
+            fail "writing %s: %s" path (Io_error.to_string e))
+        out;
+      if totals.Iddq_server.Loadgen.failed > 0 then
+        fail "%d requests failed" totals.Iddq_server.Loadgen.failed;
+      if totals.Iddq_server.Loadgen.overloaded > 0 then
+        fail "%d requests shed (pipeline above the server's depth limit?)"
+          totals.Iddq_server.Loadgen.overloaded;
+      if totals.Iddq_server.Loadgen.throughput < floor then
+        fail "throughput %.1f req/s below the %.1f req/s floor"
+          totals.Iddq_server.Loadgen.throughput floor;
+      print_endline "loadgen: PASS"
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a server with N concurrent synthetic clients (a mixed \
+             characterize/partition/diagnose/campaign-status request \
+             stream) and report throughput and latency percentiles.")
+    Term.(
+      const run $ socket_opt $ clients $ requests $ pipeline $ floor $ out
+      $ seed_arg)
+
 (* One list drives both the dispatch table and the no-args synopsis, so
    they cannot drift; the cli-usage test parses the "commands:" line
    and compares it against the documented set. *)
@@ -945,6 +1073,7 @@ let commands =
     serve_cmd;
     client_cmd;
     serve_smoke_cmd;
+    loadgen_cmd;
   ]
 
 let usage_term =

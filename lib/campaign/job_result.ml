@@ -131,6 +131,9 @@ let metrics_json (m : Metrics.snapshot) =
       ("sec_requests", Json.Float m.Metrics.seconds_requests);
       ("srv_hits", Json.Int m.Metrics.server_cache_hits);
       ("srv_misses", Json.Int m.Metrics.server_cache_misses);
+      ("srv_sheds", Json.Int m.Metrics.server_sheds);
+      ("srv_queue_peak", Json.Int m.Metrics.server_queue_peak);
+      ("srv_wbuf_peak", Json.Int m.Metrics.server_wbuf_peak);
     ]
 
 let to_json r =
@@ -256,6 +259,9 @@ let of_json j =
   in
   let server_cache_hits = mfield_default "srv_hits" in
   let server_cache_misses = mfield_default "srv_misses" in
+  let server_sheds = mfield_default "srv_sheds" in
+  let server_queue_peak = mfield_default "srv_queue_peak" in
+  let server_wbuf_peak = mfield_default "srv_wbuf_peak" in
   Ok
     {
       job_id;
@@ -295,6 +301,9 @@ let of_json j =
           seconds_requests;
           server_cache_hits;
           server_cache_misses;
+          server_sheds;
+          server_queue_peak;
+          server_wbuf_peak;
         };
     }
 

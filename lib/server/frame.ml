@@ -17,40 +17,43 @@ let encode j = encode_payload (Json.to_string j)
 
 type event = Frame of Json.t | Malformed of string | Oversized of int
 
+(* The unconsumed bytes live in a cursor buffer: feeds append at the
+   tail, [next] consumes from the head, and compaction is amortized
+   inside Netbuf — a byte-at-a-time (slow-loris) feed costs O(n)
+   total where the old string-concatenation buffer cost O(n^2). *)
 type decoder = {
   max_frame : int;
-  mutable buf : string;  (* unconsumed bytes *)
+  buf : Netbuf.t;
   mutable poisoned : int option;  (* declared length of an oversized frame *)
 }
 
 let create ?(max_frame = default_max_frame) () =
-  { max_frame; buf = ""; poisoned = None }
+  { max_frame; buf = Netbuf.create (); poisoned = None }
 
-let feed d s = if s <> "" then d.buf <- d.buf ^ s
-let feed_sub d b off len = if len > 0 then feed d (Bytes.sub_string b off len)
-let buffered d = String.length d.buf
+let feed d s = Netbuf.append_string d.buf s
+let feed_sub d b off len = Netbuf.append_sub d.buf b off len
+let buffered d = Netbuf.length d.buf
 
-let declared_length s =
-  let b i = Char.code s.[i] in
+let declared_length d =
+  let b i = Char.code (Netbuf.get d.buf i) in
   (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
 
 let next d =
   match d.poisoned with
   | Some n -> Some (Oversized n)
   | None ->
-    let have = String.length d.buf in
+    let have = Netbuf.length d.buf in
     if have < header_length then None
     else begin
-      let len = declared_length d.buf in
+      let len = declared_length d in
       if len > d.max_frame then begin
         d.poisoned <- Some len;
         Some (Oversized len)
       end
       else if have < header_length + len then None
       else begin
-        let payload = String.sub d.buf header_length len in
-        d.buf <-
-          String.sub d.buf (header_length + len) (have - header_length - len);
+        let payload = Netbuf.sub d.buf ~pos:header_length ~len in
+        Netbuf.consume d.buf (header_length + len);
         match Json.parse payload with
         | Ok j -> Some (Frame j)
         | Error e -> Some (Malformed e)

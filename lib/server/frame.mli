@@ -8,10 +8,13 @@
 
     The decoder is incremental: feed it whatever byte chunks the
     socket delivers (any split, including mid-header) and drain
-    {!next} until it asks for more.  A declared length above the
-    decoder's cap is unrecoverable by design — we refuse to buffer the
-    payload, so the connection must be dropped; the decoder stays
-    poisoned and keeps reporting [Oversized]. *)
+    {!next} until it asks for more.  Buffering is a cursor over one
+    growable backing buffer ({!Netbuf}), so feeding [n] bytes in any
+    number of chunks — including one byte at a time — costs O(n)
+    total.  A declared length above the decoder's cap is unrecoverable
+    by design — we refuse to buffer the payload, so the connection
+    must be dropped; the decoder stays poisoned and keeps reporting
+    [Oversized]. *)
 
 val default_max_frame : int
 (** 8 MiB — larger than any legitimate request or response. *)

@@ -1,0 +1,65 @@
+(** Synthetic load generator for the resident service — the measuring
+    half of `iddq_synth loadgen`.
+
+    Drives [clients] concurrent connections from one thread: a
+    non-blocking [Unix.select] loop (the mirror image of the server's)
+    keeps every connection's pipeline topped up to [pipeline] in-flight
+    requests and times each response.  The request mix is a fixed
+    weighted distribution over the cheap session-cache-friendly
+    operations — characterize, partition, diagnose, campaign_status,
+    metrics — drawn from a {!Iddq_util.Rng} stream per client, so a
+    run is reproducible from its seed.
+
+    A setup phase over a blocking {!Client} loads the circuit, warms
+    the session cache for every operation in the mix, and submits one
+    tiny campaign for [campaign_status] to poll: the measured phase
+    then exercises the {e transport} (framing, multiplexing,
+    scheduling), not the synthesis pipeline. *)
+
+type config = {
+  socket : string;  (** A running server's socket path. *)
+  clients : int;  (** Concurrent connections (min 1). *)
+  requests : int;  (** Requests per client (min 1). *)
+  pipeline : int;
+      (** Client-side in-flight cap per connection (min 1).  Keep at
+          or below the server's [max_pipeline] for a shed-free run. *)
+  seed : int;  (** Mix-stream seed. *)
+  deadline : float;  (** Overall wall-clock limit, seconds. *)
+}
+
+val config :
+  socket:string ->
+  ?clients:int ->
+  ?requests:int ->
+  ?pipeline:int ->
+  ?seed:int ->
+  ?deadline:float ->
+  unit ->
+  config
+(** Defaults: 64 clients, 20 requests each, pipeline 1, seed 42,
+    120 s deadline. *)
+
+type totals = {
+  clients : int;
+  requests_sent : int;
+  ok : int;  (** Responses carrying an [ok] payload. *)
+  overloaded : int;  (** Responses shed with the [overloaded] code. *)
+  failed : int;  (** Responses carrying any other error. *)
+  elapsed : float;  (** Measured-phase wall-clock seconds. *)
+  throughput : float;  (** Responses per second. *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val run : config -> (totals, string) result
+(** Execute setup then the measured phase.  [Error] on connection
+    failure, unexpected EOF, a malformed response stream, or running
+    past the deadline. *)
+
+val totals_json : config -> totals -> Iddq_util.Json.t
+(** The [BENCH_serve.json] payload: the configuration and every
+    {!totals} field. *)
+
+val pp_totals : Format.formatter -> totals -> unit

@@ -44,6 +44,7 @@ type error_code =
   | Malformed_frame
   | Oversized_frame
   | Budget_exceeded
+  | Overloaded
   | Internal
 
 type error = { code : error_code; message : string }
@@ -58,6 +59,7 @@ let code_to_string = function
   | Malformed_frame -> "malformed_frame"
   | Oversized_frame -> "oversized_frame"
   | Budget_exceeded -> "budget_exceeded"
+  | Overloaded -> "overloaded"
   | Internal -> "internal"
 
 let code_of_string = function
@@ -68,6 +70,7 @@ let code_of_string = function
   | "malformed_frame" -> Some Malformed_frame
   | "oversized_frame" -> Some Oversized_frame
   | "budget_exceeded" -> Some Budget_exceeded
+  | "overloaded" -> Some Overloaded
   | "internal" -> Some Internal
   | _ -> None
 
@@ -400,4 +403,7 @@ let snapshot_json (s : Metrics.snapshot) =
       ("sim_fault_blocks", Json.Int s.Metrics.sim_fault_blocks);
       ("sim_faults_dropped", Json.Int s.Metrics.sim_faults_dropped);
       ("sim_steals", Json.Int s.Metrics.sim_steals);
+      ("sheds", Json.Int s.Metrics.server_sheds);
+      ("queue_peak", Json.Int s.Metrics.server_queue_peak);
+      ("wbuf_peak", Json.Int s.Metrics.server_wbuf_peak);
     ]

@@ -62,6 +62,10 @@ type error_code =
   | Malformed_frame  (** Frame payload was not valid JSON. *)
   | Oversized_frame  (** Frame length above the server's cap. *)
   | Budget_exceeded  (** The request ran past the server's wall-clock budget. *)
+  | Overloaded
+      (** Load shed: the connection's pipeline-depth limit or the
+          server's global queue-depth limit was hit.  The request was
+          {e not} queued; retry after draining in-flight responses. *)
   | Internal
 
 type error = { code : error_code; message : string }

@@ -58,6 +58,19 @@ val record_server_cache : t -> hit:bool -> unit
     parsed circuit, characterization, or packed vector set; a miss
     computed and stored it. *)
 
+val record_shed : t -> unit
+(** One request refused with the [overloaded] error by the server's
+    load-shedding admission control (pipeline-depth or queue-depth
+    limit hit). *)
+
+val record_queue_depth : t -> int -> unit
+(** Observe the server's global pending-request queue depth; keeps the
+    high-water mark ({!field-server_queue_peak}). *)
+
+val record_wbuf : t -> int -> unit
+(** Observe one connection's write-buffer size in bytes; keeps the
+    high-water mark ({!field-server_wbuf_peak}). *)
+
 (** {1 Snapshots} *)
 
 type snapshot = {
@@ -92,6 +105,12 @@ type snapshot = {
           field). *)
   server_cache_hits : int;  (** Session-cache lookups served. *)
   server_cache_misses : int;  (** Session-cache lookups computed. *)
+  server_sheds : int;
+      (** Requests refused with [overloaded] by admission control. *)
+  server_queue_peak : int;
+      (** High-water mark of the server's pending-request queue. *)
+  server_wbuf_peak : int;
+      (** High-water mark of any connection's write buffer, bytes. *)
 }
 
 val snapshot : t -> snapshot
@@ -102,7 +121,9 @@ val reset : t -> unit
 
 val diff : snapshot -> snapshot -> snapshot
 (** [diff after before] — counter increments between two snapshots of
-    the same instance. *)
+    the same instance.  The high-water marks
+    ([server_queue_peak]/[server_wbuf_peak]) are not increments; the
+    diff carries [after]'s mark. *)
 
 (** {1 Derived measures} *)
 

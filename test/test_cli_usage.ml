@@ -18,6 +18,7 @@ let expected_commands =
     "serve";
     "client";
     "serve-smoke";
+    "loadgen";
   ]
 
 (* dune runs the suite with cwd _build/default/test; the binary is a

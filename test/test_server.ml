@@ -393,7 +393,7 @@ let with_server f =
   let socket = Filename.temp_file "iddq-test-server" ".sock" in
   let metrics = Metrics.create () in
   match Server.create ~socket ~metrics () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Server.create_error_to_string e)
   | Ok srv ->
     let running = Domain.spawn (fun () -> Server.run srv) in
     Fun.protect
@@ -526,7 +526,7 @@ let test_oversized_frame_closes_connection () =
 let test_shutdown_request_stops_server () =
   let socket = Filename.temp_file "iddq-test-shutdown" ".sock" in
   match Server.create ~socket () with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Server.create_error_to_string e)
   | Ok srv ->
     let running = Domain.spawn (fun () -> Server.run srv) in
     let c = connect socket in
@@ -536,6 +536,242 @@ let test_shutdown_request_stops_server () =
     Client.close c;
     Domain.join running;
     Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial clients                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A slow-loris client trickles a whole request one byte per write.
+   The cursor decoder must absorb it in O(n) and the multiplexer must
+   keep serving others meanwhile. *)
+let test_slow_loris () =
+  with_server (fun ~socket ~metrics:_ ->
+      let slow = connect socket in
+      let fast = connect socket in
+      let frame =
+        Frame.encode (Protocol.request_to_json ~id:7 Protocol.Metrics)
+      in
+      String.iter
+        (fun ch ->
+          Client.send_raw slow (String.make 1 ch);
+          (* the loop stays responsive between the trickled bytes *)
+          match Client.request fast Protocol.Metrics with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "fast client starved by slow-loris: %s" e)
+        frame;
+      (match Client.recv slow with
+      | Ok resp ->
+        Alcotest.(check (option int))
+          "slow-loris request answered, id echoed" (Some 7)
+          (Protocol.response_id resp)
+      | Error e -> Alcotest.failf "slow-loris request lost: %s" e);
+      Client.close slow;
+      Client.close fast)
+
+(* The EPIPE regression: a client pipelines requests and vanishes
+   without reading any response.  The server must treat the failed
+   sends as that connection's death — [with_server]'s teardown joins
+   [Server.run] and re-raises anything that escaped. *)
+let test_disconnect_before_reading_response () =
+  with_server (fun ~socket ~metrics:_ ->
+      let c = connect socket in
+      let burst =
+        String.concat ""
+          (List.init 4 (fun i ->
+               Frame.encode (Protocol.request_to_json ~id:i Protocol.Metrics)))
+      in
+      Client.send_raw c burst;
+      (* close with every response unread: the server's writes hit a
+         dead peer (EPIPE/ECONNRESET) *)
+      Client.close c;
+      (* the server must still be alive and serving *)
+      let c2 = connect socket in
+      (match Client.request c2 Protocol.Metrics with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "server died with the client: %s" e);
+      Client.close c2)
+
+(* A burst beyond the pipeline-depth limit: the excess is answered
+   immediately with [overloaded] (ids echoed), the connection stays
+   usable, and the sheds are counted. *)
+let test_pipelined_burst_sheds () =
+  let socket = Filename.temp_file "iddq-test-overload" ".sock" in
+  let metrics = Metrics.create () in
+  match Server.create ~socket ~metrics ~max_pipeline:1 () with
+  | Error e -> Alcotest.fail (Server.create_error_to_string e)
+  | Ok srv ->
+    let running = Domain.spawn (fun () -> Server.run srv) in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.shutdown srv;
+        Domain.join running;
+        if Sys.file_exists socket then Sys.remove socket)
+      (fun () ->
+        let c = connect socket in
+        let n = 6 in
+        Client.send_raw c
+          (String.concat ""
+             (List.init n (fun i ->
+                  Frame.encode (Protocol.request_to_json ~id:i Protocol.Metrics))));
+        let ok = ref 0 and shed = ref 0 and ids = ref [] in
+        for _ = 1 to n do
+          match Client.recv c with
+          | Error e -> Alcotest.failf "burst response missing: %s" e
+          | Ok resp -> begin
+            (match Protocol.response_id resp with
+            | Some id -> ids := id :: !ids
+            | None -> Alcotest.fail "burst response without an id");
+            match Protocol.response_payload resp with
+            | Ok _ -> incr ok
+            | Error { Protocol.code = Protocol.Overloaded; _ } -> incr shed
+            | Error e ->
+              Alcotest.failf "unexpected burst error: %s" e.Protocol.message
+          end
+        done;
+        Alcotest.(check bool) "some requests served" true (!ok >= 1);
+        Alcotest.(check bool) "some requests shed" true (!shed >= 1);
+        Alcotest.(check int) "every request answered exactly once" n
+          (List.length (List.sort_uniq compare !ids));
+        Alcotest.(check bool) "sheds recorded in metrics" true
+          ((Metrics.snapshot metrics).Metrics.server_sheds >= 1);
+        (* the connection is still usable after being shed *)
+        (match Client.request c Protocol.Metrics with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "connection dead after shed: %s" e);
+        Client.close c)
+
+(* [create] must refuse a socket path owned by a live server but
+   reclaim a stale socket file left by a dead one. *)
+let test_address_in_use () =
+  with_server (fun ~socket ~metrics:_ ->
+      match Server.create ~socket () with
+      | Error (Server.Address_in_use _) -> ()
+      | Error e ->
+        Alcotest.failf "expected address_in_use, got: %s"
+          (Server.create_error_to_string e)
+      | Ok _ -> Alcotest.fail "second server bound a live socket");
+  (* a stale socket file: bound once, listener long gone *)
+  let stale = Filename.temp_file "iddq-test-stale" ".sock" in
+  Sys.remove stale;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX stale);
+  Unix.close fd;
+  match Server.create ~socket:stale () with
+  | Error e ->
+    Alcotest.failf "stale socket not reclaimed: %s"
+      (Server.create_error_to_string e)
+  | Ok srv ->
+    let running = Domain.spawn (fun () -> Server.run srv) in
+    Server.shutdown srv;
+    Domain.join running;
+    if Sys.file_exists stale then Sys.remove stale
+
+(* ------------------------------------------------------------------ *)
+(* Cursor decoder vs the old string-concatenation decoder              *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-Netbuf decoder, reimplemented naively as the reference:
+   a plain string accumulator with O(n^2) feeding. *)
+module Ref_decoder = struct
+  type t = { max : int; mutable buf : string; mutable poisoned : int option }
+
+  let create ~max_frame = { max = max_frame; buf = ""; poisoned = None }
+  let feed d s = d.buf <- d.buf ^ s
+
+  let next d =
+    match d.poisoned with
+    | Some n -> Some (Frame.Oversized n)
+    | None ->
+      let have = String.length d.buf in
+      if have < 4 then None
+      else begin
+        let b i = Char.code d.buf.[i] in
+        let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+        if len > d.max then begin
+          d.poisoned <- Some len;
+          Some (Frame.Oversized len)
+        end
+        else if have < 4 + len then None
+        else begin
+          let payload = String.sub d.buf 4 len in
+          d.buf <- String.sub d.buf (4 + len) (have - 4 - len);
+          match Json.parse payload with
+          | Ok j -> Some (Frame.Frame j)
+          | Error e -> Some (Frame.Malformed e)
+        end
+      end
+end
+
+let event_str = function
+  | Frame.Frame j -> "frame " ^ Json.to_string j
+  | Frame.Malformed m -> "malformed " ^ m
+  | Frame.Oversized n -> "oversized " ^ string_of_int n
+
+(* One generated stream: well-formed, malformed and oversized frames
+   plus trailing garbage, in a random order. *)
+let stream_gen =
+  QCheck.Gen.(
+    let item =
+      frequency
+        [
+          ( 5,
+            map
+              (fun n ->
+                Frame.encode
+                  (Json.Obj
+                     [ ("id", Json.Int n); ("pad", Json.String (String.make (n land 31) 'x')) ]))
+              small_nat );
+          (2, map (fun s -> Frame.encode_payload (s ^ "{")) small_string);
+          (1, return "\x7f\xff\xff\xffgarbage-after-poison");
+        ]
+    in
+    let* items = list_size (int_range 0 8) item in
+    let* cut = int_range 0 3 in
+    let s = String.concat "" items in
+    (* possibly truncate: partial trailing frames must never produce
+       an event *)
+    return (String.sub s 0 (String.length s - min cut (String.length s))))
+
+let qcheck_cursor_decoder_equivalent =
+  QCheck.Test.make
+    ~name:"cursor decoder event-identical to string decoder under any chunking"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(pair stream_gen (int_range 1 17))
+       ~print:(fun (s, chunk) -> Printf.sprintf "chunk=%d stream=%S" chunk s))
+    (fun (stream, chunk) ->
+      let cur = Frame.create ~max_frame:1024 () in
+      let ref_ = Ref_decoder.create ~max_frame:1024 in
+      let drain_both () =
+        (* Oversized is terminal for both: they would report it forever *)
+        let rec go acc =
+          let a = Frame.next cur and b = Ref_decoder.next ref_ in
+          match (a, b) with
+          | None, None -> List.rev acc
+          | Some ea, Some eb when event_str ea = event_str eb -> begin
+            match ea with
+            | Frame.Oversized _ -> List.rev (event_str ea :: acc)
+            | _ -> go (event_str ea :: acc)
+          end
+          | _ ->
+            QCheck.Test.fail_reportf "decoders diverged: %s vs %s"
+              (match a with Some e -> event_str e | None -> "<none>")
+              (match b with Some e -> event_str e | None -> "<none>")
+        in
+        go []
+      in
+      let n = String.length stream in
+      let i = ref 0 in
+      while !i < n do
+        let len = min chunk (n - !i) in
+        let piece = String.sub stream !i len in
+        Frame.feed cur piece;
+        Ref_decoder.feed ref_ piece;
+        ignore (drain_both ());
+        i := !i + len
+      done;
+      ignore (drain_both ());
+      true)
 
 let tests =
   [
@@ -564,4 +800,11 @@ let tests =
       test_oversized_frame_closes_connection;
     Alcotest.test_case "shutdown request stops server" `Quick
       test_shutdown_request_stops_server;
+    Alcotest.test_case "slow-loris client" `Quick test_slow_loris;
+    Alcotest.test_case "disconnect before reading response" `Quick
+      test_disconnect_before_reading_response;
+    Alcotest.test_case "pipelined burst sheds" `Quick
+      test_pipelined_burst_sheds;
+    Alcotest.test_case "address in use" `Quick test_address_in_use;
+    QCheck_alcotest.to_alcotest qcheck_cursor_decoder_equivalent;
   ]
