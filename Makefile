@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick bench-smoke campaign-smoke faultsim-smoke kernels-smoke diagnose-smoke fuzz-smoke serve-smoke loadgen-smoke ci examples doc clean
+.PHONY: all build test bench bench-quick bench-smoke campaign-smoke faultsim-smoke kernels-smoke diagnose-smoke testset-smoke fuzz-smoke serve-smoke loadgen-smoke ci examples doc clean
 
 all: build
 
@@ -70,6 +70,17 @@ diagnose-smoke:
 	dune exec bench/main.exe -- diagnose | grep -q "PASS exact"
 	@echo "diagnose-smoke: exact localization, noisy top-k >= 0.9 - PASS"
 
+# ATPG closed-loop gate: PODEM top-up coverage must be >= the
+# random-only baseline on the whole ISCAS85 grid, every minimization
+# strategy must preserve the full set's coverage, the minimized set
+# must be strictly smaller on >= 3 of the 4 circuits with refined <=
+# greedy everywhere, and a re-run under the fixed seed must reproduce
+# the set exactly; vectors before/after, per-strategy runtimes and the
+# c4/test-time delta land in BENCH_testset.json (a couple of minutes).
+testset-smoke:
+	dune exec bench/main.exe -- testset | grep -q "PASS coverage kept"
+	@echo "testset-smoke: coverage kept, sets shrink, deterministic - PASS"
+
 # Bounded mutation-fuzz pass (fixed seed): >= 10k corrupted variants
 # of valid files through all five parsers plus the JSONL store; every
 # outcome must be Ok/Error -- no exception, no descriptor leak
@@ -108,7 +119,7 @@ loadgen-smoke:
 # campaign resume smoke, packed fault-sim speedup gate, flat-kernel
 # gate, diagnosis accuracy gate, mutation fuzz, resident-service
 # smoke, event-loop load gate.
-ci: build test bench-smoke campaign-smoke faultsim-smoke kernels-smoke diagnose-smoke fuzz-smoke serve-smoke loadgen-smoke
+ci: build test bench-smoke campaign-smoke faultsim-smoke kernels-smoke diagnose-smoke testset-smoke fuzz-smoke serve-smoke loadgen-smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1829,6 +1829,224 @@ let run_diagnose () =
      else "FAIL (needs exact top-1 class 1.0 and noisy top-k >= 0.9)")
 
 (* ------------------------------------------------------------------ *)
+(* ATPG test-set generation + minimization (the Atpg facade loop)      *)
+(* ------------------------------------------------------------------ *)
+
+let testset_json = "BENCH_testset.json"
+
+let run_testset () =
+  section
+    "ATPG test-set loop: PODEM top-up + minimization (vectors drive c4)";
+  let module Json = Iddq_util.Json in
+  let module Atpg = Iddq_atpg.Atpg in
+  let module Coverage = Iddq_defects.Coverage in
+  let seed = 11 and random_vectors = 32 and max_backtracks = 64 in
+  let strategies =
+    [ (Atpg.Greedy, "greedy"); (Atpg.Essential, "essential");
+      (Atpg.Refined, "refined") ]
+  in
+  let t =
+    Table.create
+      [
+        ("circuit", Table.Left);
+        ("faults", Table.Right);
+        ("random cov%", Table.Right);
+        ("full cov%", Table.Right);
+        ("vectors", Table.Right);
+        ("greedy", Table.Right);
+        ("essential", Table.Right);
+        ("refined", Table.Right);
+        ("test time x", Table.Right);
+      ]
+  in
+  let records = ref [] in
+  let cov_ok = ref true
+  and preserve_ok = ref true
+  and refined_ok = ref true
+  and det_ok = ref true
+  and shrunk = ref 0 in
+  List.iter
+    (fun (name, circuit) ->
+      (* The random-only baseline is the facade's own initial set: the
+         facade seeds [Rng.create seed] and draws the random vectors
+         first, so this reproduces them exactly. *)
+      let rng = Rng.create seed in
+      let initial =
+        Iddq_patterns.Pattern_gen.random ~rng circuit ~count:random_vectors
+      in
+      let faults = Iddq_defects.Stuck_at.collapsed_fault_list circuit in
+      let random_only =
+        Iddq_defects.Stuck_at.fault_simulate circuit ~vectors:initial ~faults
+      in
+      let config =
+        Atpg.config ~max_backtracks ~seed ~random_vectors
+          ~strategy:Atpg.Greedy ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let r =
+        match Atpg.run_result ~config circuit with
+        | Ok r -> r
+        | Error e -> failwith (Atpg.error_to_string e)
+      in
+      let gen_seconds = Unix.gettimeofday () -. t0 in
+      if r.Atpg.coverage < random_only.Iddq_defects.Stuck_at.coverage -. 1e-9
+      then cov_ok := false;
+      (* determinism under a fixed seed (smallest circuit only — the
+         rerun doubles the PODEM work) *)
+      if name = "C432" then begin
+        match Atpg.run_result ~config circuit with
+        | Error _ -> det_ok := false
+        | Ok r2 ->
+          if
+            Array.length r2.Atpg.all_vectors
+              <> Array.length r.Atpg.all_vectors
+            || r2.Atpg.coverage <> r.Atpg.coverage
+            || r2.Atpg.selected <> r.Atpg.selected
+          then det_ok := false
+      end;
+      let full_cov =
+        if Coverage.num_faults r.Atpg.matrix = 0 then 1.0
+        else
+          float_of_int (Coverage.num_detectable r.Atpg.matrix)
+          /. float_of_int (Coverage.num_faults r.Atpg.matrix)
+      in
+      let minimized =
+        List.map
+          (fun (s, sname) ->
+            let t0 = Unix.gettimeofday () in
+            let sel =
+              match Atpg.minimize_result ~strategy:s r.Atpg.matrix with
+              | Ok sel -> sel
+              | Error e -> failwith (Atpg.error_to_string e)
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            if
+              Float.abs
+                (Coverage.coverage_of_selection r.Atpg.matrix sel -. full_cov)
+              > 1e-9
+            then preserve_ok := false;
+            (s, sname, sel, dt))
+          strategies
+      in
+      let size s =
+        let _, _, sel, _ =
+          List.find (fun (s', _, _, _) -> s' = s) minimized
+        in
+        Array.length sel
+      in
+      if size Atpg.Refined > size Atpg.Greedy then refined_ok := false;
+      let best =
+        List.fold_left
+          (fun acc (_, _, sel, _) -> Stdlib.min acc (Array.length sel))
+          r.Atpg.vectors_before minimized
+      in
+      if best < r.Atpg.vectors_before then incr shrunk;
+      (* the c4 wiring: vectors saved, priced on this circuit's own
+         synthesized design *)
+      let time_ratio, time_fields =
+        match Pipeline.run_result Pipeline.Standard circuit with
+        | Error _ -> (1.0, [])
+        | Ok p ->
+          let before =
+            Pipeline.test_time p ~vectors:r.Atpg.vectors_before
+          in
+          let after = Pipeline.test_time p ~vectors:(size Atpg.Refined) in
+          ( (if after > 0.0 then before /. after else 1.0),
+            [
+              ("test_time_before_s", Json.Float before);
+              ("test_time_after_s", Json.Float after);
+              ( "c4_before",
+                Json.Float
+                  (Pipeline.c4_of_vectors p ~vectors:r.Atpg.vectors_before) );
+              ( "c4_after",
+                Json.Float
+                  (Pipeline.c4_of_vectors p ~vectors:(size Atpg.Refined)) );
+            ] )
+      in
+      Table.add_row t
+        [
+          name;
+          string_of_int (Coverage.num_faults r.Atpg.matrix);
+          Printf.sprintf "%.1f"
+            (100.0 *. random_only.Iddq_defects.Stuck_at.coverage);
+          Printf.sprintf "%.1f" (100.0 *. r.Atpg.coverage);
+          string_of_int r.Atpg.vectors_before;
+          string_of_int (size Atpg.Greedy);
+          string_of_int (size Atpg.Essential);
+          string_of_int (size Atpg.Refined);
+          Printf.sprintf "%.1fx" time_ratio;
+        ];
+      records :=
+        Json.Obj
+          ([
+             ("circuit", Json.String name);
+             ("faults", Json.Int (Coverage.num_faults r.Atpg.matrix));
+             ( "random_coverage",
+               Json.Float random_only.Iddq_defects.Stuck_at.coverage );
+             ("coverage", Json.Float r.Atpg.coverage);
+             ("efficiency", Json.Float r.Atpg.efficiency);
+             ("vectors_before", Json.Int r.Atpg.vectors_before);
+             ("random", Json.Int r.Atpg.stats.Iddq_atpg.Testset.random);
+             ("generated", Json.Int r.Atpg.stats.Iddq_atpg.Testset.generated);
+             ( "untestable",
+               Json.Int r.Atpg.stats.Iddq_atpg.Testset.untestable );
+             ("aborted", Json.Int r.Atpg.stats.Iddq_atpg.Testset.aborted);
+             ("generation_seconds", Json.Float gen_seconds);
+             ( "strategies",
+               Json.List
+                 (List.map
+                    (fun (_, sname, sel, dt) ->
+                      Json.Obj
+                        [
+                          ("strategy", Json.String sname);
+                          ("vectors", Json.Int (Array.length sel));
+                          ("seconds", Json.Float dt);
+                        ])
+                    minimized) );
+           ]
+          @ time_fields)
+        :: !records)
+    [
+      ("C432", Iscas.c432_like ());
+      ("C880", Iscas.c880_like ());
+      ("C1908", Iscas.c1908_like ());
+      ("C3540", Iscas.c3540_like ());
+    ];
+  Table.print t;
+  let pass =
+    !cov_ok && !preserve_ok && !refined_ok && !det_ok && !shrunk >= 3
+  in
+  let doc =
+    Json.Obj
+      [
+        ("experiment", Json.String "testset");
+        ("seed", Json.Int seed);
+        ("random_vectors", Json.Int random_vectors);
+        ("max_backtracks", Json.Int max_backtracks);
+        ("records", Json.List (List.rev !records));
+        ("minimized_smaller_on", Json.Int !shrunk);
+        ("deterministic", Json.Bool !det_ok);
+        ("pass", Json.Bool pass);
+      ]
+  in
+  (match
+     Iddq_util.Io.write_file_atomic testset_json (Json.to_string doc ^ "\n")
+   with
+  | Ok () -> Printf.printf "\nwrote %s\n" testset_json
+  | Error e ->
+    Printf.printf "\nFAILED writing %s: %s\n" testset_json
+      (Iddq_util.Io_error.to_string e));
+  Printf.printf
+    "testset: coverage %s random baseline, minimized smaller on %d/4, \
+     refined <= greedy %s, deterministic %s -> %s\n"
+    (if !cov_ok then ">=" else "BELOW")
+    !shrunk
+    (if !refined_ok then "everywhere" else "VIOLATED")
+    (if !det_ok then "yes" else "NO")
+    (if pass then "PASS coverage kept, sets shrink, runs reproduce"
+     else "FAIL (see BENCH_testset.json)")
+
+(* ------------------------------------------------------------------ *)
 
 let quick_suite () = [ ("C432", Iscas.c432_like ()) ]
 
@@ -1850,6 +2068,7 @@ let run_all ~quick =
   run_schedule ();
   run_routing ();
   run_atpg ();
+  run_testset ();
   run_sizing ();
   run_stability ();
   run_cooptimize ();
@@ -1882,6 +2101,7 @@ let () =
         | "schedule" -> run_schedule ()
         | "routing" -> run_routing ()
         | "atpg" -> run_atpg ()
+        | "testset" -> run_testset ()
         | "sizing" -> run_sizing ()
         | "stability" -> run_stability ()
         | "cooptimize" -> run_cooptimize ()
@@ -1894,7 +2114,7 @@ let () =
         | other ->
           Printf.eprintf
             "unknown experiment %S (try: table1 fig2 c17 fig1 ablation-opt \
-             ablation-weights ablation-es ablation-resynth validation tradeoff variants compaction logic-vs-iddq schedule routing atpg sizing stability cooptimize faultsim kernels diagnose perf smoke campaign quick all)\n"
+             ablation-weights ablation-es ablation-resynth validation tradeoff variants compaction logic-vs-iddq schedule routing atpg testset sizing stability cooptimize faultsim kernels diagnose perf smoke campaign quick all)\n"
             other;
           exit 1)
       args

@@ -393,34 +393,131 @@ let atpg_cmd =
   let run circuit bench seed random_count out =
     match load_circuit ~circuit ~bench with
     | Error e -> exit_err e
-    | Ok c ->
-      let rng = Iddq_util.Rng.create seed in
-      let faults = Iddq_defects.Stuck_at.collapsed_fault_list c in
-      let initial = Iddq_patterns.Pattern_gen.random ~rng c ~count:random_count in
-      let r = Iddq_atpg.Podem.complete_set ~rng ~initial c faults in
-      Format.printf
-        "%s: %d collapsed stuck-at faults@.%d vectors (%d random + %d          generated)@.coverage %.1f%%, efficiency %.1f%% (%d untestable, %d          aborted)@."
-        (Circuit.name c) (List.length faults)
-        (Array.length r.Iddq_atpg.Podem.vectors)
-        random_count r.Iddq_atpg.Podem.generated
-        (100.0 *. r.Iddq_atpg.Podem.coverage)
-        (100.0 *. r.Iddq_atpg.Podem.efficiency)
-        r.Iddq_atpg.Podem.untestable r.Iddq_atpg.Podem.aborted;
-      Option.iter
-        (fun path ->
-          match
-            Iddq_patterns.Pattern_io.write_file path r.Iddq_atpg.Podem.vectors
-          with
-          | Ok () -> Format.printf "wrote vectors to %s@." path
-          | Error e ->
-            exit_err
-              (Printf.sprintf "writing vectors: %s" (Io_error.to_string e)))
-        out
+    | Ok c -> begin
+      let config =
+        Iddq_atpg.Atpg.config ~seed ~random_vectors:random_count ()
+      in
+      match Iddq_atpg.Atpg.run_result ~config c with
+      | Error e -> exit_err (Iddq_atpg.Atpg.error_to_string e)
+      | Ok r ->
+        let stats = r.Iddq_atpg.Atpg.stats in
+        Format.printf
+          "%s: %d collapsed stuck-at faults@.%d vectors (%d random + %d          generated)@.coverage %.1f%%, efficiency %.1f%% (%d untestable, %d          aborted)@."
+          (Circuit.name c)
+          (Iddq_defects.Coverage.num_faults r.Iddq_atpg.Atpg.matrix)
+          (Array.length r.Iddq_atpg.Atpg.all_vectors)
+          random_count stats.Iddq_atpg.Testset.generated
+          (100.0 *. r.Iddq_atpg.Atpg.coverage)
+          (100.0 *. r.Iddq_atpg.Atpg.efficiency)
+          stats.Iddq_atpg.Testset.untestable stats.Iddq_atpg.Testset.aborted;
+        Option.iter
+          (fun path ->
+            match
+              Iddq_patterns.Pattern_io.write_file path
+                r.Iddq_atpg.Atpg.all_vectors
+            with
+            | Ok () -> Format.printf "wrote vectors to %s@." path
+            | Error e ->
+              exit_err
+                (Printf.sprintf "writing vectors: %s" (Io_error.to_string e)))
+          out
+    end
   in
   Cmd.v
     (Cmd.info "atpg"
        ~doc:"Generate a stuck-at test set (random vectors + PODEM top-up).")
     Term.(const run $ circuit_arg $ bench_arg $ seed_arg $ random_count $ out)
+
+let testset_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the minimized vectors (one 0/1 row per vector).")
+  in
+  let random_count =
+    Arg.(
+      value & opt int 32
+      & info [ "random" ] ~docv:"N" ~doc:"Random vectors before PODEM top-up.")
+  in
+  let strategy_arg =
+    let strategies =
+      [
+        ("greedy", Iddq_atpg.Atpg.Greedy);
+        ("essential", Iddq_atpg.Atpg.Essential);
+        ("refined", Iddq_atpg.Atpg.Refined);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum strategies) Iddq_atpg.Atpg.Refined
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Minimization strategy: greedy (set-cover baseline), essential \
+             (essential vectors + set-cover), refined (set-cover + local \
+             refinement).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Cap on PODEM target attempts (default: unlimited).")
+  in
+  let backtracks_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-backtracks" ] ~docv:"N"
+          ~doc:"Per-target PODEM backtrack limit.")
+  in
+  let run circuit bench seed random_count strategy budget max_backtracks out =
+    match load_circuit ~circuit ~bench with
+    | Error e -> exit_err e
+    | Ok c -> begin
+      let config =
+        Iddq_atpg.Atpg.config ~max_backtracks ?budget ~strategy ~seed
+          ~random_vectors:random_count ()
+      in
+      match Iddq_atpg.Atpg.run_result ~config c with
+      | Error e -> exit_err (Iddq_atpg.Atpg.error_to_string e)
+      | Ok r ->
+        let stats = r.Iddq_atpg.Atpg.stats in
+        Format.printf
+          "%s: %d collapsed stuck-at faults@.%d vectors generated (%d random \
+           + %d PODEM), %d after %s minimization@.coverage %.1f%%, efficiency \
+           %.1f%% (%d untestable, %d aborted)@."
+          (Circuit.name c)
+          (Iddq_defects.Coverage.num_faults r.Iddq_atpg.Atpg.matrix)
+          r.Iddq_atpg.Atpg.vectors_before stats.Iddq_atpg.Testset.random
+          stats.Iddq_atpg.Testset.generated
+          (Array.length r.Iddq_atpg.Atpg.vectors)
+          (Iddq_atpg.Atpg.strategy_to_string r.Iddq_atpg.Atpg.strategy)
+          (100.0 *. r.Iddq_atpg.Atpg.coverage)
+          (100.0 *. r.Iddq_atpg.Atpg.efficiency)
+          stats.Iddq_atpg.Testset.untestable stats.Iddq_atpg.Testset.aborted;
+        Option.iter
+          (fun path ->
+            match
+              Iddq_patterns.Pattern_io.write_file path r.Iddq_atpg.Atpg.vectors
+            with
+            | Ok () -> Format.printf "wrote vectors to %s@." path
+            | Error e ->
+              exit_err
+                (Printf.sprintf "writing vectors: %s" (Io_error.to_string e)))
+          out
+    end
+  in
+  Cmd.v
+    (Cmd.info "testset"
+       ~doc:
+         "Generate and minimize a stuck-at test set: random vectors + PODEM \
+          top-up with fault dropping, then coverage-preserving test-set \
+          minimization (greedy set-cover, essential vectors, or local \
+          refinement).")
+    Term.(
+      const run $ circuit_arg $ bench_arg $ seed_arg $ random_count
+      $ strategy_arg $ budget_arg $ backtracks_arg $ out)
 
 let dump_library_cmd =
   let out =
@@ -704,10 +801,20 @@ let serve_cmd =
           ~doc:"Server-wide pending-request cap; requests beyond it are \
                 answered with an overloaded error.")
   in
-  let run socket budget max_frame workers max_pipeline max_queue =
+  let cache_entries =
+    Arg.(
+      value
+      & opt int Iddq_server.Cache.default_max_entries
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Session-cache bound per table (circuits, characterizations, \
+                vector sets, diagnoses, test sets); least-recently-used \
+                entries are evicted beyond it.")
+  in
+  let run socket budget max_frame workers max_pipeline max_queue cache_entries
+      =
     match
       Server.create ~socket ~max_frame ~workers ~max_pipeline ~max_queue
-        ?budget ()
+        ?budget ~cache_entries ()
     with
     | Error e -> exit_err (Server.create_error_to_string e)
     | Ok srv ->
@@ -723,7 +830,7 @@ let serve_cmd =
              cache keyed by circuit content hash.")
     Term.(
       const run $ socket_arg $ budget $ max_frame $ workers $ max_pipeline
-      $ max_queue)
+      $ max_queue $ cache_entries)
 
 let client_cmd =
   let run socket =
@@ -1066,6 +1173,7 @@ let commands =
     simulate_cmd;
     diagnose_cmd;
     atpg_cmd;
+    testset_cmd;
     dump_library_cmd;
     stats_cmd;
     generate_cmd;

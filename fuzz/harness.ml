@@ -147,6 +147,15 @@ let targets () =
                  defects = 10;
                  defect_current = 2.0e-6;
                };
+             Protocol.Testset
+               {
+                 handle;
+                 seed = 4;
+                 random_vectors = 8;
+                 max_backtracks = 100;
+                 budget = Some 64;
+                 strategy = Iddq_atpg.Atpg.Essential;
+               };
              Protocol.Campaign_submit
                { spec = Spec.to_string Spec.default; domains = 2 };
              Protocol.Campaign_status { campaign = "campaign-1" };
@@ -198,6 +207,29 @@ let targets () =
           in
           (match go 0 with `More | `Poisoned -> ());
           !clean && Frame.buffered d = 0);
+      parse_path = None;
+    };
+    {
+      name = "atpg-facade";
+      (* end-to-end: whatever bytes parse as a circuit must flow
+         through the Result-typed Atpg facade without an exception —
+         the deprecated raw entry points could throw on odd fault
+         lists; the facade's contract is Ok/Error only.  A tiny budget
+         keeps PODEM bounded on every surviving mutant. *)
+      corpus = List.map Bench_io.to_string circuits;
+      parse =
+        (fun s ->
+          match Bench_io.parse_string s with
+          | Error _ -> false
+          | Ok c -> begin
+            let config =
+              Iddq_atpg.Atpg.config ~max_backtracks:8 ~budget:16
+                ~random_vectors:4 ~seed:5 ()
+            in
+            match Iddq_atpg.Atpg.run_result ~config c with
+            | Ok _ -> true
+            | Error _ -> false
+          end);
       parse_path = None;
     };
     {

@@ -51,4 +51,13 @@ val complete_set :
 (** Fault-simulate the [initial] vectors (default: none) with
     dropping, then call {!generate} for each remaining fault,
     fault-simulating each new vector against the survivors.  The
-    result's coverage counts untestable faults as undetected. *)
+    result's coverage counts untestable faults as undetected.
+
+    @deprecated This raw positional entry point is deprecated in
+    favour of the {!Atpg} facade ({!Atpg.generate_result} /
+    {!Atpg.run_result}): the facade validates faults against the
+    circuit (this function raises [Invalid_argument] on e.g. a pin
+    fault naming an input node), returns structured errors, supports a
+    target budget, and hands back the detection matrix for
+    minimization.  The function stays exposed so existing callers
+    compile, and as the oracle the facade's tests compare against. *)

@@ -131,6 +131,7 @@ let metrics_json (m : Metrics.snapshot) =
       ("sec_requests", Json.Float m.Metrics.seconds_requests);
       ("srv_hits", Json.Int m.Metrics.server_cache_hits);
       ("srv_misses", Json.Int m.Metrics.server_cache_misses);
+      ("srv_evictions", Json.Int m.Metrics.server_cache_evictions);
       ("srv_sheds", Json.Int m.Metrics.server_sheds);
       ("srv_queue_peak", Json.Int m.Metrics.server_queue_peak);
       ("srv_wbuf_peak", Json.Int m.Metrics.server_wbuf_peak);
@@ -259,6 +260,8 @@ let of_json j =
   in
   let server_cache_hits = mfield_default "srv_hits" in
   let server_cache_misses = mfield_default "srv_misses" in
+  (* eviction counter postdates the first stores: absent means 0 *)
+  let server_cache_evictions = mfield_default "srv_evictions" in
   let server_sheds = mfield_default "srv_sheds" in
   let server_queue_peak = mfield_default "srv_queue_peak" in
   let server_wbuf_peak = mfield_default "srv_wbuf_peak" in
@@ -301,6 +304,7 @@ let of_json j =
           seconds_requests;
           server_cache_hits;
           server_cache_misses;
+          server_cache_evictions;
           server_sheds;
           server_queue_peak;
           server_wbuf_peak;

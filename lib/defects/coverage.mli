@@ -12,9 +12,13 @@
     query below runs on word [AND]/popcount passes rather than boxed
     bool scans. *)
 
-type detection_matrix
+type detection_matrix = Fault_sim.matrix
 (** For each fault, the packed set of vectors that detect it
-    (activation and current threshold both checked). *)
+    (activation and current threshold both checked).  The equation
+    with {!Fault_sim.matrix} is public so other detection substrates —
+    the stuck-at matrix {!Stuck_at.detection_matrix} that the ATPG
+    test-set minimizer runs on — share these queries and minimizers
+    without conversion. *)
 
 val detection_matrix :
   ?domains:int ->
@@ -68,3 +72,39 @@ val coverage_of_selection : detection_matrix -> int array -> float
     out-of-range indices raise [Invalid_argument].  An empty selection
     of a non-empty fault set yields [0.]; with no faults the coverage
     is vacuously [1.]. *)
+
+(** {1 Test-set minimization}
+
+    Heuristic minimizers in the spirit of Thamarai et al.
+    (arXiv:1009.6186), all preserving the full set's coverage: every
+    returned selection detects {e exactly} the faults the whole vector
+    set detects ([coverage_of_selection m sel =
+    num_detectable m / num_faults m]).  {!compact} above is the greedy
+    set-cover baseline; the two below trade a little more work for
+    selections never larger — and often smaller — than greedy's.  All
+    three run on the packed matrix (word [AND]/popcount passes). *)
+
+val essential_vectors : detection_matrix -> int array
+(** Vectors that are the {e only} detector of some fault (fault row
+    popcount = 1) — any full-coverage selection must contain them.
+    Ascending, duplicate-free. *)
+
+val minimize_essential : detection_matrix -> int array
+(** Essential-vector extraction first, then greedy set-cover over the
+    faults the essentials leave uncovered.  Ascending.  Because the
+    forced essentials often cover much of the matrix as a side effect,
+    this can undercut plain greedy where greedy's largest-column bait
+    is suboptimal. *)
+
+val refine : detection_matrix -> int array -> int array
+(** Local refinement passes: repeatedly drop a {e redundant} selected
+    vector (every fault it detects is detected by another selected
+    vector) until none remains, rescanning after each pass.  The
+    result is a subset of the input selection with identical coverage;
+    selections out of range raise [Invalid_argument]. *)
+
+val minimize_refined : detection_matrix -> int array
+(** {!compact} followed by {!refine}: greedy set-cover whose late
+    picks may have made early picks redundant, with those early picks
+    then eliminated.  Never larger than {!compact}'s selection, at
+    equal coverage. *)

@@ -145,3 +145,42 @@ let fault_simulate ?(domains = 1) ?metrics c ~vectors ~faults =
 let undetected ?domains ?metrics c ~vectors ~faults =
   let r = fault_simulate ?domains ?metrics c ~vectors ~faults in
   List.filteri (fun f _ -> r.first_vector.(f) < 0) faults
+
+(* The full matrix (no dropping — every detecting vector of every
+   fault), the stuck-at counterpart of {!Fault_sim.detection_matrix}:
+   what the test-set minimizers ({!Coverage}) run on. *)
+let detection_matrix ?(domains = 1) ?metrics c ~vectors ~faults =
+  let module P = Iddq_patterns.Parallel_sim in
+  let module Metrics = Iddq_util.Metrics in
+  let fault_arr = Array.of_list faults in
+  let nf = Array.length fault_arr in
+  let nv = Array.length vectors in
+  let rows = Array.init nf (fun _ -> Iddq_util.Bitvec.create nv) in
+  let packed = P.pack_all vectors in
+  let nb = P.num_blocks packed in
+  let goods = Fault_sim.good_values ~domains ?metrics c packed in
+  Fault_sim.parallel_ranges ~domains nf (fun lo hi ->
+      let fault_blocks = ref 0 in
+      for f = lo to hi - 1 do
+        let fault = fault_arr.(f) in
+        for b = 0 to nb - 1 do
+          incr fault_blocks;
+          let words = P.block packed b in
+          let bad =
+            match fault with
+            | Stem (node, value) -> P.eval_with_stuck_node c ~node ~value words
+            | Pin { gate; pin; value } ->
+              P.eval_with_stuck_pin c ~gate ~pin ~value words
+          in
+          let diff =
+            Int64.logand (P.output_diff c goods.(b) bad) (P.block_mask packed b)
+          in
+          if diff <> 0L then Iddq_util.Bitvec.set_word rows.(f) b diff
+        done
+      done;
+      Option.iter
+        (fun m ->
+          Metrics.record_fault_sim m ~blocks:0 ~fault_blocks:!fault_blocks
+            ~dropped:0)
+        metrics);
+  { Fault_sim.n_vectors = nv; rows }

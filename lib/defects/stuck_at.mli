@@ -60,3 +60,20 @@ val undetected :
   vectors:bool array array ->
   faults:fault list ->
   fault list
+
+val detection_matrix :
+  ?domains:int ->
+  ?metrics:Iddq_util.Metrics.t ->
+  Iddq_netlist.Circuit.t ->
+  vectors:bool array array ->
+  faults:fault list ->
+  Fault_sim.matrix
+(** The {e full} packed detection matrix (no dropping — every
+    detecting vector of every fault, one {!Iddq_util.Bitvec} row per
+    fault in list order).  The stuck-at counterpart of
+    {!Fault_sim.detection_matrix}: because {!Coverage.detection_matrix}
+    is publicly equal to {!Fault_sim.matrix}, every {!Coverage} query
+    and minimizer runs on this matrix unchanged — it is what the ATPG
+    test-set minimization stage ({!val-Coverage.compact},
+    {!val-Coverage.minimize_essential}, {!val-Coverage.minimize_refined})
+    operates on. *)

@@ -134,6 +134,27 @@ val compare_methods_result :
     the paper's protocol.  The first failing method aborts the
     comparison. *)
 
+(** {1 Test-application time}
+
+    The cost function's [c4] term aggregates per-module measurement
+    times independently of the vector count (the partition does not
+    change the logic, so the count is a property of the test set, not
+    of the partition).  Once an actual test set exists — e.g. the
+    minimized set from the {!Iddq_atpg.Atpg} facade — these turn its
+    size into the concrete application time of {e this} synthesized
+    design, making "vectors saved by minimization" directly
+    comparable in seconds and cost-units. *)
+
+val test_time : t -> vectors:int -> float
+(** Total test-application time (s) for a [vectors]-vector set:
+    [vectors * (D_BIC + max_i Delta(tau_i))]
+    ({!Iddq_bic.Test_time.total} on this run's sensors). *)
+
+val c4_of_vectors : t -> vectors:int -> float
+(** The c4-style log-scaled cost of that time,
+    [log (test_time / 1ns)] ([0.] when the time is non-positive) —
+    comparable across vector counts on one design. *)
+
 (** {1 Raising wrappers (compatibility)} *)
 
 val run : ?config:config -> method_ -> Iddq_netlist.Circuit.t -> t

@@ -4,28 +4,82 @@ module Circuit = Iddq_netlist.Circuit
 module Bench_io = Iddq_netlist.Bench_io
 module Charac = Iddq_analysis.Charac
 module Parallel_sim = Iddq_patterns.Parallel_sim
+module Atpg = Iddq_atpg.Atpg
+
+(* Size-bounded table with least-recently-used eviction.  Recency is a
+   global insertion/access tick per cell; eviction scans for the
+   minimum tick — O(n) per eviction, and n is the (small) cap, so the
+   scan is noise next to the cached computations (characterization,
+   fault simulation).  Not domain-safe on its own: every use below sits
+   under the cache's one lock. *)
+module Lru = struct
+  type ('k, 'v) t = {
+    table : ('k, 'v * int ref) Hashtbl.t;
+    mutable tick : int;
+    cap : int;
+  }
+
+  let create cap = { table = Hashtbl.create 16; tick = 0; cap = max 1 cap }
+  let length t = Hashtbl.length t.table
+
+  let find_opt t k =
+    match Hashtbl.find_opt t.table k with
+    | None -> None
+    | Some (v, cell) ->
+      t.tick <- t.tick + 1;
+      cell := t.tick;
+      Some v
+
+  (* Insert [k], evicting least-recently-used entries while at
+     capacity.  Returns the number evicted (0 or 1 in practice). *)
+  let insert t k v =
+    let evicted = ref 0 in
+    while Hashtbl.length t.table >= t.cap && not (Hashtbl.mem t.table k) do
+      let victim =
+        Hashtbl.fold
+          (fun vk (_, cell) acc ->
+            match acc with
+            | Some (_, best) when best <= !cell -> acc
+            | _ -> Some (vk, !cell))
+          t.table None
+      in
+      match victim with
+      | Some (vk, _) ->
+        Hashtbl.remove t.table vk;
+        incr evicted
+      | None -> assert false (* at capacity >= 1 the table is non-empty *)
+    done;
+    t.tick <- t.tick + 1;
+    Hashtbl.replace t.table k (v, ref t.tick);
+    !evicted
+end
 
 type t = {
   metrics : Metrics.t;
   library : Iddq_celllib.Library.t;
   lock : Mutex.t;
-  circuits : (string, Circuit.t) Hashtbl.t;
-  characs : (string, Charac.t) Hashtbl.t;
+  circuits : (string, Circuit.t) Lru.t;
+  characs : (string, Charac.t) Lru.t;
   vector_sets :
-    (string * int * int, bool array array * Parallel_sim.packed) Hashtbl.t;
-  diagnoses : (string, Iddq_diagnose.Diagnose.t) Hashtbl.t;
+    (string * int * int, bool array array * Parallel_sim.packed) Lru.t;
+  diagnoses : (string, Iddq_diagnose.Diagnose.t) Lru.t;
+  testsets : (string, (Atpg.set_result, Atpg.error) result) Lru.t;
 }
 
+let default_max_entries = 256
+
 let create ?(metrics = Metrics.global)
-    ?(library = Iddq_celllib.Library.default) () =
+    ?(library = Iddq_celllib.Library.default)
+    ?(max_entries = default_max_entries) () =
   {
     metrics;
     library;
     lock = Mutex.create ();
-    circuits = Hashtbl.create 16;
-    characs = Hashtbl.create 16;
-    vector_sets = Hashtbl.create 16;
-    diagnoses = Hashtbl.create 16;
+    circuits = Lru.create max_entries;
+    characs = Lru.create max_entries;
+    vector_sets = Lru.create max_entries;
+    diagnoses = Lru.create max_entries;
+    testsets = Lru.create max_entries;
   }
 
 let handle_of_circuit c = Digest.to_hex (Digest.string (Bench_io.to_string c))
@@ -40,14 +94,16 @@ let locked t f =
    the circuit, far below any request's own optimization work. *)
 let memo t table key compute =
   locked t (fun () ->
-      match Hashtbl.find_opt table key with
+      match Lru.find_opt table key with
       | Some v ->
         Metrics.record_server_cache t.metrics ~hit:true;
         v
       | None ->
         Metrics.record_server_cache t.metrics ~hit:false;
         let v = compute () in
-        Hashtbl.replace table key v;
+        let evicted = Lru.insert table key v in
+        if evicted > 0 then
+          Metrics.record_cache_eviction ~count:evicted t.metrics;
         v)
 
 let add_circuit t c =
@@ -55,8 +111,7 @@ let add_circuit t c =
   ignore (memo t t.circuits handle (fun () -> c));
   handle
 
-let find_circuit t handle =
-  locked t (fun () -> Hashtbl.find_opt t.circuits handle)
+let find_circuit t handle = locked t (fun () -> Lru.find_opt t.circuits handle)
 
 let charac t ~handle c =
   memo t t.characs handle (fun () -> Charac.make ~library:t.library c)
@@ -68,19 +123,22 @@ let vectors t ~handle ~seed ~count c =
       (vs, Parallel_sim.pack_all vs))
 
 let diagnosis t ~key compute = memo t t.diagnoses key compute
+let testset t ~key compute = memo t t.testsets key compute
 
 type stats = {
   circuits : int;
   characs : int;
   vector_sets : int;
   diagnoses : int;
+  testsets : int;
 }
 
 let stats t =
   locked t (fun () ->
       {
-        circuits = Hashtbl.length t.circuits;
-        characs = Hashtbl.length t.characs;
-        vector_sets = Hashtbl.length t.vector_sets;
-        diagnoses = Hashtbl.length t.diagnoses;
+        circuits = Lru.length t.circuits;
+        characs = Lru.length t.characs;
+        vector_sets = Lru.length t.vector_sets;
+        diagnoses = Lru.length t.diagnoses;
+        testsets = Lru.length t.testsets;
       })

@@ -31,6 +31,14 @@ type request =
       trials : int;
       top_k : int;
     }
+  | Testset of {
+      handle : string;
+      seed : int;
+      random_vectors : int;
+      max_backtracks : int;
+      budget : int option;
+      strategy : Iddq_atpg.Atpg.strategy;
+    }
   | Campaign_submit of { spec : string; domains : int }
   | Campaign_status of { campaign : string }
   | Metrics
@@ -82,6 +90,15 @@ let of_pipeline_error (e : Pipeline.error) =
   | Pipeline.Infeasible _ -> error Infeasible message
   | Pipeline.Internal _ -> error Internal message
 
+let of_atpg_error (e : Iddq_atpg.Atpg.error) =
+  let message = Iddq_atpg.Atpg.error_to_string e in
+  match e with
+  | Iddq_atpg.Atpg.Empty_fault_list | Iddq_atpg.Atpg.Bad_config _
+  | Iddq_atpg.Atpg.Fault_mismatch _ ->
+    error Bad_request message
+  | Iddq_atpg.Atpg.Budget_exhausted _ -> error Budget_exceeded message
+  | Iddq_atpg.Atpg.Internal _ -> error Internal message
+
 (* ------------------------------------------------------------------ *)
 (* Request codec                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -94,6 +111,8 @@ let default_domains = 1
 let default_epsilon = 0.0
 let default_trials = 20
 let default_top_k = 3
+let default_random_vectors = Iddq_atpg.Atpg.default_config.random_vectors
+let default_max_backtracks = Iddq_atpg.Atpg.default_config.max_backtracks
 
 let member_id j = Option.bind (Json.member "id" j) Json.to_int
 
@@ -252,6 +271,53 @@ let request_of_json j =
                                               trials;
                                               top_k;
                                             } ))))))))
+      | "testset" ->
+        required_str "handle" (fun handle ->
+            with_int "seed" ~default:default_seed (fun seed ->
+                with_int "random_vectors" ~default:default_random_vectors
+                  (fun random_vectors ->
+                    with_int "max_backtracks" ~default:default_max_backtracks
+                      (fun max_backtracks ->
+                        with_int "budget" ~default:0 (fun budget_raw ->
+                            let budget =
+                              if budget_raw = 0 then None else Some budget_raw
+                            in
+                            let strategy =
+                              match Json.member "strategy" j with
+                              | None ->
+                                Some Iddq_atpg.Atpg.default_config.strategy
+                              | Some v ->
+                                Option.bind (Json.to_str v)
+                                  Iddq_atpg.Atpg.strategy_of_string
+                            in
+                            match strategy with
+                            | None ->
+                              fail Bad_request
+                                "\"strategy\" must be \"greedy\", \
+                                 \"essential\" or \"refined\""
+                            | Some strategy ->
+                              if random_vectors < 0 then
+                                fail Bad_request
+                                  "\"random_vectors\" must be non-negative"
+                              else if max_backtracks < 1 then
+                                fail Bad_request
+                                  "\"max_backtracks\" must be positive"
+                              else if budget_raw < 0 then
+                                fail Bad_request
+                                  "\"budget\" must be positive (or 0 for \
+                                   unlimited)"
+                              else
+                                Ok
+                                  ( id,
+                                    Testset
+                                      {
+                                        handle;
+                                        seed;
+                                        random_vectors;
+                                        max_backtracks;
+                                        budget;
+                                        strategy;
+                                      } ))))))
       | "campaign_submit" ->
         required_str "spec" (fun spec ->
             with_int "domains" ~default:default_domains (fun domains ->
@@ -322,6 +388,20 @@ let request_to_json ?id r =
         ("trials", Json.Int trials);
         ("top_k", Json.Int top_k);
       ]
+    | Testset { handle; seed; random_vectors; max_backtracks; budget; strategy }
+      ->
+      [
+        ("op", Json.String "testset");
+        ("handle", Json.String handle);
+        ("seed", Json.Int seed);
+        ("random_vectors", Json.Int random_vectors);
+        ("max_backtracks", Json.Int max_backtracks);
+      ]
+      @ (match budget with Some b -> [ ("budget", Json.Int b) ] | None -> [])
+      @ [
+          ( "strategy",
+            Json.String (Iddq_atpg.Atpg.strategy_to_string strategy) );
+        ]
     | Campaign_submit { spec; domains } ->
       [
         ("op", Json.String "campaign_submit");
@@ -391,6 +471,7 @@ let snapshot_json (s : Metrics.snapshot) =
       ("seconds_requests", Json.Float s.Metrics.seconds_requests);
       ("cache_hits", Json.Int s.Metrics.server_cache_hits);
       ("cache_misses", Json.Int s.Metrics.server_cache_misses);
+      ("cache_evictions", Json.Int s.Metrics.server_cache_evictions);
       ("full_evals", Json.Int s.Metrics.full_evals);
       ("delta_evals", Json.Int s.Metrics.delta_evals);
       ("eval_cache_hits", Json.Int s.Metrics.cache_hits);

@@ -48,6 +48,25 @@ type request =
           the handle's partition — sharing the partition and vector-set
           session cache with [fault_sim] — and answer with its
           diagnosability summary plus measured localization accuracy. *)
+  | Testset of {
+      handle : string;
+      seed : int;
+      random_vectors : int;  (** Random vectors before the PODEM top-up. *)
+      max_backtracks : int;  (** Per-target PODEM backtrack limit. *)
+      budget : int option;
+          (** PODEM target-attempt cap; wire field [budget], [0] or
+              absent = unlimited. *)
+      strategy : Iddq_atpg.Atpg.strategy;
+          (** Wire field [strategy]: ["greedy"], ["essential"] or
+              ["refined"] (the default). *)
+    }
+      (** Generate and minimize a stuck-at test set for the handle's
+          circuit via the {!Iddq_atpg.Atpg} facade.  Generation is
+          memoized in the session cache keyed on everything {e except}
+          [strategy], so strategy sweeps reuse one generated set and
+          detection matrix.  Answers with vector counts before/after
+          minimization, coverage, efficiency and the generation
+          statistics. *)
   | Campaign_submit of { spec : string; domains : int }
       (** [spec] is campaign spec-file text ({!Iddq_campaign.Spec.parse}). *)
   | Campaign_status of { campaign : string }
@@ -76,6 +95,10 @@ val code_of_string : string -> error_code option
 
 val of_pipeline_error : Iddq.Pipeline.error -> error
 (** Map the facade's structured error onto a wire error code. *)
+
+val of_atpg_error : Iddq_atpg.Atpg.error -> error
+(** Same for the ATPG facade: validation errors become [Bad_request],
+    a PODEM budget exhaustion becomes [Budget_exceeded]. *)
 
 (** {1 Requests} *)
 

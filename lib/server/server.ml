@@ -86,7 +86,7 @@ let probe_live socket =
 
 let create ~socket ?(max_frame = Frame.default_max_frame) ?(workers = 2)
     ?(max_pipeline = default_max_pipeline) ?(max_queue = default_max_queue)
-    ?(drain_timeout = 5.0) ?budget ?metrics () =
+    ?(drain_timeout = 5.0) ?budget ?metrics ?cache_entries () =
   if Sys.file_exists socket && probe_live socket then
     Error (Address_in_use socket)
   else
@@ -107,7 +107,7 @@ let create ~socket ?(max_frame = Frame.default_max_frame) ?(workers = 2)
       (fd, wake_r, wake_w)
     with
     | listen_fd, wake_r, wake_w ->
-      let service = Service.create ?metrics ?budget () in
+      let service = Service.create ?metrics ?budget ?cache_entries () in
       Ok
         {
           listen_fd;

@@ -72,6 +72,7 @@ val create :
   ?drain_timeout:float ->
   ?budget:float ->
   ?metrics:Iddq_util.Metrics.t ->
+  ?cache_entries:int ->
   unit ->
   (t, create_error) result
 (** Bind and listen on [socket].  An existing path is probed with a
@@ -83,8 +84,9 @@ val create :
     [max_pipeline] (default 8) and [max_queue] (default 256) are the
     admission limits above; [drain_timeout] (default 5 s) bounds how
     long shutdown waits for unread responses before dropping the
-    connections that own them; [budget] and [metrics] configure the
-    {!Service}. *)
+    connections that own them; [budget], [metrics] and
+    [cache_entries] (per-table session-cache bound, LRU eviction)
+    configure the {!Service}. *)
 
 val service : t -> Service.t
 val socket_path : t -> string

@@ -33,12 +33,12 @@ type t = {
   mutable next_campaign : int;
 }
 
-let create ?metrics ?library ?budget () =
+let create ?metrics ?library ?budget ?cache_entries () =
   let metrics =
     match metrics with Some m -> m | None -> Metrics.create ()
   in
   {
-    cache = Cache.create ~metrics ?library ();
+    cache = Cache.create ~metrics ?library ?max_entries:cache_entries ();
     metrics;
     budget;
     lock = Mutex.create ();
@@ -272,6 +272,59 @@ let diagnose t ~handle ~method_ ~seed ~vectors ~defects ~defect_current
              Json.Float acc.Iddq_diagnose.Diagnose.topk_module );
          ])
 
+let testset t ~handle ~seed ~random_vectors ~max_backtracks ~budget ~strategy c
+    =
+  (* The generation key omits the strategy on purpose: the cached
+     result carries the full-set detection matrix, so strategy sweeps
+     re-minimize one generated set instead of re-running PODEM. *)
+  let key =
+    Printf.sprintf "%s:testset:%d:%d:%d:%d" handle seed random_vectors
+      max_backtracks
+      (match budget with None -> 0 | Some b -> b)
+  in
+  let generated =
+    Cache.testset t.cache ~key (fun () ->
+        let config =
+          Iddq_atpg.Atpg.config ~max_backtracks ?budget
+            ~strategy:Iddq_atpg.Atpg.Greedy
+            ~seed:(derived_seed ~key ~seed) ~random_vectors ()
+        in
+        Iddq_atpg.Atpg.run_result ~config c)
+  in
+  match generated with
+  | Error e -> Error (Protocol.of_atpg_error e)
+  | Ok r -> begin
+    let selection =
+      if strategy = r.Iddq_atpg.Atpg.strategy then
+        Ok r.Iddq_atpg.Atpg.selected
+      else
+        Iddq_atpg.Atpg.minimize_result ~strategy r.Iddq_atpg.Atpg.matrix
+    in
+    match selection with
+    | Error e -> Error (Protocol.of_atpg_error e)
+    | Ok selected ->
+      let stats = r.Iddq_atpg.Atpg.stats in
+      Ok
+        (Json.Obj
+           [
+             ("handle", Json.String handle);
+             ( "strategy",
+               Json.String (Iddq_atpg.Atpg.strategy_to_string strategy) );
+             ( "faults",
+               Json.Int
+                 (Iddq_defects.Coverage.num_faults r.Iddq_atpg.Atpg.matrix) );
+             ("vectors_before", Json.Int r.Iddq_atpg.Atpg.vectors_before);
+             ("vectors", Json.Int (Array.length selected));
+             ("coverage", Json.Float r.Iddq_atpg.Atpg.coverage);
+             ("efficiency", Json.Float r.Iddq_atpg.Atpg.efficiency);
+             ("random", Json.Int stats.Iddq_atpg.Testset.random);
+             ("generated", Json.Int stats.Iddq_atpg.Testset.generated);
+             ("untestable", Json.Int stats.Iddq_atpg.Testset.untestable);
+             ("aborted", Json.Int stats.Iddq_atpg.Testset.aborted);
+             ("targeted", Json.Int stats.Iddq_atpg.Testset.targeted);
+           ])
+  end
+
 let campaign_submit t ~spec ~domains =
   match Spec.parse spec with
   | Error e ->
@@ -381,6 +434,7 @@ let metrics_payload t =
             ("characs", Json.Int s.Cache.characs);
             ("vector_sets", Json.Int s.Cache.vector_sets);
             ("diagnoses", Json.Int s.Cache.diagnoses);
+            ("testsets", Json.Int s.Cache.testsets);
           ] );
     ]
 
@@ -426,6 +480,11 @@ let dispatch t (req : Protocol.request) =
     Result.bind (find_circuit t handle) (fun c ->
         diagnose t ~handle ~method_ ~seed ~vectors ~defects ~defect_current
           ~epsilon ~trials ~top_k c)
+  | Protocol.Testset
+      { handle; seed; random_vectors; max_backtracks; budget; strategy } ->
+    Result.bind (find_circuit t handle) (fun c ->
+        testset t ~handle ~seed ~random_vectors ~max_backtracks ~budget
+          ~strategy c)
   | Protocol.Campaign_submit { spec; domains } ->
     campaign_submit t ~spec ~domains
   | Protocol.Campaign_status { campaign } -> campaign_status t ~campaign

@@ -17,11 +17,15 @@ val create :
   ?metrics:Iddq_util.Metrics.t ->
   ?library:Iddq_celllib.Library.t ->
   ?budget:float ->
+  ?cache_entries:int ->
   unit ->
   t
 (** [metrics] (default a private instance) receives request and cache
     counters and is what the [metrics] request reports; [budget] is
-    the per-request wall-clock limit in seconds (default: none). *)
+    the per-request wall-clock limit in seconds (default: none);
+    [cache_entries] bounds each session-cache table
+    ({!Cache.create}'s [max_entries], default
+    {!Cache.default_max_entries}). *)
 
 val metrics : t -> Iddq_util.Metrics.t
 

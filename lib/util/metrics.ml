@@ -16,6 +16,7 @@ type t = {
   seconds_requests : float Atomic.t;
   server_cache_hits : int Atomic.t;
   server_cache_misses : int Atomic.t;
+  server_cache_evictions : int Atomic.t;
   server_sheds : int Atomic.t;
   server_queue_peak : int Atomic.t;
   server_wbuf_peak : int Atomic.t;
@@ -40,6 +41,7 @@ let create () =
     seconds_requests = Atomic.make 0.0;
     server_cache_hits = Atomic.make 0;
     server_cache_misses = Atomic.make 0;
+    server_cache_evictions = Atomic.make 0;
     server_sheds = Atomic.make 0;
     server_queue_peak = Atomic.make 0;
     server_wbuf_peak = Atomic.make 0;
@@ -80,6 +82,9 @@ let record_server_cache t ~hit =
   if hit then ignore (Atomic.fetch_and_add t.server_cache_hits 1)
   else ignore (Atomic.fetch_and_add t.server_cache_misses 1)
 
+let record_cache_eviction ?(count = 1) t =
+  ignore (Atomic.fetch_and_add t.server_cache_evictions count)
+
 (* lock-free max for the high-water marks *)
 let rec max_int_atomic cell x =
   let cur = Atomic.get cell in
@@ -108,6 +113,7 @@ type snapshot = {
   seconds_requests : float;
   server_cache_hits : int;
   server_cache_misses : int;
+  server_cache_evictions : int;
   server_sheds : int;
   server_queue_peak : int;
   server_wbuf_peak : int;
@@ -132,6 +138,7 @@ let snapshot (t : t) =
     seconds_requests = Atomic.get t.seconds_requests;
     server_cache_hits = Atomic.get t.server_cache_hits;
     server_cache_misses = Atomic.get t.server_cache_misses;
+    server_cache_evictions = Atomic.get t.server_cache_evictions;
     server_sheds = Atomic.get t.server_sheds;
     server_queue_peak = Atomic.get t.server_queue_peak;
     server_wbuf_peak = Atomic.get t.server_wbuf_peak;
@@ -155,6 +162,7 @@ let reset (t : t) =
   Atomic.set t.seconds_requests 0.0;
   Atomic.set t.server_cache_hits 0;
   Atomic.set t.server_cache_misses 0;
+  Atomic.set t.server_cache_evictions 0;
   Atomic.set t.server_sheds 0;
   Atomic.set t.server_queue_peak 0;
   Atomic.set t.server_wbuf_peak 0
@@ -178,6 +186,8 @@ let diff after before =
     seconds_requests = after.seconds_requests -. before.seconds_requests;
     server_cache_hits = after.server_cache_hits - before.server_cache_hits;
     server_cache_misses = after.server_cache_misses - before.server_cache_misses;
+    server_cache_evictions =
+      after.server_cache_evictions - before.server_cache_evictions;
     server_sheds = after.server_sheds - before.server_sheds;
     (* high-water marks, not counters: the later mark is the answer *)
     server_queue_peak = after.server_queue_peak;
@@ -205,10 +215,12 @@ let pp fmt s =
     "evaluations=%d (full=%d delta=%d cached=%d) moves=%d@ gate recomputes: \
      full=%d delta=%d@ evaluate-equivalents=%.1f (%.1fx fewer than naive)@ cpu: \
      full=%.3fs delta=%.3fs@ fault sim: blocks=%d fault-blocks=%d dropped=%d steals=%d@ \
-     server: requests=%d (failed=%d, %.3fs) cache hits=%d misses=%d@ \
+     server: requests=%d (failed=%d, %.3fs) cache hits=%d misses=%d \
+     evictions=%d@ \
      server load: sheds=%d queue-peak=%d wbuf-peak=%dB"
     (evaluations s) s.full_evals s.delta_evals s.cache_hits s.moves s.gates_full
     s.gates_delta (equivalent_evals s) (speedup s) s.seconds_full
     s.seconds_delta s.sim_blocks s.sim_fault_blocks s.sim_faults_dropped
     s.sim_steals s.requests s.requests_failed s.seconds_requests s.server_cache_hits
-    s.server_cache_misses s.server_sheds s.server_queue_peak s.server_wbuf_peak
+    s.server_cache_misses s.server_cache_evictions s.server_sheds
+    s.server_queue_peak s.server_wbuf_peak

@@ -58,6 +58,10 @@ val record_server_cache : t -> hit:bool -> unit
     parsed circuit, characterization, or packed vector set; a miss
     computed and stored it. *)
 
+val record_cache_eviction : ?count:int -> t -> unit
+(** [count] (default 1) session-cache entries evicted by the
+    size-bounded LRU policy to make room for new ones. *)
+
 val record_shed : t -> unit
 (** One request refused with the [overloaded] error by the server's
     load-shedding admission control (pipeline-depth or queue-depth
@@ -105,6 +109,8 @@ type snapshot = {
           field). *)
   server_cache_hits : int;  (** Session-cache lookups served. *)
   server_cache_misses : int;  (** Session-cache lookups computed. *)
+  server_cache_evictions : int;
+      (** Session-cache entries evicted by the LRU size bound. *)
   server_sheds : int;
       (** Requests refused with [overloaded] by admission control. *)
   server_queue_peak : int;

@@ -11,6 +11,7 @@ let expected_commands =
     "simulate";
     "diagnose";
     "atpg";
+    "testset";
     "dump-library";
     "stats";
     "generate";

@@ -136,6 +136,24 @@ let all_requests =
         trials = 10;
         top_k = 3;
       };
+    Protocol.Testset
+      {
+        handle;
+        seed = 9;
+        random_vectors = 16;
+        max_backtracks = 100;
+        budget = Some 500;
+        strategy = Iddq_atpg.Atpg.Essential;
+      };
+    Protocol.Testset
+      {
+        handle;
+        seed = 42;
+        random_vectors = 0;
+        max_backtracks = 2000;
+        budget = None;
+        strategy = Iddq_atpg.Atpg.Refined;
+      };
     Protocol.Campaign_submit { spec = "circuits = C17\n"; domains = 2 };
     Protocol.Campaign_status { campaign = "campaign-1" };
     Protocol.Metrics;
@@ -196,6 +214,27 @@ let test_protocol_rejects () =
          ("trials", Json.Int 0);
        ])
     "diagnose with zero trials";
+  reject ~code:Protocol.Bad_request
+    (Json.Obj
+       [
+         ("op", Json.String "testset"); ("handle", Json.String "h");
+         ("strategy", Json.String "optimal");
+       ])
+    "testset with an unknown strategy";
+  reject ~code:Protocol.Bad_request
+    (Json.Obj
+       [
+         ("op", Json.String "testset"); ("handle", Json.String "h");
+         ("random_vectors", Json.Int (-1));
+       ])
+    "testset with negative random_vectors";
+  reject ~code:Protocol.Bad_request
+    (Json.Obj
+       [
+         ("op", Json.String "testset"); ("handle", Json.String "h");
+         ("max_backtracks", Json.Int 0);
+       ])
+    "testset with zero backtracks";
   (* the id is echoed even when the request is bad *)
   match
     Protocol.request_of_json
@@ -341,6 +380,76 @@ let test_service_diagnose_cached () =
   let s3 = Metrics.snapshot metrics in
   Alcotest.(check int) "epsilon sweep reuses the cached engine"
     s2.Metrics.server_cache_misses s3.Metrics.server_cache_misses;
+  Service.stop service
+
+let test_service_testset_cached () =
+  let metrics = Metrics.create () in
+  let service = Service.create ~metrics () in
+  let handle = load_c17 service in
+  let testset strategy =
+    ask_ok "testset" service
+      (Protocol.Testset
+         {
+           handle;
+           seed = 4;
+           random_vectors = 8;
+           max_backtracks = 200;
+           budget = None;
+           strategy;
+         })
+  in
+  let p1 = testset Iddq_atpg.Atpg.Greedy in
+  let s1 = Metrics.snapshot metrics in
+  let p2 = testset Iddq_atpg.Atpg.Greedy in
+  let s2 = Metrics.snapshot metrics in
+  Alcotest.check json "repeated testset is identical" p1 p2;
+  Alcotest.(check bool) "repeated testset hits the engine cache" true
+    (s2.Metrics.server_cache_hits > s1.Metrics.server_cache_hits);
+  (* the memo key deliberately omits the strategy: a strategy sweep
+     re-minimizes the cached matrix instead of re-running PODEM *)
+  let p3 = testset Iddq_atpg.Atpg.Refined in
+  let s3 = Metrics.snapshot metrics in
+  Alcotest.(check int) "strategy sweep reuses the cached generation"
+    s2.Metrics.server_cache_misses s3.Metrics.server_cache_misses;
+  let field name p =
+    match Option.bind (Json.member name p) Json.to_int with
+    | Some v -> v
+    | None -> Alcotest.failf "testset payload lacks %s" name
+  in
+  Alcotest.(check int) "same full set under both strategies"
+    (field "vectors_before" p1) (field "vectors_before" p3);
+  Alcotest.(check bool) "refined no larger than greedy" true
+    (field "vectors" p3 <= field "vectors" p1);
+  (match Option.bind (Json.member "coverage" p1) Json.to_float with
+  | Some c -> Alcotest.(check (float 1e-9)) "C17 fully covered" 1.0 c
+  | None -> Alcotest.fail "testset payload lacks coverage");
+  Service.stop service
+
+let test_service_cache_eviction () =
+  let metrics = Metrics.create () in
+  let service = Service.create ~metrics ~cache_entries:2 () in
+  let load name =
+    let p =
+      ask_ok "load_circuit" service
+        (Protocol.Load_circuit { name = Some name; bench = None })
+    in
+    Option.get (Option.bind (Json.member "handle" p) Json.to_str)
+  in
+  let h17 = load "C17" in
+  let _h432 = load "C432" in
+  let h880 = load "C880" in
+  let s = Metrics.snapshot metrics in
+  Alcotest.(check bool) "third circuit evicts the oldest" true
+    (s.Metrics.server_cache_evictions > 0);
+  (* the least-recently-used handle is gone; the newest still answers *)
+  (match ask service (Protocol.Characterize { handle = h17 }) with
+  | Error e ->
+    Alcotest.(check string) "evicted handle is not_found"
+      (Protocol.code_to_string Protocol.Not_found)
+      (Protocol.code_to_string e.Protocol.code)
+  | Ok _ -> Alcotest.fail "evicted handle still resolves");
+  ignore (ask_ok "characterize survivor" service
+      (Protocol.Characterize { handle = h880 }));
   Service.stop service
 
 (* A client from the future speaks an op this build has never heard
@@ -788,6 +897,10 @@ let tests =
     Alcotest.test_case "service errors" `Quick test_service_errors;
     Alcotest.test_case "service diagnose cached" `Quick
       test_service_diagnose_cached;
+    Alcotest.test_case "service testset cached" `Quick
+      test_service_testset_cached;
+    Alcotest.test_case "service cache eviction" `Quick
+      test_service_cache_eviction;
     Alcotest.test_case "service future op typed" `Quick
       test_service_future_op_typed;
     Alcotest.test_case "service deterministic" `Quick
